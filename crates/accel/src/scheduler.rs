@@ -1,0 +1,183 @@
+//! Request-buffer scheduling (Fig. 4's scheduler block).
+//!
+//! The prototype implements round-robin (Sec. V); the scheduler is a
+//! pluggable policy over the per-ring pending counts the cpoll machinery
+//! maintains, so alternative policies are a natural extension point. We
+//! provide round-robin, strict priority, and deficit-weighted round-robin,
+//! with fairness/starvation tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduling decision source.
+pub trait SchedulePolicy {
+    /// Picks the next ring to serve among `pending` (per-ring pending
+    /// request counts). Returns `None` if nothing is pending.
+    fn pick(&mut self, pending: &[u32]) -> Option<usize>;
+}
+
+/// The prototype's round-robin scheduler.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl SchedulePolicy for RoundRobin {
+    fn pick(&mut self, pending: &[u32]) -> Option<usize> {
+        if pending.is_empty() {
+            return None;
+        }
+        for offset in 0..pending.len() {
+            let ring = (self.next + offset) % pending.len();
+            if pending[ring] > 0 {
+                self.next = (ring + 1) % pending.len();
+                return Some(ring);
+            }
+        }
+        None
+    }
+}
+
+/// Strict priority: lowest ring index wins (e.g. an intra-machine CPU ring
+/// prioritized over client rings).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StrictPriority;
+
+impl SchedulePolicy for StrictPriority {
+    fn pick(&mut self, pending: &[u32]) -> Option<usize> {
+        pending.iter().position(|&p| p > 0)
+    }
+}
+
+/// Deficit-weighted round-robin: ring `i` receives service proportional to
+/// `weights[i]` over time, without starving anyone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightedRoundRobin {
+    weights: Vec<u32>,
+    credits: Vec<f64>,
+    next: usize,
+}
+
+impl WeightedRoundRobin {
+    /// Creates a scheduler with per-ring weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a zero.
+    pub fn new(weights: Vec<u32>) -> Self {
+        assert!(!weights.is_empty() && weights.iter().all(|&w| w > 0), "weights must be positive");
+        WeightedRoundRobin { credits: vec![0.0; weights.len()], weights, next: 0 }
+    }
+}
+
+impl SchedulePolicy for WeightedRoundRobin {
+    fn pick(&mut self, pending: &[u32]) -> Option<usize> {
+        assert_eq!(pending.len(), self.weights.len(), "ring count mismatch");
+        if pending.iter().all(|&p| p == 0) {
+            return None;
+        }
+        // Deficit round: replenish credits proportionally to weights, serve
+        // the pending ring with the most credit, and charge it one full
+        // round's worth — long-run service converges to the weight ratios
+        // without starving anyone.
+        for (c, &w) in self.credits.iter_mut().zip(&self.weights) {
+            *c += w as f64;
+        }
+        let mut best: Option<usize> = None;
+        for offset in 0..pending.len() {
+            let ring = (self.next + offset) % pending.len();
+            if pending[ring] == 0 {
+                continue;
+            }
+            match best {
+                None => best = Some(ring),
+                Some(b) if self.credits[ring] > self.credits[b] => best = Some(ring),
+                _ => {}
+            }
+        }
+        let ring = best.expect("something is pending");
+        let round: f64 = self.weights.iter().map(|&w| w as f64).sum();
+        self.credits[ring] -= round;
+        self.next = (ring + 1) % pending.len();
+        Some(ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<P: SchedulePolicy>(policy: &mut P, mut pending: Vec<u32>, rounds: usize) -> Vec<u32> {
+        let mut served = vec![0u32; pending.len()];
+        for _ in 0..rounds {
+            if let Some(ring) = policy.pick(&pending) {
+                assert!(pending[ring] > 0, "picked an empty ring");
+                pending[ring] -= 1;
+                served[ring] += 1;
+                // Closed loop: the client immediately refills.
+                pending[ring] += 1;
+            }
+        }
+        served
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut rr = RoundRobin::new();
+        let served = drive(&mut rr, vec![1; 4], 4000);
+        for &s in &served {
+            assert_eq!(s, 1000);
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_idle_rings() {
+        let mut rr = RoundRobin::new();
+        let served = drive(&mut rr, vec![1, 0, 1, 0], 1000);
+        assert_eq!(served[1] + served[3], 0);
+        assert_eq!(served[0], 500);
+        assert_eq!(served[2], 500);
+    }
+
+    #[test]
+    fn round_robin_handles_empty() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(&[]), None);
+        assert_eq!(rr.pick(&[0, 0]), None);
+    }
+
+    #[test]
+    fn strict_priority_prefers_low_rings() {
+        let mut sp = StrictPriority;
+        assert_eq!(sp.pick(&[0, 3, 5]), Some(1));
+        assert_eq!(sp.pick(&[2, 3, 5]), Some(0));
+        assert_eq!(sp.pick(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn weighted_rr_matches_weights() {
+        let mut w = WeightedRoundRobin::new(vec![3, 1]);
+        let served = drive(&mut w, vec![1, 1], 4000);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio={ratio} served={served:?}");
+    }
+
+    #[test]
+    fn weighted_rr_never_starves() {
+        let mut w = WeightedRoundRobin::new(vec![100, 1]);
+        let served = drive(&mut w, vec![1, 1], 10_000);
+        assert!(served[1] > 50, "low-weight ring starved: {served:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        WeightedRoundRobin::new(vec![1, 0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The coherence controller's address-translation block (Fig. 4 places the
+//! TLB alongside the coherence controller: the accelerator operates on
+//! application virtual addresses made visible by the framework, Sec. III-E).
+//!
+//! A small fully-associative TLB with LRU replacement; misses cost a page
+//! walk through host memory. Functional (real translations) and timed
+//! (hit/miss accounting for the engine).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Default page size (2 MB huge pages, standard for pinned RDMA regions).
+pub const PAGE_BYTES: u64 = 2 << 20;
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translation hits.
+    pub hits: u64,
+    /// Translation misses (page walks).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative LRU TLB mapping virtual to physical page frames.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    page_bytes: u64,
+    /// vpn -> (pfn, last-use stamp)
+    entries: HashMap<u64, (u64, u64)>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries over `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
+    pub fn new(capacity: usize, page_bytes: u64) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb { capacity, page_bytes, entries: HashMap::new(), clock: 0, stats: TlbStats::default() }
+    }
+
+    /// A 32-entry 2 MB-page TLB (the prototype's soft block).
+    pub fn prototype() -> Self {
+        Tlb::new(32, PAGE_BYTES)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn vpn(&self, vaddr: u64) -> u64 {
+        vaddr / self.page_bytes
+    }
+
+    /// Translates `vaddr`; on a miss performs the "page walk" through
+    /// `walk` (which maps a virtual page number to a physical frame) and
+    /// fills the entry, evicting the LRU victim if full.
+    ///
+    /// Returns the physical address and whether the lookup hit.
+    pub fn translate(&mut self, vaddr: u64, walk: impl FnOnce(u64) -> u64) -> (u64, bool) {
+        self.clock += 1;
+        let vpn = self.vpn(vaddr);
+        let offset = vaddr % self.page_bytes;
+        if let Some((pfn, stamp)) = self.entries.get_mut(&vpn) {
+            *stamp = self.clock;
+            self.stats.hits += 1;
+            return (*pfn * self.page_bytes + offset, true);
+        }
+        self.stats.misses += 1;
+        let pfn = walk(vpn);
+        if self.entries.len() >= self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(vpn, _)| vpn)
+                .expect("non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(vpn, (pfn, self.clock));
+        (pfn * self.page_bytes + offset, false)
+    }
+
+    /// Invalidates one page (framework teardown / remap).
+    pub fn invalidate(&mut self, vaddr: u64) {
+        let vpn = self.vpn(vaddr);
+        self.entries.remove(&vpn);
+    }
+
+    /// Flushes everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity-ish walk: pfn = vpn + 1000.
+    fn walk(vpn: u64) -> u64 {
+        vpn + 1000
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut tlb = Tlb::new(4, 4096);
+        let (pa1, hit1) = tlb.translate(5 * 4096 + 12, walk);
+        assert!(!hit1);
+        assert_eq!(pa1, (5 + 1000) * 4096 + 12);
+        let (pa2, hit2) = tlb.translate(5 * 4096 + 900, walk);
+        assert!(hit2);
+        assert_eq!(pa2, (5 + 1000) * 4096 + 900);
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut tlb = Tlb::new(2, 4096);
+        tlb.translate(4096, walk); // page 1 (miss)
+        tlb.translate(2 * 4096, walk); // page 2 (miss)
+        tlb.translate(4096, walk); // page 1 again (hit) -> page 2 is LRU
+        tlb.translate(3 * 4096, walk); // page 3 (miss) evicts page 2
+        let (_, hit) = tlb.translate(4096, walk);
+        assert!(hit, "page 1 must have survived");
+        let (_, hit) = tlb.translate(2 * 4096, walk);
+        assert!(!hit, "page 2 must have been evicted");
+    }
+
+    #[test]
+    fn sequential_scans_hit_within_a_page() {
+        let mut tlb = Tlb::prototype();
+        for addr in (0..PAGE_BYTES).step_by(64 * 1024) {
+            tlb.translate(addr, walk);
+        }
+        let s = tlb.stats();
+        assert_eq!(s.misses, 1);
+        assert!(s.hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = Tlb::new(4, 4096);
+        tlb.translate(0, walk);
+        tlb.invalidate(0);
+        let (_, hit) = tlb.translate(0, walk);
+        assert!(!hit);
+        tlb.translate(4096, walk);
+        tlb.flush();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn thrashing_working_set_misses() {
+        let mut tlb = Tlb::new(4, 4096);
+        // 8-page working set over a 4-entry TLB, round-robin: ~0% hits.
+        for round in 0..10u64 {
+            for page in 0..8u64 {
+                tlb.translate(page * 4096, walk);
+                let _ = round;
+            }
+        }
+        assert!(tlb.stats().hit_rate() < 0.1);
+        assert_eq!(tlb.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        Tlb::new(4, 1000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the real (non-simulated) data structures:
+//! the lock-free SPSC ring, the pointer buffer, the MICA-style store, the
+//! Zipfian sampler, and the MERCI reduction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rambda_des::SimRng;
+use rambda_dlrm::{MemoTable, ReductionPlan};
+use rambda_kvs::{KvConfig, KvStore};
+use rambda_ring::{BufferPair, PointerBuffer};
+use rambda_workloads::{DlrmProfile, Zipf};
+
+fn bench_spsc(c: &mut Criterion) {
+    c.bench_function("spsc_push_pop", |b| {
+        let (mut tx, mut rx) = rambda_ring::channel::<u64>(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            tx.push(i).unwrap();
+            i += 1;
+            std::hint::black_box(rx.pop().unwrap());
+        });
+    });
+
+    c.bench_function("buffer_pair_round_trip", |b| {
+        let (mut client, mut server) = BufferPair::with_capacity::<u64, u64>(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            client.issue(i).unwrap();
+            i += 1;
+            let r = server.next_request().unwrap();
+            server.respond(r).unwrap();
+            std::hint::black_box(client.poll().unwrap());
+        });
+    });
+
+    c.bench_function("pointer_buffer_bump", |b| {
+        let pb = PointerBuffer::new(1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            std::hint::black_box(pb.bump(i & 1023));
+            i += 1;
+        });
+    });
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut store = KvStore::new(KvConfig::for_pairs(100_000, 64));
+    for k in 0..100_000u64 {
+        store.put(k, vec![0u8; 64]);
+    }
+    let mut rng = SimRng::seed(1);
+    c.bench_function("kv_get_hit", |b| {
+        b.iter(|| {
+            let k = rng.gen_range(0..100_000u64);
+            std::hint::black_box(store.get(k).0.is_some());
+        })
+    });
+    c.bench_function("kv_put_update", |b| {
+        b.iter_batched(
+            || (rng.gen_range(0..100_000u64), vec![1u8; 64]),
+            |(k, v)| std::hint::black_box(store.put(k, v)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let zipf = Zipf::new(100_000_000, 0.9);
+    let mut rng = SimRng::seed(2);
+    c.bench_function("zipf_sample_100m", |b| {
+        b.iter(|| std::hint::black_box(zipf.sample(&mut rng)))
+    });
+}
+
+fn bench_merci(c: &mut Criterion) {
+    let profile = DlrmProfile::by_name("Books").unwrap();
+    let model = rambda_dlrm::DlrmModel::synthetic(32_768, 64);
+    let memo = MemoTable::build(&model.embedding);
+    let pair_zipf = Zipf::new(32_768 / 2, profile.zipf_theta);
+    let mut rng = SimRng::seed(3);
+    c.bench_function("merci_plan_and_reduce", |b| {
+        b.iter_batched(
+            || rambda_dlrm::merci::sample_correlated_query(&profile, 32_768, &pair_zipf, &mut rng),
+            |q| {
+                let plan = ReductionPlan::build(&q, &memo);
+                std::hint::black_box(plan.reduce(&model.embedding, &memo))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_spsc, bench_kv, bench_workloads, bench_merci);
+criterion_main!(benches);

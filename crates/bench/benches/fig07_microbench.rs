@@ -1,0 +1,72 @@
+//! Fig. 7: single-machine microbenchmark — normalized throughput of CPU
+//! cores vs Rambda variants on the linked-list traversal, for DRAM and NVM.
+//!
+//! Expectations: CPU scales ~linearly with cores; Rambda-polling lands near
+//! 8 cores; cpoll adds ~20 %; Rambda-LD/LH add a further ~2.1×/~2.7×; on
+//! NVM, adaptive DDIO beats always-on DDIO by ~20 %.
+
+use rambda::micro::{run_cpu, run_rambda, run_rambda_always_ddio, MicroParams};
+use rambda::Testbed;
+use rambda_accel::DataLocation;
+use rambda_bench::{mops, ratio, Table};
+
+fn main() {
+    let tb = Testbed::default();
+    let p = MicroParams { requests: 120_000, ..MicroParams::paper() };
+
+    // DRAM panel (normalized to one core, as in the paper).
+    let c1 = run_cpu(&tb, p, 1, 16).throughput_mops();
+    let c8 = run_cpu(&tb, p, 8, 16).throughput_mops();
+    let c16 = run_cpu(&tb, p, 16, 16).throughput_mops();
+    let polling = run_rambda(&tb, p, DataLocation::HostDram, false, 1).throughput_mops();
+    let cpoll = run_rambda(&tb, p, DataLocation::HostDram, true, 1).throughput_mops();
+    let ld = run_rambda(&tb, p, DataLocation::LocalDdr, true, 1).throughput_mops();
+    let lh = run_rambda(&tb, p, DataLocation::LocalHbm, true, 1).throughput_mops();
+
+    let mut dram = Table::new(
+        "Fig. 7 (DRAM) — microbenchmark throughput (normalized to 1 core)",
+        &["design", "Mops", "vs 1 core"],
+    );
+    for (name, v) in [
+        ("CPU x1", c1),
+        ("CPU x8", c8),
+        ("CPU x16", c16),
+        ("Rambda-polling", polling),
+        ("Rambda (cpoll)", cpoll),
+        ("Rambda-LD", ld),
+        ("Rambda-LH", lh),
+    ] {
+        dram.row(vec![name.into(), mops(v), ratio(v / c1)]);
+    }
+    dram.print();
+    println!(
+        "cpoll gain over polling: {} (paper ~21.6%); LD/LH over Rambda: {} / {} (paper ~2.14x / ~2.66x)",
+        ratio(cpoll / polling),
+        ratio(ld / cpoll),
+        ratio(lh / cpoll),
+    );
+
+    // NVM panel (normalized to Rambda-DDIO, as in the paper).
+    let pn = p.with_nvm();
+    let n_c8 = run_cpu(&tb, pn, 8, 16).throughput_mops();
+    let n_c16 = run_cpu(&tb, pn, 16, 16).throughput_mops();
+    let n_polling = run_rambda(&tb, pn, DataLocation::HostDram, false, 1).throughput_mops();
+    let n_ddio = run_rambda_always_ddio(&tb, pn, true, 1).throughput_mops();
+    let n_adaptive = run_rambda(&tb, pn, DataLocation::HostDram, true, 1).throughput_mops();
+
+    let mut nvm = Table::new(
+        "Fig. 7 (NVM) — microbenchmark throughput (normalized to Rambda-DDIO)",
+        &["design", "Mops", "vs Rambda-DDIO"],
+    );
+    for (name, v) in [
+        ("CPU x8", n_c8),
+        ("CPU x16", n_c16),
+        ("Rambda-polling", n_polling),
+        ("Rambda-DDIO", n_ddio),
+        ("Rambda (adaptive)", n_adaptive),
+    ] {
+        nvm.row(vec![name.into(), mops(v), ratio(v / n_ddio)]);
+    }
+    nvm.print();
+    println!("adaptive-DDIO gain: {} (paper ~20%)", ratio(n_adaptive / n_ddio));
+}

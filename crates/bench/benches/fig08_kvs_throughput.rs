@@ -1,0 +1,49 @@
+//! Fig. 8: KVS peak throughput per design × key distribution × workload
+//! (batch 32).
+//!
+//! Expectations: CPU and Rambda are network-bound and distribution-
+//! insensitive, Rambda a few percent ahead; the Smart NIC collapses under
+//! the uniform distribution; LD/LH match Rambda (the network is the limit);
+//! the 50/50 PUT workload changes little (MICA-style partitioning).
+
+use rambda::Testbed;
+use rambda_accel::DataLocation;
+use rambda_bench::{mops, Table};
+use rambda_kvs::designs::{run_cpu, run_rambda, run_smartnic};
+use rambda_kvs::{KvsParams, KvsWorkload};
+
+fn main() {
+    let tb = Testbed::default();
+    let base = KvsParams { requests: 100_000, ..KvsParams::paper() };
+
+    let mut table = Table::new(
+        "Fig. 8 — KVS peak throughput (Mops), batch 32",
+        &["workload", "dist", "CPU", "SmartNIC", "Rambda", "Rambda-LD", "Rambda-LH"],
+    );
+    for workload in [KvsWorkload::ReadIntensive, KvsWorkload::WriteIntensive] {
+        for (dist_name, zipf) in [("uniform", None), ("zipf0.9", Some(0.9))] {
+            let mut p = base.clone().with_workload(workload);
+            p.zipf = zipf;
+            let cpu = run_cpu(&tb, &p).throughput_mops();
+            let snic = run_smartnic(&tb, &p).throughput_mops();
+            let rambda = run_rambda(&tb, &p, DataLocation::HostDram).throughput_mops();
+            let ld = run_rambda(&tb, &p, DataLocation::LocalDdr).throughput_mops();
+            let lh = run_rambda(&tb, &p, DataLocation::LocalHbm).throughput_mops();
+            let wl = match workload {
+                KvsWorkload::ReadIntensive => "100% GET",
+                KvsWorkload::WriteIntensive => "50/50",
+            };
+            table.row(vec![
+                wl.into(),
+                dist_name.into(),
+                mops(cpu),
+                mops(snic),
+                mops(rambda),
+                mops(ld),
+                mops(lh),
+            ]);
+        }
+    }
+    table.print();
+    println!("shape check: Rambda ~2-8% over CPU; SmartNIC uniform << zipf; LD/LH == Rambda (network-bound).");
+}

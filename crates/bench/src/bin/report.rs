@@ -1,0 +1,104 @@
+//! `report` — runs a reduced version of every experiment and prints the
+//! paper's headline claims next to the measured values. The per-figure
+//! benches (`cargo bench -p rambda-bench`) print the full tables.
+
+use rambda::micro::{run_rambda as micro_rambda, run_rambda_always_ddio, MicroParams};
+use rambda::Testbed;
+use rambda_accel::DataLocation;
+use rambda_bench::Table;
+use rambda_dlrm::serving as dlrm;
+use rambda_dlrm::DlrmParams;
+use rambda_kvs::designs as kvs;
+use rambda_kvs::KvsParams;
+use rambda_power::{kop_per_watt, Design, PowerConfig};
+use rambda_txn::{run_hyperloop, run_rambda_tx, TxnParams};
+use rambda_workloads::{DlrmProfile, TxnSpec};
+
+fn main() {
+    let tb = Testbed::default();
+    let mut t = Table::new(
+        "Rambda reproduction — headline claims (paper vs measured)",
+        &["claim", "paper", "measured"],
+    );
+
+    // Microbenchmark: cpoll gain, local-memory gain, adaptive DDIO.
+    let mp = MicroParams { requests: 60_000, ..MicroParams::paper() };
+    let polling = micro_rambda(&tb, mp, DataLocation::HostDram, false, 1).throughput_mops();
+    let cpoll = micro_rambda(&tb, mp, DataLocation::HostDram, true, 1).throughput_mops();
+    let lh = micro_rambda(&tb, mp, DataLocation::LocalHbm, true, 1).throughput_mops();
+    t.row(vec![
+        "cpoll over spin-polling".into(),
+        "+21.6%".into(),
+        format!("{:+.1}%", (cpoll / polling - 1.0) * 100.0),
+    ]);
+    t.row(vec![
+        "Rambda-LH over Rambda (micro)".into(),
+        "~2.66x".into(),
+        format!("{:.2}x", lh / cpoll),
+    ]);
+    let mn = mp.with_nvm();
+    let adaptive = micro_rambda(&tb, mn, DataLocation::HostDram, true, 1).throughput_mops();
+    let ddio = run_rambda_always_ddio(&tb, mn, true, 1).throughput_mops();
+    t.row(vec![
+        "adaptive DDIO on NVM".into(),
+        "~+20%".into(),
+        format!("{:+.1}%", (adaptive / ddio - 1.0) * 100.0),
+    ]);
+
+    // KVS: throughput edge, tail latency, power efficiency.
+    let kp = KvsParams { requests: 60_000, ..KvsParams::quick() };
+    let cpu = kvs::run_cpu(&tb, &kp);
+    let rambda = kvs::run_rambda(&tb, &kp, DataLocation::HostDram);
+    t.row(vec![
+        "KVS throughput vs CPU".into(),
+        "+2.3-8.3%".into(),
+        format!("{:+.1}%", (rambda.throughput_mops() / cpu.throughput_mops() - 1.0) * 100.0),
+    ]);
+    let mut lat = kp.clone();
+    lat.window = 2;
+    let cpu_l = kvs::run_cpu(&tb, &lat);
+    let rambda_l = kvs::run_rambda(&tb, &lat, DataLocation::HostDram);
+    t.row(vec![
+        "KVS p99 vs CPU".into(),
+        "-30.1%".into(),
+        format!("{:+.1}%", (rambda_l.p99_us() / cpu_l.p99_us() - 1.0) * 100.0),
+    ]);
+    let power = PowerConfig::default();
+    let kopw_cpu = kop_per_watt(cpu.throughput_ops, power.design_watts(Design::Cpu { cores: 10 }));
+    let kopw_rambda = kop_per_watt(rambda.throughput_ops, power.design_watts(Design::Rambda));
+    t.row(vec![
+        "power efficiency vs CPU".into(),
+        "~1.45x (188.7/130.4)".into(),
+        format!("{:.2}x", kopw_rambda / kopw_cpu),
+    ]);
+
+    // Transactions: (4,2) latency saving.
+    let tp = TxnParams::quick(TxnSpec::read_write(64));
+    let hl = run_hyperloop(&tb, &tp);
+    let rt = run_rambda_tx(&tb, &tp);
+    t.row(vec![
+        "TX (4,2) avg latency saving".into(),
+        "63.2-66.8%".into(),
+        format!("{:.1}%", (1.0 - rt.mean_us() / hl.mean_us()) * 100.0),
+    ]);
+
+    // DLRM (Books): prototype penalty and LH gain.
+    let dp = DlrmParams { queries: 10_000, ..DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()) };
+    let c1 = dlrm::run_cpu(&tb, &dp, 1).throughput_mops();
+    let c8 = dlrm::run_cpu(&tb, &dp, 8).throughput_mops();
+    let r = dlrm::run_rambda(&tb, &dp, DataLocation::HostDram).throughput_mops();
+    let dlh = dlrm::run_rambda(&tb, &dp, DataLocation::LocalHbm).throughput_mops();
+    t.row(vec![
+        "DLRM Rambda vs 1 core".into(),
+        "19.7-31.3%".into(),
+        format!("{:.1}%", r / c1 * 100.0),
+    ]);
+    t.row(vec![
+        "DLRM Rambda-LH vs 8 cores".into(),
+        "1.6-3.1x".into(),
+        format!("{:.2}x", dlh / c8),
+    ]);
+
+    t.print();
+    println!("\nFull tables: cargo bench -p rambda-bench");
+}

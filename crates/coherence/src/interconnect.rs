@@ -1,0 +1,220 @@
+//! The cache-coherent interconnect (UPI in the prototype, CXL in the
+//! envisioned system).
+
+use rambda_des::{Link, SimTime, Span, Throttle};
+use serde::{Deserialize, Serialize};
+
+/// cc-interconnect parameters (defaults = Tab. II's UPI link plus the
+//  400 MHz soft coherence controller).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CcConfig {
+    /// Link bandwidth in bytes/second (10.4 GT/s UPI ⇒ 20.8 GB/s).
+    pub bandwidth: f64,
+    /// One-hop latency across the interconnect.
+    pub hop_latency: Span,
+    /// Minimum gap between *independent single-line* requests issued by the
+    /// accelerator's coherence controller: pipelined soft logic at 400 MHz
+    /// issues one per cycle. Multi-line gathers (DLRM's 256 B embedding
+    /// rows) serialize far worse on the prototype — see
+    /// [`CcConfig::gather_issue_gap`].
+    pub controller_issue_gap: Span,
+    /// Per-line issue gap during multi-line strided gathers. Sec. V calls
+    /// the soft coherence controller the prototype's major limitation and
+    /// Sec. VI-D blames its serial issue for DLRM: the CCI-P read path's
+    /// ~380 ns turnaround with ~8 outstanding gather lines yields ~48 ns per
+    /// line (≈1.3 GB/s effective) — the rate that makes Rambda-DLRM land at
+    /// 19.7–31.3 % of one CPU core (Fig. 13).
+    pub gather_issue_gap: Span,
+    /// Local-cache hit latency inside the accelerator.
+    pub local_cache_latency: Span,
+    /// Local-cache capacity in bytes (64 KB in the prototype).
+    pub local_cache_bytes: u64,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            bandwidth: 20.8e9,
+            hop_latency: Span::from_ns(70),
+            // One pipelined issue per 400 MHz cycle.
+            controller_issue_gap: Span::from_ns_f64(2.5),
+            // CCI-P turnaround / outstanding gather lines.
+            gather_issue_gap: Span::from_ns(48),
+            local_cache_latency: Span::from_ns(10),
+            local_cache_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CcConfig {
+    /// A "hardened IP" variant: controller at CPU-like 2 GHz (Sec. V expects
+    /// future FPGAs to close this gap). Used by ablation benches.
+    pub fn hardened() -> Self {
+        CcConfig {
+            controller_issue_gap: Span::from_ns_f64(0.5),
+            gather_issue_gap: Span::from_ns(6),
+            ..CcConfig::default()
+        }
+    }
+}
+
+/// The cc-interconnect between the accelerator and the host.
+///
+/// Charges bandwidth serialization, per-hop latency, and the controller's
+/// serial issue gap for accelerator-initiated requests.
+#[derive(Debug, Clone)]
+pub struct CcInterconnect {
+    cfg: CcConfig,
+    /// Accelerator → host direction (full-duplex link, like UPI).
+    outbound: Link,
+    /// Host → accelerator direction.
+    inbound: Link,
+    controller: Throttle,
+    gather: Throttle,
+}
+
+impl CcInterconnect {
+    /// Creates an interconnect from a configuration.
+    pub fn new(cfg: CcConfig) -> Self {
+        CcInterconnect {
+            outbound: Link::new(cfg.bandwidth, cfg.hop_latency),
+            inbound: Link::new(cfg.bandwidth, cfg.hop_latency),
+            controller: Throttle::new(cfg.controller_issue_gap),
+            gather: Throttle::new(cfg.gather_issue_gap),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CcConfig {
+        &self.cfg
+    }
+
+    /// An accelerator-initiated coherent request of `bytes`: waits for the
+    /// controller issue slot, then crosses the link. Returns when the
+    /// request reaches the host side (the host memory system charges its own
+    /// media time on top).
+    pub fn accel_request(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let issued = self.controller.admit(at);
+        self.outbound.transfer(issued, bytes).arrive
+    }
+
+    /// A host- or I/O-initiated transfer towards the accelerator (e.g. a
+    /// coherence signal, or data filling the accelerator cache). No
+    /// controller gap: the bottleneck is only on the accelerator's issue
+    /// side.
+    pub fn toward_accel(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        self.inbound.transfer(at, bytes).arrive
+    }
+
+    /// One line of a multi-line strided gather (e.g. a 256 B embedding row
+    /// read as four 64 B lines). The prototype's soft controller turns these
+    /// around far more slowly than pipelined independent requests
+    /// ([`CcConfig::gather_issue_gap`]), which is what starves Rambda-DLRM
+    /// in Fig. 13.
+    pub fn accel_gather_line(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let issued = self.gather.admit(at);
+        self.outbound.transfer(issued, bytes).arrive
+    }
+
+    /// Latency of a cpoll notification: the invalidation signal crossing one
+    /// hop (no data payload, so no meaningful serialization).
+    pub fn signal_latency(&self) -> Span {
+        self.cfg.hop_latency
+    }
+
+    /// Total bytes moved over the link so far (both directions).
+    pub fn bytes_moved(&self) -> u64 {
+        self.outbound.bytes_moved() + self.inbound.bytes_moved()
+    }
+
+    /// Average consumed link bandwidth over `[0, now]` (both directions).
+    pub fn consumed_bandwidth(&self, now: SimTime) -> f64 {
+        self.outbound.consumed_bandwidth(now) + self.inbound.consumed_bandwidth(now)
+    }
+
+    /// Resets link and controller occupancy.
+    pub fn reset(&mut self) {
+        self.outbound.reset();
+        self.inbound.reset();
+        self.controller.reset();
+        self.gather.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_request_pays_gap_and_hop() {
+        let mut cc = CcInterconnect::new(CcConfig::default());
+        let t1 = cc.accel_request(SimTime::ZERO, 64);
+        // 70ns hop + ~3ns serialization.
+        assert!((70.0..80.0).contains(&t1.as_ns_f64()), "{}", t1.as_ns_f64());
+        // Second request waits for the controller gap.
+        let t2 = cc.accel_request(SimTime::ZERO, 64);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn controller_gap_caps_issue_rate() {
+        let mut cc = CcInterconnect::new(CcConfig::default());
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t = cc.accel_request(SimTime::ZERO, 64);
+        }
+        // 1000 requests at one per 2.5ns ≈ 2.5us (plus one hop).
+        let us = t.as_us_f64();
+        assert!((2.5..3.6).contains(&us), "{us}");
+    }
+
+    #[test]
+    fn hardened_controller_is_faster() {
+        let mut soft = CcInterconnect::new(CcConfig::default());
+        let mut hard = CcInterconnect::new(CcConfig::hardened());
+        let mut ts = SimTime::ZERO;
+        let mut th = SimTime::ZERO;
+        // Small (sub-line) requests so the controller gap, not link
+        // serialization, dominates.
+        for _ in 0..100 {
+            ts = soft.accel_request(SimTime::ZERO, 8);
+            th = hard.accel_request(SimTime::ZERO, 8);
+        }
+        assert!(th < ts);
+    }
+
+    #[test]
+    fn toward_accel_skips_controller() {
+        let mut cc = CcInterconnect::new(CcConfig::default());
+        cc.toward_accel(SimTime::ZERO, 64);
+        cc.toward_accel(SimTime::ZERO, 64);
+        // Only serialization (3ns each) + hop; no controller gaps.
+        let t = cc.toward_accel(SimTime::ZERO, 64);
+        assert!(t.as_ns_f64() < 85.0, "{}", t.as_ns_f64());
+    }
+
+    #[test]
+    fn gather_lines_are_slower_than_pipelined_issues() {
+        let mut cc = CcInterconnect::new(CcConfig::default());
+        let mut t_pipe = SimTime::ZERO;
+        let mut t_gather = SimTime::ZERO;
+        for _ in 0..100 {
+            t_pipe = cc.accel_request(SimTime::ZERO, 8);
+        }
+        let mut cc2 = CcInterconnect::new(CcConfig::default());
+        for _ in 0..100 {
+            t_gather = cc2.accel_gather_line(SimTime::ZERO, 8);
+        }
+        assert!(t_gather.as_ns_f64() > 3.0 * t_pipe.as_ns_f64());
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut cc = CcInterconnect::new(CcConfig::default());
+        cc.accel_request(SimTime::ZERO, 1024);
+        assert_eq!(cc.bytes_moved(), 1024);
+        cc.reset();
+        assert_eq!(cc.bytes_moved(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! A functional MESI directory.
+//!
+//! Tracks, per 64 B line, which agents hold the line and in what state, and
+//! reports the coherence events each access generates. The accelerator's
+//! cpoll checker subscribes to the invalidation events (a remote write to a
+//! line the accelerator holds Modified/Exclusive produces exactly the
+//! "Modified → Invalid" signal Sec. III-B describes).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A coherence agent: a CPU socket, the cc-accelerator, or an I/O bridge
+/// performing DMA into the coherent domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AgentId(pub u8);
+
+impl AgentId {
+    /// Conventional id for the host CPU.
+    pub const CPU: AgentId = AgentId(0);
+    /// Conventional id for the cc-accelerator.
+    pub const ACCEL: AgentId = AgentId(1);
+    /// Conventional id for the I/O bridge (RNIC DMA enters here).
+    pub const IO: AgentId = AgentId(2);
+}
+
+/// A 64 B-aligned line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The line containing byte address `byte`.
+    pub fn containing(byte: u64) -> Self {
+        LineAddr(byte & !63)
+    }
+}
+
+/// MESI state of a line in one agent's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Dirty, exclusive to one agent.
+    Modified,
+    /// Clean, exclusive to one agent.
+    Exclusive,
+    /// Clean, possibly in several agents.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+/// A coherence event produced by an access, delivered to the affected agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceEvent {
+    /// `agent`'s copy of `line` was invalidated by a write elsewhere.
+    /// This is the signal the cpoll checker snoops.
+    Invalidated {
+        /// The agent that lost its copy.
+        agent: AgentId,
+        /// The line that was invalidated.
+        line: LineAddr,
+        /// Whether the lost copy was dirty (M → I, forcing a writeback).
+        was_dirty: bool,
+    },
+    /// `agent`'s exclusive/modified copy was downgraded to Shared by a read
+    /// elsewhere.
+    Downgraded {
+        /// The agent whose copy was downgraded.
+        agent: AgentId,
+        /// The affected line.
+        line: LineAddr,
+    },
+}
+
+/// A MESI directory over all lines touched so far.
+///
+/// ```
+/// use rambda_coherence::{AgentId, Directory, LineAddr, LineState};
+///
+/// let mut dir = Directory::new();
+/// dir.write(AgentId::ACCEL, LineAddr(0)); // accelerator owns the ring slot
+/// let events = dir.write(AgentId::IO, LineAddr(0)); // RNIC writes a request
+/// assert_eq!(events.len(), 1); // the accelerator sees M -> I: a cpoll signal
+/// assert_eq!(dir.state(AgentId::ACCEL, LineAddr(0)), LineState::Invalid);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    lines: HashMap<LineAddr, Vec<(AgentId, LineState)>>,
+    invalidations: u64,
+    downgrades: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory (all lines Invalid everywhere).
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The state of `line` in `agent`'s cache.
+    pub fn state(&self, agent: AgentId, line: LineAddr) -> LineState {
+        self.lines
+            .get(&line)
+            .and_then(|holders| holders.iter().find(|(a, _)| *a == agent))
+            .map(|(_, s)| *s)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// All agents currently holding `line` in a non-Invalid state.
+    pub fn holders(&self, line: LineAddr) -> Vec<(AgentId, LineState)> {
+        self.lines
+            .get(&line)
+            .map(|h| h.iter().filter(|(_, s)| *s != LineState::Invalid).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total invalidation events emitted.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total downgrade events emitted.
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    fn set(&mut self, agent: AgentId, line: LineAddr, state: LineState) {
+        let holders = self.lines.entry(line).or_default();
+        if let Some(entry) = holders.iter_mut().find(|(a, _)| *a == agent) {
+            entry.1 = state;
+        } else if state != LineState::Invalid {
+            holders.push((agent, state));
+        }
+    }
+
+    /// `agent` reads `line`; returns the coherence events other agents see.
+    pub fn read(&mut self, agent: AgentId, line: LineAddr) -> Vec<CoherenceEvent> {
+        let mut events = Vec::new();
+        let holders = self.lines.entry(line).or_default().clone();
+        let mut any_other = false;
+        for (other, state) in holders {
+            if other == agent {
+                continue;
+            }
+            match state {
+                LineState::Modified | LineState::Exclusive => {
+                    // Downgrade the owner to Shared (dirty data forwarded).
+                    self.set(other, line, LineState::Shared);
+                    events.push(CoherenceEvent::Downgraded { agent: other, line });
+                    self.downgrades += 1;
+                    any_other = true;
+                }
+                LineState::Shared => any_other = true,
+                LineState::Invalid => {}
+            }
+        }
+        let new_state = if any_other { LineState::Shared } else { LineState::Exclusive };
+        // A reader that already held the line keeps its (possibly dirty) copy.
+        match self.state(agent, line) {
+            LineState::Modified | LineState::Exclusive => {}
+            _ => self.set(agent, line, new_state),
+        }
+        events
+    }
+
+    /// `agent` writes `line`; returns the coherence events other agents see
+    /// (these are what cpoll snoops).
+    pub fn write(&mut self, agent: AgentId, line: LineAddr) -> Vec<CoherenceEvent> {
+        let mut events = Vec::new();
+        let holders = self.lines.entry(line).or_default().clone();
+        for (other, state) in holders {
+            if other == agent || state == LineState::Invalid {
+                continue;
+            }
+            let was_dirty = state == LineState::Modified;
+            self.set(other, line, LineState::Invalid);
+            events.push(CoherenceEvent::Invalidated { agent: other, line, was_dirty });
+            self.invalidations += 1;
+        }
+        self.set(agent, line, LineState::Modified);
+        events
+    }
+
+    /// `agent` evicts (or writes back) `line` from its cache.
+    pub fn evict(&mut self, agent: AgentId, line: LineAddr) {
+        self.set(agent, line, LineState::Invalid);
+    }
+
+    /// Checks the single-writer/multi-reader invariant for `line`.
+    ///
+    /// Returns an error message describing the violation, if any.
+    pub fn check_invariants(&self, line: LineAddr) -> Result<(), String> {
+        let holders = self.holders(line);
+        let exclusive = holders
+            .iter()
+            .filter(|(_, s)| matches!(s, LineState::Modified | LineState::Exclusive))
+            .count();
+        if exclusive > 1 {
+            return Err(format!("line {line:?} has {exclusive} exclusive owners: {holders:?}"));
+        }
+        if exclusive == 1 && holders.len() > 1 {
+            return Err(format!("line {line:?} mixes exclusive and shared holders: {holders:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_alignment() {
+        assert_eq!(LineAddr::containing(0), LineAddr(0));
+        assert_eq!(LineAddr::containing(63), LineAddr(0));
+        assert_eq!(LineAddr::containing(64), LineAddr(64));
+        assert_eq!(LineAddr::containing(130), LineAddr(128));
+    }
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let mut dir = Directory::new();
+        let events = dir.read(AgentId::CPU, LineAddr(0));
+        assert!(events.is_empty());
+        assert_eq!(dir.state(AgentId::CPU, LineAddr(0)), LineState::Exclusive);
+    }
+
+    #[test]
+    fn second_reader_shares_and_downgrades_owner() {
+        let mut dir = Directory::new();
+        dir.write(AgentId::CPU, LineAddr(0));
+        let events = dir.read(AgentId::ACCEL, LineAddr(0));
+        assert_eq!(events, vec![CoherenceEvent::Downgraded { agent: AgentId::CPU, line: LineAddr(0) }]);
+        assert_eq!(dir.state(AgentId::CPU, LineAddr(0)), LineState::Shared);
+        assert_eq!(dir.state(AgentId::ACCEL, LineAddr(0)), LineState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut dir = Directory::new();
+        dir.read(AgentId::CPU, LineAddr(64));
+        dir.read(AgentId::ACCEL, LineAddr(64));
+        let events = dir.write(AgentId::IO, LineAddr(64));
+        assert_eq!(events.len(), 2);
+        assert_eq!(dir.state(AgentId::CPU, LineAddr(64)), LineState::Invalid);
+        assert_eq!(dir.state(AgentId::ACCEL, LineAddr(64)), LineState::Invalid);
+        assert_eq!(dir.state(AgentId::IO, LineAddr(64)), LineState::Modified);
+        assert_eq!(dir.invalidations(), 2);
+    }
+
+    #[test]
+    fn m_to_i_signal_carries_dirty_flag() {
+        // This is the exact cpoll trigger: the accelerator owns the ring
+        // line Modified; a remote write invalidates it.
+        let mut dir = Directory::new();
+        dir.write(AgentId::ACCEL, LineAddr(0));
+        let events = dir.write(AgentId::IO, LineAddr(0));
+        assert_eq!(
+            events,
+            vec![CoherenceEvent::Invalidated { agent: AgentId::ACCEL, line: LineAddr(0), was_dirty: true }]
+        );
+    }
+
+    #[test]
+    fn clean_invalidation_is_not_dirty() {
+        let mut dir = Directory::new();
+        dir.read(AgentId::ACCEL, LineAddr(0));
+        let events = dir.write(AgentId::IO, LineAddr(0));
+        assert_eq!(
+            events,
+            vec![CoherenceEvent::Invalidated { agent: AgentId::ACCEL, line: LineAddr(0), was_dirty: false }]
+        );
+    }
+
+    #[test]
+    fn rewriting_own_modified_line_is_silent() {
+        let mut dir = Directory::new();
+        dir.write(AgentId::ACCEL, LineAddr(0));
+        let events = dir.write(AgentId::ACCEL, LineAddr(0));
+        assert!(events.is_empty());
+        assert_eq!(dir.state(AgentId::ACCEL, LineAddr(0)), LineState::Modified);
+    }
+
+    #[test]
+    fn owner_keeps_dirty_copy_on_own_read(){
+        let mut dir = Directory::new();
+        dir.write(AgentId::CPU, LineAddr(0));
+        dir.read(AgentId::CPU, LineAddr(0));
+        assert_eq!(dir.state(AgentId::CPU, LineAddr(0)), LineState::Modified);
+    }
+
+    #[test]
+    fn evict_clears_state() {
+        let mut dir = Directory::new();
+        dir.write(AgentId::CPU, LineAddr(0));
+        dir.evict(AgentId::CPU, LineAddr(0));
+        assert_eq!(dir.state(AgentId::CPU, LineAddr(0)), LineState::Invalid);
+        assert!(dir.holders(LineAddr(0)).is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_traffic() {
+        let mut dir = Directory::new();
+        let agents = [AgentId::CPU, AgentId::ACCEL, AgentId::IO];
+        for i in 0..100u64 {
+            let line = LineAddr((i % 7) * 64);
+            let agent = agents[(i % 3) as usize];
+            if i % 2 == 0 {
+                dir.write(agent, line);
+            } else {
+                dir.read(agent, line);
+            }
+            dir.check_invariants(line).unwrap();
+        }
+    }
+}

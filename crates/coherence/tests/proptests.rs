@@ -1,0 +1,65 @@
+//! Property-based tests for the coherence layer.
+
+use proptest::prelude::*;
+use rambda_coherence::{AgentId, CpollChecker, Directory, LineAddr};
+
+proptest! {
+    /// Arbitrary interleavings of reads/writes/evictions by three agents
+    /// never violate the MESI single-writer invariant.
+    #[test]
+    fn mesi_invariants_hold(ops in proptest::collection::vec((0u8..3, 0u8..3, 0u64..16), 1..400)) {
+        let mut dir = Directory::new();
+        for (op, agent, line) in ops {
+            let agent = AgentId(agent);
+            let line = LineAddr(line * 64);
+            match op {
+                0 => { dir.read(agent, line); }
+                1 => { dir.write(agent, line); }
+                _ => dir.evict(agent, line),
+            }
+            dir.check_invariants(line).unwrap();
+        }
+    }
+
+    /// After any traffic, a write by one agent invalidates every other
+    /// holder and leaves exactly one Modified owner.
+    #[test]
+    fn write_leaves_single_modified_owner(
+        setup in proptest::collection::vec((0u8..3, 0u64..8), 0..100),
+        writer in 0u8..3,
+        line in 0u64..8,
+    ) {
+        let mut dir = Directory::new();
+        for (agent, l) in setup {
+            dir.read(AgentId(agent), LineAddr(l * 64));
+        }
+        let line = LineAddr(line * 64);
+        dir.write(AgentId(writer), line);
+        let holders = dir.holders(line);
+        prop_assert_eq!(holders.len(), 1);
+        prop_assert_eq!(holders[0].0, AgentId(writer));
+    }
+
+    /// The cpoll checker's address arithmetic dispatches every line of a
+    /// region to the correct ring and nothing outside it.
+    #[test]
+    fn cpoll_dispatch_exact(base_kb in 0u64..64, rings in 1usize..32, ring_kb in 1u64..4) {
+        let base = base_kb * 1024;
+        let ring_bytes = ring_kb * 1024;
+        let bytes = rings as u64 * ring_bytes;
+        let mut c = CpollChecker::new(u64::MAX);
+        c.register(base, bytes, ring_bytes).unwrap();
+        for ring in 0..rings {
+            let addr = base + ring as u64 * ring_bytes; // first line of ring
+            let n = c.dispatch_line(LineAddr::containing(addr)).unwrap();
+            prop_assert_eq!(n.ring, ring);
+            let last = base + (ring as u64 + 1) * ring_bytes - 64; // last line
+            let n = c.dispatch_line(LineAddr::containing(last)).unwrap();
+            prop_assert_eq!(n.ring, ring);
+        }
+        prop_assert!(c.dispatch_line(LineAddr::containing(base + bytes)).is_none());
+        if base >= 64 {
+            prop_assert!(c.dispatch_line(LineAddr::containing(base - 64)).is_none());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The testbed configuration (Tab. II) bundling every substrate's knobs.
+
+use rambda_coherence::CcConfig;
+use rambda_des::Span;
+use rambda_fabric::{NetConfig, PcieConfig};
+use rambda_mem::MemConfig;
+use rambda_power::PowerConfig;
+use rambda_rnic::RnicConfig;
+use rambda_smartnic::SmartNicConfig;
+use serde::{Deserialize, Serialize};
+
+/// Host CPU serving parameters (the two-sided RDMA-RPC baselines).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Physical cores per socket (Tab. II: 20 Skylake cores).
+    pub cores: usize,
+    /// Per-request RPC handling (rx CQE poll, parse, tx post) on a core.
+    pub rpc_overhead: Span,
+    /// Per-request application instruction overhead.
+    pub app_overhead: Span,
+    /// Memory-level parallelism one core sustains across *independent*
+    /// request chains when batching (line-fill buffers).
+    pub mlp: usize,
+    /// Per-batch fixed cost (CQ poll, doorbell, descriptor maintenance)
+    /// amortized over the batch: this is what makes unbatched serving slow
+    /// (Fig. 10).
+    pub batch_overhead: Span,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            cores: 20,
+            rpc_overhead: Span::from_ns(60),
+            app_overhead: Span::from_ns(30),
+            mlp: 8,
+            batch_overhead: Span::from_ns(400),
+        }
+    }
+}
+
+/// The full evaluation testbed: two machines (client/server) as configured
+/// in Tab. II, with every model's constants in one place.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Testbed {
+    /// Host memory system (DRAM, NVM, LLC/DDIO).
+    pub mem: MemConfig,
+    /// cc-interconnect + accelerator coherence controller.
+    pub cc: CcConfig,
+    /// 25 GbE RoCEv2 network.
+    pub net: NetConfig,
+    /// PCIe links.
+    pub pcie: PcieConfig,
+    /// RNIC verbs engine.
+    pub rnic: RnicConfig,
+    /// Smart NIC baseline.
+    pub smartnic: SmartNicConfig,
+    /// Host CPU serving model.
+    pub cpu: CpuConfig,
+    /// Power accounting.
+    pub power: PowerConfig,
+}
+
+impl Testbed {
+    /// Effective wire bytes for a message with `payload` bytes, including
+    /// framing.
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        payload + self.net.header_bytes
+    }
+
+    /// Peak one-directional small-message rate of one 25 GbE port for
+    /// `payload`-byte messages — the network bound that caps the KVS
+    /// experiments (Sec. VI-B).
+    pub fn net_msg_rate(&self, payload: u64) -> f64 {
+        self.net.port_bandwidth / self.wire_bytes(payload) as f64
+    }
+
+    /// A testbed with a faster network (Sec. III-F: "Rambda will be
+    /// bottlenecked by the network bandwidth and can achieve higher
+    /// performance with newer network technologies").
+    pub fn with_network_gbps(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "network speed must be positive");
+        self.net.port_bandwidth = gbps * 1.0e9 / 8.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_testbed_is_consistent() {
+        let t = Testbed::default();
+        t.mem.validate().unwrap();
+        assert_eq!(t.cpu.cores, 20);
+        assert!(t.net.port_bandwidth > 3.0e9);
+    }
+
+    #[test]
+    fn net_msg_rate_matches_paper_ballpark() {
+        // 64 B KVS messages on 25 GbE should cap out around 10-13 Mops,
+        // the regime where CPU and Rambda both saturate in Fig. 8.
+        let t = Testbed::default();
+        let rate = t.net_msg_rate(64);
+        assert!((8.0e6..16.0e6).contains(&rate), "rate={rate}");
+    }
+}

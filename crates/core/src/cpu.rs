@@ -1,0 +1,163 @@
+//! The CPU serving model: multi-core two-sided RDMA-RPC baselines.
+//!
+//! Models a HERD/MICA-style server: each core polls its CQ, processes a
+//! batch of requests, interleaves their independent memory chains across the
+//! core's line-fill buffers (that is what request batching buys, Sec. VI-B),
+//! and posts responses with a batched doorbell.
+
+use rambda_des::{Server, SimTime, Span};
+use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
+
+use crate::config::CpuConfig;
+
+/// A multi-core CPU server.
+#[derive(Debug, Clone)]
+pub struct CpuServer {
+    cfg: CpuConfig,
+    cores: Server,
+    batch: usize,
+}
+
+impl CpuServer {
+    /// Creates a server using `cores` cores and request batches of `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds the configured core count.
+    pub fn new(cfg: CpuConfig, cores: usize, batch: usize) -> Self {
+        assert!(cores > 0 && cores <= cfg.cores, "bad core count {cores}");
+        CpuServer { cores: Server::new(cores), cfg, batch: batch.max(1) }
+    }
+
+    /// The configured batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Effective per-access latency for `kind` given the configured batch:
+    /// dependent chains from different requests interleave across the
+    /// core's MLP, dividing the exposed latency.
+    pub fn effective_access(&self, kind: MemKind, mem: &MemorySystem) -> Span {
+        let media = match kind {
+            MemKind::Nvm => mem.config().nvm_read_latency,
+            _ => mem.config().dram_latency,
+        };
+        let interleave = self.batch.min(self.cfg.mlp).max(1) as u64;
+        media / interleave + Span::from_ns(2)
+    }
+
+    /// Serves one request with `reads` dependent line reads and
+    /// `write_bytes` of value writes against `kind` memory. Returns the
+    /// completion time.
+    ///
+    /// The request also charges its bandwidth on the memory system so that
+    /// many-core configurations can hit the channel roofline.
+    pub fn serve_request(
+        &mut self,
+        arrival: SimTime,
+        reads: usize,
+        write_bytes: u64,
+        kind: MemKind,
+        mem: &mut MemorySystem,
+    ) -> SimTime {
+        let access = self.effective_access(kind, mem);
+        // Batching hides memory latency and amortizes the per-batch fixed
+        // cost (CQ poll, doorbell, descriptor maintenance).
+        let amortized = self.cfg.batch_overhead.mul_f64(1.0 / self.batch as f64);
+        let mut hold =
+            self.cfg.rpc_overhead + self.cfg.app_overhead + amortized + access * reads as u64;
+        if write_bytes > 0 {
+            let write_lat = match kind {
+                MemKind::Nvm => mem.config().nvm_write_latency,
+                _ => Span::from_ns(10), // store to write-back cache
+            };
+            hold += write_lat;
+        }
+        let start = self.cores.acquire(arrival, hold);
+        // Charge bandwidth (latency already accounted in `hold`).
+        for _ in 0..reads {
+            mem.access(start, MemReq { kind, access: AccessKind::Read, bytes: 64 });
+        }
+        if write_bytes > 0 {
+            mem.access(start, MemReq { kind, access: AccessKind::Write, bytes: write_bytes });
+        }
+        start + hold
+    }
+
+    /// Serves a request whose service time was computed externally
+    /// (CPU-collaborative paths); just occupies a core.
+    pub fn occupy(&mut self, arrival: SimTime, hold: Span) -> SimTime {
+        let start = self.cores.acquire(arrival, hold);
+        start + hold
+    }
+
+    /// Resets core occupancy.
+    pub fn reset(&mut self) {
+        self.cores.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambda_mem::MemConfig;
+
+    #[test]
+    fn batching_hides_latency() {
+        let cfg = CpuConfig::default();
+        let mem = MemorySystem::new(MemConfig::default(), true);
+        let batched = CpuServer::new(cfg.clone(), 1, 16);
+        let unbatched = CpuServer::new(cfg, 1, 1);
+        let fast = batched.effective_access(MemKind::Dram, &mem);
+        let slow = unbatched.effective_access(MemKind::Dram, &mem);
+        assert!(fast.as_ns_f64() * 4.0 < slow.as_ns_f64(), "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn single_core_request_rate() {
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut cpu = CpuServer::new(CpuConfig::default(), 1, 16);
+        // Microbenchmark shape: 3 dependent reads, small response.
+        let mut t = SimTime::ZERO;
+        let n = 10_000u64;
+        for _ in 0..n {
+            t = cpu.serve_request(SimTime::ZERO, 3, 64, MemKind::Dram, &mut mem);
+        }
+        let mops = n as f64 / t.as_secs_f64() / 1e6;
+        // Calibration target: ~5.5-8.5 Mops per core with batch 16 so that
+        // 8 cores land near the Rambda-polling equivalence of Fig. 7.
+        assert!((5.5..8.5).contains(&mops), "mops={mops}");
+    }
+
+    #[test]
+    fn nvm_requests_are_slower() {
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut cpu = CpuServer::new(CpuConfig::default(), 1, 16);
+        let d = cpu.serve_request(SimTime::ZERO, 3, 64, MemKind::Dram, &mut mem);
+        let mut mem2 = MemorySystem::new(MemConfig::default(), true);
+        let mut cpu2 = CpuServer::new(CpuConfig::default(), 1, 16);
+        let n = cpu2.serve_request(SimTime::ZERO, 3, 64, MemKind::Nvm, &mut mem2);
+        assert!(n > d);
+    }
+
+    #[test]
+    fn cores_add_capacity() {
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut one = CpuServer::new(CpuConfig::default(), 1, 16);
+        let mut eight = CpuServer::new(CpuConfig::default(), 8, 16);
+        let mut t1 = SimTime::ZERO;
+        let mut t8 = SimTime::ZERO;
+        for _ in 0..8000 {
+            t1 = t1.max(one.serve_request(SimTime::ZERO, 3, 0, MemKind::Dram, &mut mem));
+            t8 = t8.max(eight.serve_request(SimTime::ZERO, 3, 0, MemKind::Dram, &mut mem));
+        }
+        let ratio = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!((7.0..9.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad core count")]
+    fn too_many_cores_panics() {
+        CpuServer::new(CpuConfig::default(), 999, 16);
+    }
+}

@@ -1,0 +1,332 @@
+//! The Rambda user-space framework (Sec. III-E).
+//!
+//! An application registers itself with initialization information —
+//! connections to establish, the memory region of its data, the target
+//! accelerator — and the framework allocates the request/response rings,
+//! registers them with the RNIC (with the adaptive TPH policy), makes them
+//! visible to the accelerator, and sets up the cpoll region: pinned rings
+//! when they fit the local cache (Fig. 3(b)), a pointer buffer otherwise
+//! (Fig. 3(c)).
+
+use rambda_accel::DataLocation;
+use rambda_coherence::{CpollChecker, CpollError, RegionId};
+use rambda_mem::MemKind;
+use rambda_ring::{BufferPair, ClientEnd, PointerBuffer, ServerEnd, TailTracker};
+use rambda_rnic::{MrInfo, MrKey, QpId, RnicEndpoint};
+
+/// How the cpoll region was laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpollLayout {
+    /// The request rings themselves are pinned in the local cache
+    /// (small scale / small requests, Fig. 3(b)).
+    PinnedRings,
+    /// A 4 B-per-ring pointer buffer is pinned instead (large scale / large
+    /// requests, Fig. 3(c)).
+    PointerBuffer,
+}
+
+/// What an application hands to [`Framework::register_app`].
+#[derive(Debug, Clone)]
+pub struct AppRegistration {
+    /// Application name (diagnostics only).
+    pub name: String,
+    /// Client connections to establish.
+    pub connections: usize,
+    /// Entries per request/response ring (1024 in the prototype).
+    pub ring_entries: usize,
+    /// Bytes per ring entry (request size class).
+    pub entry_bytes: u64,
+    /// Where the application data lives.
+    pub data_location: DataLocation,
+}
+
+impl AppRegistration {
+    /// A conventional registration: 1024-entry rings of 64 B entries.
+    pub fn new(name: &str, connections: usize) -> Self {
+        AppRegistration {
+            name: name.to_string(),
+            connections,
+            ring_entries: 1024,
+            entry_bytes: 64,
+            data_location: DataLocation::HostDram,
+        }
+    }
+
+    /// Sets the ring geometry.
+    pub fn with_rings(mut self, entries: usize, entry_bytes: u64) -> Self {
+        self.ring_entries = entries;
+        self.entry_bytes = entry_bytes;
+        self
+    }
+
+    /// Sets the data location.
+    pub fn with_location(mut self, location: DataLocation) -> Self {
+        self.data_location = location;
+        self
+    }
+
+    /// Bytes of one request ring.
+    pub fn ring_bytes(&self) -> u64 {
+        self.ring_entries as u64 * self.entry_bytes
+    }
+}
+
+/// One established connection: the typed ring ends plus the RDMA-level
+/// identifiers the data path uses.
+#[derive(Debug)]
+pub struct Connection<Req, Resp> {
+    /// The connection's index within the app.
+    pub index: usize,
+    /// The client side (lives on the client machine).
+    pub client: ClientEnd<Req, Resp>,
+    /// The server side (drained by the accelerator/CPU).
+    pub server: ServerEnd<Req, Resp>,
+    /// The RDMA queue pair backing the connection.
+    pub qp: QpId,
+}
+
+/// A registered application: rings, regions, cpoll setup.
+#[derive(Debug)]
+pub struct RegisteredApp<Req, Resp> {
+    registration: AppRegistration,
+    /// Established connections (one buffer pair + QP each, never shared —
+    /// Sec. III-A).
+    pub connections: Vec<Connection<Req, Resp>>,
+    /// The RNIC region receiving request writes.
+    pub request_mr: MrKey,
+    /// The cpoll layout chosen.
+    pub layout: CpollLayout,
+    /// The registered cpoll region.
+    pub region: RegionId,
+    /// Pointer buffer (present only in [`CpollLayout::PointerBuffer`]).
+    pub pointer_buffer: Option<PointerBuffer>,
+    /// Per-ring tail trackers for coalesced-signal recovery.
+    pub trackers: Vec<TailTracker>,
+}
+
+impl<Req, Resp> RegisteredApp<Req, Resp> {
+    /// The registration this app was created from.
+    pub fn registration(&self) -> &AppRegistration {
+        &self.registration
+    }
+}
+
+/// Registration errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// Zero connections requested.
+    NoConnections,
+    /// Neither pinned rings nor a pointer buffer fit the local cache.
+    Cpoll(CpollError),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::NoConnections => write!(f, "an app needs at least one connection"),
+            RegisterError::Cpoll(e) => write!(f, "cpoll region setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// The framework: owns nothing but knows how to wire an app into a server's
+/// RNIC and accelerator.
+#[derive(Debug, Default)]
+pub struct Framework {
+    next_base: u64,
+}
+
+/// Virtual base address where the framework maps cpoll regions.
+const CPOLL_BASE: u64 = 0x4000_0000;
+
+impl Framework {
+    /// Creates a framework instance.
+    pub fn new() -> Self {
+        Framework { next_base: CPOLL_BASE }
+    }
+
+    fn allocate(&mut self, bytes: u64) -> u64 {
+        let base = self.next_base;
+        // Keep regions line-aligned and non-adjacent.
+        self.next_base += bytes.div_ceil(64) * 64 + 64;
+        base
+    }
+
+    /// Registers an application: allocates rings, registers the request
+    /// region with the RNIC (adaptive TPH per the data location), and sets
+    /// up the cpoll region — pinned rings if they fit, otherwise a pointer
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError::NoConnections`] for an empty registration;
+    /// [`RegisterError::Cpoll`] if even the pointer buffer cannot be pinned.
+    pub fn register_app<Req, Resp>(
+        &mut self,
+        registration: AppRegistration,
+        rnic: &mut RnicEndpoint,
+        cpoll: &mut CpollChecker,
+    ) -> Result<RegisteredApp<Req, Resp>, RegisterError> {
+        if registration.connections == 0 {
+            return Err(RegisterError::NoConnections);
+        }
+
+        // Rings + QPs, one pair per connection (never shared, Sec. III-A).
+        let connections = (0..registration.connections)
+            .map(|index| {
+                let (client, server) =
+                    BufferPair::with_capacity::<Req, Resp>(registration.ring_entries.next_power_of_two());
+                Connection { index, client, server, qp: rnic.create_qp() }
+            })
+            .collect();
+
+        // RNIC memory region with the adaptive TPH policy.
+        let dest = match registration.data_location {
+            DataLocation::LocalDdr => MemKind::AccelDdr,
+            DataLocation::LocalHbm => MemKind::AccelHbm,
+            DataLocation::HostNvm => MemKind::Nvm,
+            DataLocation::HostDram => MemKind::Dram,
+        };
+        let request_mr = rnic.register_region(MrInfo::adaptive(dest));
+
+        // cpoll region: try pinning the rings themselves first.
+        let rings_bytes = registration.connections as u64 * registration.ring_bytes();
+        let base = self.allocate(rings_bytes);
+        let (layout, region, pointer_buffer) =
+            match cpoll.register(base, rings_bytes, registration.ring_bytes()) {
+                Ok(region) => (CpollLayout::PinnedRings, region, None),
+                Err(CpollError::CacheOverflow { .. }) => {
+                    // Fall back to the pointer buffer: one padded line per
+                    // ring.
+                    let ptr_bytes = registration.connections as u64 * 64;
+                    let ptr_base = self.allocate(ptr_bytes);
+                    let region = cpoll
+                        .register(ptr_base, ptr_bytes, 64)
+                        .map_err(RegisterError::Cpoll)?;
+                    (
+                        CpollLayout::PointerBuffer,
+                        region,
+                        Some(PointerBuffer::new(registration.connections)),
+                    )
+                }
+                Err(e) => return Err(RegisterError::Cpoll(e)),
+            };
+
+        Ok(RegisteredApp {
+            trackers: vec![TailTracker::new(); registration.connections],
+            registration,
+            connections,
+            request_mr,
+            layout,
+            region,
+            pointer_buffer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Testbed;
+    use rambda_fabric::NodeId;
+
+    fn server_parts() -> (RnicEndpoint, CpollChecker) {
+        let tb = Testbed::default();
+        (
+            RnicEndpoint::new(NodeId(1), tb.rnic.clone(), tb.pcie.clone()),
+            CpollChecker::new(tb.cc.local_cache_bytes),
+        )
+    }
+
+    #[test]
+    fn small_apps_pin_their_rings() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        // 16 connections x 1KB rings = 16KB: fits the 64KB cache.
+        let reg = AppRegistration::new("kvs", 16).with_rings(16, 64);
+        let app = fw.register_app::<u64, u64>(reg, &mut rnic, &mut cpoll).unwrap();
+        assert_eq!(app.layout, CpollLayout::PinnedRings);
+        assert!(app.pointer_buffer.is_none());
+        assert_eq!(app.connections.len(), 16);
+        assert_eq!(app.trackers.len(), 16);
+    }
+
+    #[test]
+    fn large_apps_fall_back_to_the_pointer_buffer() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        // 1024-entry rings of 1KB entries: 1MB per ring — cannot pin.
+        let reg = AppRegistration::new("tx", 64).with_rings(1024, 1024);
+        let app = fw.register_app::<u64, u64>(reg, &mut rnic, &mut cpoll).unwrap();
+        assert_eq!(app.layout, CpollLayout::PointerBuffer);
+        let pb = app.pointer_buffer.as_ref().unwrap();
+        assert_eq!(pb.len(), 64);
+        assert_eq!(pb.region_bytes(), 256);
+    }
+
+    #[test]
+    fn connections_get_distinct_qps() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        let app = fw
+            .register_app::<u64, u64>(AppRegistration::new("a", 4).with_rings(16, 64), &mut rnic, &mut cpoll)
+            .unwrap();
+        let mut qps: Vec<_> = app.connections.iter().map(|c| c.qp).collect();
+        qps.dedup();
+        assert_eq!(qps.len(), 4);
+    }
+
+    #[test]
+    fn two_apps_do_not_overlap_regions() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        let a = fw
+            .register_app::<u64, u64>(AppRegistration::new("a", 8).with_rings(16, 64), &mut rnic, &mut cpoll)
+            .unwrap();
+        let b = fw
+            .register_app::<u64, u64>(AppRegistration::new("b", 8).with_rings(16, 64), &mut rnic, &mut cpoll)
+            .unwrap();
+        assert_ne!(a.region, b.region);
+        assert_ne!(a.request_mr, b.request_mr);
+    }
+
+    #[test]
+    fn registered_rings_work_end_to_end() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        let mut app = fw
+            .register_app::<u32, u32>(AppRegistration::new("echo", 2).with_rings(16, 64), &mut rnic, &mut cpoll)
+            .unwrap();
+        let conn = &mut app.connections[1];
+        conn.client.issue(41).unwrap();
+        let req = conn.server.next_request().unwrap();
+        conn.server.respond(req + 1).unwrap();
+        assert_eq!(conn.client.poll(), Some(42));
+    }
+
+    #[test]
+    fn zero_connections_rejected() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        let err = fw
+            .register_app::<u64, u64>(AppRegistration::new("x", 0), &mut rnic, &mut cpoll)
+            .unwrap_err();
+        assert_eq!(err, RegisterError::NoConnections);
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn nvm_apps_register_nvm_regions_without_tph() {
+        let (mut rnic, mut cpoll) = server_parts();
+        let mut fw = Framework::new();
+        let reg = AppRegistration::new("tx", 2)
+            .with_rings(16, 64)
+            .with_location(DataLocation::HostNvm);
+        let app = fw.register_app::<u64, u64>(reg, &mut rnic, &mut cpoll).unwrap();
+        let info = rnic.region(app.request_mr);
+        assert_eq!(info.dest, MemKind::Nvm);
+        assert!(!info.tph, "NVM regions must bypass DDIO (Fig. 6)");
+    }
+}

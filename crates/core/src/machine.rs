@@ -1,0 +1,56 @@
+//! A simulated machine: memory system + RNIC.
+
+use rambda_fabric::NodeId;
+use rambda_mem::MemorySystem;
+use rambda_rnic::RnicEndpoint;
+
+use crate::config::Testbed;
+
+/// One machine of the testbed (a client or a server).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The machine's network identity.
+    pub node: NodeId,
+    /// Host memory system.
+    pub mem: MemorySystem,
+    /// The machine's RNIC.
+    pub rnic: RnicEndpoint,
+}
+
+impl Machine {
+    /// Creates a machine from the testbed configuration.
+    ///
+    /// `ddio_enabled` is the global BIOS knob; Rambda's adaptive scheme
+    /// (Fig. 6) disables it and steers per-packet with TPH instead.
+    pub fn new(node: NodeId, testbed: &Testbed, ddio_enabled: bool) -> Self {
+        Machine {
+            node,
+            mem: MemorySystem::new(testbed.mem.clone(), ddio_enabled),
+            rnic: RnicEndpoint::new(node, testbed.rnic.clone(), testbed.pcie.clone()),
+        }
+    }
+
+    /// Resets all dynamic state.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        self.rnic.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambda_des::SimTime;
+    use rambda_mem::{MemKind, MemReq};
+
+    #[test]
+    fn machine_composes_mem_and_rnic() {
+        let tb = Testbed::default();
+        let mut m = Machine::new(NodeId(3), &tb, false);
+        assert_eq!(m.node, NodeId(3));
+        m.mem.access(SimTime::ZERO, MemReq::line_read(MemKind::Dram));
+        assert_eq!(m.mem.stats().dram_read_bytes, 64);
+        m.reset();
+        assert_eq!(m.mem.stats().dram_read_bytes, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Log-binned latency histogram.
+//!
+//! Resolution is ~1.5 % (64 log2 buckets × 16 linear sub-buckets over the
+//! picosecond range), which is plenty for reporting mean / p50 / p99 latency
+//! the way the paper does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Span;
+
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+const BUCKETS: usize = 64 * SUBS;
+
+/// A log-binned histogram of [`Span`] samples.
+///
+/// ```
+/// use rambda_des::{Histogram, Span};
+/// let mut h = Histogram::new();
+/// for us in 1..=100 {
+///     h.record(Span::from_us(us));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p99 = h.percentile(0.99);
+/// // Bucket resolution is ~6%.
+/// assert!(p99 >= Span::from_us(92) && p99 <= Span::from_us(105));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS], count: 0, sum_ps: 0, min_ps: u64::MAX, max_ps: 0 }
+    }
+
+    fn bucket_index(ps: u64) -> usize {
+        if ps < SUBS as u64 {
+            return ps as usize;
+        }
+        let exp = 63 - ps.leading_zeros();
+        let sub = (ps >> (exp - SUB_BITS)) & (SUBS as u64 - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUBS + sub as usize
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUBS {
+            return idx as u64;
+        }
+        let exp = (idx / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUBS) as u64;
+        (1u64 << exp) | (sub << (exp - SUB_BITS))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Span) {
+        let ps = sample.as_ps();
+        let idx = Self::bucket_index(ps).min(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the samples (exact, not binned).
+    ///
+    /// Returns [`Span::ZERO`] if the histogram is empty.
+    pub fn mean(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            Span::from_ps((self.sum_ps / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest recorded sample, or [`Span::ZERO`] if empty.
+    pub fn min(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            Span::from_ps(self.min_ps)
+        }
+    }
+
+    /// Largest recorded sample, or [`Span::ZERO`] if empty.
+    pub fn max(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            Span::from_ps(self.max_ps)
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.99` for p99), to bucket resolution.
+    ///
+    /// Returns [`Span::ZERO`] if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Span {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return Span::ZERO;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Span::from_ps(Self::bucket_value(idx).min(self.max_ps).max(self.min_ps));
+            }
+        }
+        Span::from_ps(self.max_ps)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min_ps = self.min_ps.min(other.min_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum_ps = 0;
+        self.min_ps = u64::MAX;
+        self.max_ps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), Span::ZERO);
+        assert_eq!(h.percentile(0.99), Span::ZERO);
+        assert_eq!(h.min(), Span::ZERO);
+        assert_eq!(h.max(), Span::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(Span::from_ns(123));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Span::from_ns(123));
+        let p = h.percentile(0.5);
+        let err = (p.as_ps() as f64 - 123_000.0).abs() / 123_000.0;
+        assert!(err < 0.07, "p50={p}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(Span::from_ns(100));
+        h.record(Span::from_ns(300));
+        assert_eq!(h.mean(), Span::from_ns(200));
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Span::from_ns(i));
+        }
+        let mut last = Span::ZERO;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "q={q} gave {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn p99_accuracy() {
+        let mut h = Histogram::new();
+        for i in 1..=100_000u64 {
+            h.record(Span::from_ns(i));
+        }
+        let p99 = h.percentile(0.99).as_ns_f64();
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Span::from_ns(10));
+        b.record(Span::from_ns(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Span::from_ns(20));
+        assert_eq!(a.min(), Span::from_ns(10));
+        assert_eq!(a.max(), Span::from_ns(30));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(Span::from_ns(10));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), Span::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn bucket_round_trip_error_bounded() {
+        for ps in [1u64, 15, 16, 17, 1000, 123_456, 999_999_999, u64::MAX / 2] {
+            let idx = Histogram::bucket_index(ps);
+            let v = Histogram::bucket_value(idx);
+            assert!(v <= ps, "bucket value {v} exceeds sample {ps}");
+            let err = (ps - v) as f64 / ps as f64;
+            assert!(err < 1.0 / SUBS as f64 + 1e-12, "ps={ps} err={err}");
+        }
+    }
+}

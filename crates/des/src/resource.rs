@@ -1,0 +1,369 @@
+//! FIFO resources with busy-until semantics.
+//!
+//! The simulation style used throughout the workspace is *time-advancing
+//! tokens*: a request carries its current timestamp through a pipeline of
+//! resources; each resource returns when the request could actually start
+//! (and advances its own busy-until bookkeeping). Queueing delay — and hence
+//! tail latency under load — falls out of the bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimTime, Span};
+
+/// A `k`-way FIFO server: `k` identical units, each serving one request at a
+/// time (CPU cores, APU outstanding-request slots, ARM cores, ...).
+///
+/// ```
+/// use rambda_des::{Server, SimTime, Span};
+/// let mut cores = Server::new(2);
+/// let s = Span::from_ns(100);
+/// assert_eq!(cores.acquire(SimTime::ZERO, s), SimTime::ZERO);
+/// assert_eq!(cores.acquire(SimTime::ZERO, s), SimTime::ZERO);
+/// // Both units busy until 100ns; third request queues.
+/// assert_eq!(cores.acquire(SimTime::ZERO, s), SimTime::from_ns(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    free: BinaryHeap<Reverse<SimTime>>,
+    units: usize,
+}
+
+impl Server {
+    /// Creates a server with `units` parallel units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn new(units: usize) -> Self {
+        assert!(units > 0, "a Server needs at least one unit");
+        let mut free = BinaryHeap::with_capacity(units);
+        for _ in 0..units {
+            free.push(Reverse(SimTime::ZERO));
+        }
+        Server { free, units }
+    }
+
+    /// Number of parallel units.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Acquires a unit at or after `at`, holding it for `hold`.
+    ///
+    /// Returns the service *start* time (`>= at`); the caller computes its
+    /// own completion as `start + hold`.
+    pub fn acquire(&mut self, at: SimTime, hold: Span) -> SimTime {
+        let Reverse(free_at) = self.free.pop().expect("server has at least one unit");
+        let start = at.max(free_at);
+        self.free.push(Reverse(start + hold));
+        start
+    }
+
+    /// The earliest instant any unit is free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.free.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Resets all units to free-at-zero.
+    pub fn reset(&mut self) {
+        let units = self.units;
+        self.free.clear();
+        for _ in 0..units {
+            self.free.push(Reverse(SimTime::ZERO));
+        }
+    }
+}
+
+/// Result of pushing bytes through a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the last byte has left the sender (sender may continue then).
+    pub depart: SimTime,
+    /// When the last byte arrives at the receiver (depart + propagation).
+    pub arrive: SimTime,
+}
+
+/// A serializing bandwidth resource with propagation latency: an Ethernet
+/// port, a PCIe link, a UPI/CXL hop, or an aggregate DRAM channel.
+///
+/// Transfers serialize in FIFO order at `bytes_per_sec`; each transfer then
+/// takes an extra `latency` to propagate.
+///
+/// ```
+/// use rambda_des::{Link, SimTime, Span};
+/// // 1 GB/s, 100ns propagation: 1000 bytes take 1us to serialize.
+/// let mut l = Link::new(1.0e9, Span::from_ns(100));
+/// let t = l.transfer(SimTime::ZERO, 1000);
+/// assert_eq!(t.depart, SimTime::from_ns(1000));
+/// assert_eq!(t.arrive, SimTime::from_ns(1100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bytes_per_sec: f64,
+    latency: Span,
+    /// Fluid-queue state: outstanding bytes not yet drained at `last_time`.
+    backlog_bytes: f64,
+    last_time: SimTime,
+    bytes_moved: u64,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth (bytes/second) and
+    /// propagation latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn new(bytes_per_sec: f64, latency: Span) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "link bandwidth must be positive, got {bytes_per_sec}"
+        );
+        Link {
+            bytes_per_sec,
+            latency,
+            backlog_bytes: 0.0,
+            last_time: SimTime::ZERO,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The configured bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// The configured propagation latency.
+    pub fn latency(&self) -> Span {
+        self.latency
+    }
+
+    /// Serialization time for `bytes` on this link (no queueing).
+    pub fn serialization(&self, bytes: u64) -> Span {
+        Span::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Pushes `bytes` through the link at or after `at`.
+    ///
+    /// The link is a *fluid queue*: backlog drains at the configured
+    /// bandwidth; a transfer waits behind the backlog present when it
+    /// arrives. Unlike a strict busy-until resource, this tolerates
+    /// reservations arriving out of timestamp order (concurrent in-flight
+    /// requests simulated one after another), which only share bandwidth
+    /// rather than strictly serializing.
+    pub fn transfer(&mut self, at: SimTime, bytes: u64) -> Transfer {
+        // Drain the backlog over the elapsed simulated time.
+        if at > self.last_time {
+            let elapsed = (at - self.last_time).as_secs_f64();
+            self.backlog_bytes = (self.backlog_bytes - elapsed * self.bytes_per_sec).max(0.0);
+            self.last_time = at;
+        }
+        let queue_delay = Span::from_secs_f64(self.backlog_bytes / self.bytes_per_sec);
+        self.backlog_bytes += bytes as f64;
+        self.bytes_moved = self.bytes_moved.saturating_add(bytes);
+        let depart = at + queue_delay + self.serialization(bytes);
+        Transfer { depart, arrive: depart + self.latency }
+    }
+
+    /// Total bytes ever pushed through the link.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Average consumed bandwidth (bytes/sec) over `[SimTime::ZERO, now]`.
+    pub fn consumed_bandwidth(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_moved as f64 / secs
+        }
+    }
+
+    /// The instant the current backlog fully drains.
+    pub fn next_free(&self) -> SimTime {
+        self.last_time + Span::from_secs_f64(self.backlog_bytes / self.bytes_per_sec)
+    }
+
+    /// Resets occupancy and the byte counter.
+    pub fn reset(&mut self) {
+        self.backlog_bytes = 0.0;
+        self.last_time = SimTime::ZERO;
+        self.bytes_moved = 0;
+    }
+}
+
+/// A fixed per-operation issue-rate limiter.
+///
+/// Models resources whose constraint is *operations per second* rather than
+/// bytes per second — e.g. the Rambda prototype's 400 MHz soft coherence
+/// controller, which issues memory requests serially (Sec. V of the paper).
+///
+/// ```
+/// use rambda_des::{Throttle, SimTime, Span};
+/// let mut t = Throttle::new(Span::from_ns(10));
+/// assert_eq!(t.admit(SimTime::ZERO), SimTime::ZERO);
+/// assert_eq!(t.admit(SimTime::ZERO), SimTime::from_ns(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Throttle {
+    gap: Span,
+    /// Fluid-queue state: operations admitted but not yet drained.
+    backlog_ops: f64,
+    last_time: SimTime,
+    admitted: u64,
+}
+
+impl Throttle {
+    /// Creates a throttle admitting one operation per `gap`.
+    pub fn new(gap: Span) -> Self {
+        Throttle { gap, backlog_ops: 0.0, last_time: SimTime::ZERO, admitted: 0 }
+    }
+
+    /// Creates a throttle from an operations-per-second rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_sec` is not strictly positive and finite.
+    pub fn from_rate(ops_per_sec: f64) -> Self {
+        assert!(
+            ops_per_sec.is_finite() && ops_per_sec > 0.0,
+            "throttle rate must be positive, got {ops_per_sec}"
+        );
+        Throttle::new(Span::from_secs_f64(1.0 / ops_per_sec))
+    }
+
+    /// The minimum gap between admitted operations.
+    pub fn gap(&self) -> Span {
+        self.gap
+    }
+
+    /// Admits one operation at or after `at`; returns the admit time.
+    ///
+    /// Like [`Link`], the throttle is a fluid queue tolerant of
+    /// out-of-timestamp-order admissions.
+    pub fn admit(&mut self, at: SimTime) -> SimTime {
+        if self.gap.is_zero() {
+            self.admitted += 1;
+            return at;
+        }
+        if at > self.last_time {
+            let elapsed = (at - self.last_time).as_secs_f64();
+            self.backlog_ops = (self.backlog_ops - elapsed / self.gap.as_secs_f64()).max(0.0);
+            self.last_time = at;
+        }
+        let start = at + self.gap.mul_f64(self.backlog_ops);
+        self.backlog_ops += 1.0;
+        self.admitted += 1;
+        start
+    }
+
+    /// Number of operations admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Resets occupancy and the counter.
+    pub fn reset(&mut self) {
+        self.backlog_ops = 0.0;
+        self.last_time = SimTime::ZERO;
+        self.admitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_queues_in_fifo_order() {
+        let mut s = Server::new(1);
+        let hold = Span::from_ns(10);
+        assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::ZERO);
+        assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::from_ns(10));
+        assert_eq!(s.acquire(SimTime::from_ns(5), hold), SimTime::from_ns(20));
+        // Arrival after the backlog drains starts immediately.
+        assert_eq!(s.acquire(SimTime::from_ns(100), hold), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn server_parallel_units() {
+        let mut s = Server::new(3);
+        let hold = Span::from_ns(10);
+        for _ in 0..3 {
+            assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::ZERO);
+        }
+        assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::from_ns(10));
+        assert_eq!(s.units(), 3);
+    }
+
+    #[test]
+    fn server_reset() {
+        let mut s = Server::new(1);
+        s.acquire(SimTime::ZERO, Span::from_us(10));
+        s.reset();
+        assert_eq!(s.acquire(SimTime::ZERO, Span::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn server_zero_units_panics() {
+        let _ = Server::new(0);
+    }
+
+    #[test]
+    fn link_serializes_back_to_back() {
+        let mut l = Link::new(1.0e9, Span::from_ns(50));
+        let a = l.transfer(SimTime::ZERO, 500);
+        let b = l.transfer(SimTime::ZERO, 500);
+        assert_eq!(a.depart, SimTime::from_ns(500));
+        assert_eq!(b.depart, SimTime::from_ns(1000));
+        assert_eq!(b.arrive, SimTime::from_ns(1050));
+        assert_eq!(l.bytes_moved(), 1000);
+    }
+
+    #[test]
+    fn link_idle_gap_is_not_charged() {
+        let mut l = Link::new(1.0e9, Span::ZERO);
+        l.transfer(SimTime::ZERO, 100);
+        let t = l.transfer(SimTime::from_us(5), 100);
+        assert_eq!(t.depart, SimTime::from_us(5) + Span::from_ns(100));
+    }
+
+    #[test]
+    fn link_consumed_bandwidth() {
+        let mut l = Link::new(1.0e9, Span::ZERO);
+        l.transfer(SimTime::ZERO, 1_000_000);
+        let bw = l.consumed_bandwidth(SimTime::from_us(1_000));
+        assert!((bw - 1.0e9).abs() / 1.0e9 < 1e-9, "bw={bw}");
+        assert_eq!(l.consumed_bandwidth(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throttle_enforces_gap() {
+        let mut t = Throttle::from_rate(1.0e8); // one per 10ns
+        assert_eq!(t.gap(), Span::from_ns(10));
+        assert_eq!(t.admit(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(t.admit(SimTime::from_ns(3)), SimTime::from_ns(10));
+        assert_eq!(t.admit(SimTime::from_ns(40)), SimTime::from_ns(40));
+        assert_eq!(t.admitted(), 3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut l = Link::new(1.0e9, Span::ZERO);
+        l.transfer(SimTime::ZERO, 100);
+        l.reset();
+        assert_eq!(l.bytes_moved(), 0);
+        assert_eq!(l.next_free(), SimTime::ZERO);
+        let mut l2 = Link::new(1.0e9, Span::ZERO);
+        l2.transfer(SimTime::ZERO, 1000);
+        assert_eq!(l2.next_free(), SimTime::from_ns(1000));
+
+        let mut th = Throttle::new(Span::from_ns(10));
+        th.admit(SimTime::ZERO);
+        th.reset();
+        assert_eq!(th.admitted(), 0);
+    }
+}

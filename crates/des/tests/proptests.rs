@@ -1,0 +1,97 @@
+//! Property-based tests for the discrete-event core.
+
+use proptest::prelude::*;
+use rambda_des::{Histogram, Link, Server, SimTime, Span, Throttle};
+
+proptest! {
+    /// Fluid-queue conservation for time-ordered arrivals: the link never
+    /// moves bytes faster than its rate. (Out-of-timestamp-order
+    /// reservations intentionally share bandwidth instead — see the Link
+    /// docs — so the invariant is stated over ordered arrivals.)
+    #[test]
+    fn link_never_exceeds_bandwidth(mut transfers in proptest::collection::vec((0u64..1000, 1u64..100_000), 1..200)) {
+        transfers.sort_by_key(|&(at, _)| at);
+        let bw = 1.0e9;
+        let mut link = Link::new(bw, Span::ZERO);
+        let mut last_depart = SimTime::ZERO;
+        let mut total_bytes = 0u64;
+        for (at_us, bytes) in transfers {
+            let t = link.transfer(SimTime::from_us(at_us), bytes);
+            total_bytes += bytes;
+            prop_assert!(t.depart >= SimTime::from_us(at_us));
+            last_depart = last_depart.max(t.depart);
+        }
+        let min_time = total_bytes as f64 / bw;
+        // All bytes can only have finished at or after the fluid minimum
+        // (arrivals start at time >= 0).
+        prop_assert!(last_depart.as_secs_f64() >= min_time * 0.999);
+        prop_assert_eq!(link.bytes_moved(), total_bytes);
+    }
+
+    /// Monotone arrivals see monotone departures (FIFO within the fluid
+    /// model when arrivals are ordered).
+    #[test]
+    fn link_is_fifo_for_ordered_arrivals(gaps in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut link = Link::new(1.0e9, Span::from_ns(10));
+        let mut at = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for g in gaps {
+            at = at + Span::from_ns(g);
+            let t = link.transfer(at, 500);
+            prop_assert!(t.depart >= last);
+            last = t.depart;
+        }
+    }
+
+    /// A k-unit server never runs more than k requests concurrently.
+    #[test]
+    fn server_capacity_invariant(holds in proptest::collection::vec(1u64..1000, 1..200), units in 1usize..8) {
+        let mut server = Server::new(units);
+        let mut completions: Vec<(SimTime, SimTime)> = Vec::new();
+        for h in holds {
+            let hold = Span::from_ns(h);
+            let start = server.acquire(SimTime::ZERO, hold);
+            completions.push((start, start + hold));
+        }
+        // At any start instant, count overlapping service intervals.
+        for &(s, _) in &completions {
+            let overlapping = completions
+                .iter()
+                .filter(|&&(a, b)| a <= s && s < b)
+                .count();
+            prop_assert!(overlapping <= units, "{overlapping} > {units} units busy");
+        }
+    }
+
+    /// Throttle admission rate never exceeds 1/gap in the long run.
+    #[test]
+    fn throttle_rate_invariant(n in 1u64..500) {
+        let mut t = Throttle::new(Span::from_ns(10));
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = t.admit(SimTime::ZERO);
+        }
+        // n admissions take at least (n-1) * gap.
+        prop_assert!(last >= SimTime::from_ns((n - 1) * 10));
+    }
+
+    /// Histogram percentiles bracket the true quantiles within bucket
+    /// resolution for arbitrary sample sets.
+    #[test]
+    fn histogram_percentile_accuracy(mut samples in proptest::collection::vec(1u64..10_000_000, 10..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Span::from_ns(s));
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((samples.len() as f64) * q).ceil() as usize - 1;
+            let exact = samples[rank.min(samples.len() - 1)] as f64;
+            let approx = h.percentile(q).as_ns_f64();
+            let err = (approx - exact).abs() / exact;
+            prop_assert!(err < 0.08, "q={q} exact={exact} approx={approx}");
+        }
+        prop_assert!(h.min() <= h.percentile(0.5));
+        prop_assert!(h.percentile(0.5) <= h.max());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: MERCI memoization is a pure optimization — same
+//! results, never more lookups.
+
+use proptest::prelude::*;
+use rambda_dlrm::merci::{MemoTable, ReductionPlan};
+use rambda_dlrm::model::{EmbeddingTable, ReduceOp};
+use rambda_workloads::DlrmQuery;
+
+const ROWS: usize = 2048;
+const DIM: usize = 16;
+
+fn setup() -> (EmbeddingTable, MemoTable) {
+    let table = EmbeddingTable::synthetic(ROWS, DIM);
+    let memo = MemoTable::build(&table);
+    (table, memo)
+}
+
+proptest! {
+    /// The memoized reduction equals the naive reduction for any feature
+    /// multiset (up to float associativity).
+    #[test]
+    fn memoized_reduce_is_exact(features in proptest::collection::vec(0u32..ROWS as u32, 1..64)) {
+        let (table, memo) = setup();
+        let q = DlrmQuery { features: features.clone() };
+        let plan = ReductionPlan::build(&q, &memo);
+        let fast = plan.reduce(&table, &memo);
+        let naive = table.reduce(&features, ReduceOp::Sum);
+        for (a, b) in fast.iter().zip(&naive) {
+            prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// The plan never performs more lookups than the naive reduction and
+    /// always covers every feature exactly once.
+    #[test]
+    fn plans_conserve_features(features in proptest::collection::vec(0u32..ROWS as u32, 1..64)) {
+        let (_, memo) = setup();
+        let q = DlrmQuery { features: features.clone() };
+        let plan = ReductionPlan::build(&q, &memo);
+        prop_assert!(plan.lookups() <= features.len());
+        prop_assert_eq!(plan.base_lookups(), features.len());
+        // Reconstruct the covered multiset.
+        let mut covered: Vec<u32> = plan.singles.clone();
+        for p in &plan.memo_pairs {
+            covered.push(2 * p);
+            covered.push(2 * p + 1);
+        }
+        covered.sort_unstable();
+        let mut want = features;
+        want.sort_unstable();
+        prop_assert_eq!(covered, want);
+    }
+
+    /// Reduction operators are order-insensitive for max/min.
+    #[test]
+    fn minmax_are_permutation_invariant(mut features in proptest::collection::vec(0u32..ROWS as u32, 2..32),
+                                        seed in any::<u64>()) {
+        let (table, _) = setup();
+        let a_max = table.reduce(&features, ReduceOp::Max);
+        let a_min = table.reduce(&features, ReduceOp::Min);
+        // Deterministic shuffle.
+        let mut rng = rambda_des::SimRng::seed(seed);
+        rng.shuffle(&mut features);
+        let b_max = table.reduce(&features, ReduceOp::Max);
+        let b_min = table.reduce(&features, ReduceOp::Min);
+        prop_assert_eq!(a_max, b_max);
+        prop_assert_eq!(a_min, b_min);
+    }
+}

@@ -1,0 +1,20 @@
+//! Network and PCIe link models.
+//!
+//! Two transports carry every byte in the paper's evaluation:
+//!
+//! * the 25 GbE RoCEv2 fabric between clients and servers ([`Network`]),
+//! * the PCIe link between a device (RNIC / Smart NIC) and the host
+//!   ([`PcieLink`]), including the MMIO doorbell path and the TPH bit whose
+//!   routing consequences `rambda-mem` models.
+//!
+//! Both are FIFO bandwidth resources (queueing included) plus propagation
+//! latency, built on [`rambda_des::Link`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod net;
+mod pcie;
+
+pub use net::{NetConfig, Network, NodeId};
+pub use pcie::{PcieConfig, PcieLink};

@@ -1,0 +1,173 @@
+//! The 25 GbE RoCEv2 fabric between machines.
+
+use std::collections::HashMap;
+
+use rambda_des::{Link, SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a machine (or a Smart-NIC port acting as a replica, as in the
+/// Fig. 11 topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+/// Network parameters (defaults: Tab. II's 25 Gb/s ConnectX-6 ports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Per-port bandwidth in bytes/second (25 Gb/s ⇒ 3.125 GB/s).
+    pub port_bandwidth: f64,
+    /// One-way wire + switch latency between any two nodes.
+    pub wire_latency: Span,
+    /// Effective per-message wire overhead in bytes: Ethernet + IP + UDP +
+    /// IB BTH/RETH headers, FCS, preamble/IFG, plus the amortized ACK
+    /// traffic of reliable-connection RoCEv2. Calibrated so one 25 Gb/s
+    /// port sustains ~12 M 64 B messages/s, matching the network-bound KVS
+    /// regime of Sec. VI-B.
+    pub header_bytes: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            port_bandwidth: 25.0e9 / 8.0,
+            wire_latency: Span::from_ns(850),
+            header_bytes: 200,
+        }
+    }
+}
+
+/// A switched network of nodes, each with one full-duplex port.
+///
+/// ```
+/// use rambda_des::SimTime;
+/// use rambda_fabric::{NetConfig, Network, NodeId};
+///
+/// let mut net = Network::new(NetConfig::default());
+/// let (client, server) = (NodeId(0), NodeId(1));
+/// let arrive = net.send(SimTime::ZERO, client, server, 64);
+/// assert!(arrive.as_ns_f64() > 850.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    egress: HashMap<NodeId, Link>,
+    ingress: HashMap<NodeId, Link>,
+    messages: u64,
+}
+
+impl Network {
+    /// Creates an empty network; ports materialize on first use.
+    pub fn new(cfg: NetConfig) -> Self {
+        Network { cfg, egress: HashMap::new(), ingress: HashMap::new(), messages: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    fn port<'a>(map: &'a mut HashMap<NodeId, Link>, cfg: &NetConfig, node: NodeId) -> &'a mut Link {
+        map.entry(node).or_insert_with(|| Link::new(cfg.port_bandwidth, Span::ZERO))
+    }
+
+    /// Sends `bytes` of payload from `from` to `to`; returns when the last
+    /// byte is available at the receiver (after egress serialization, the
+    /// wire, and ingress serialization).
+    pub fn send(&mut self, at: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        assert_ne!(from, to, "loopback messages do not cross the network");
+        let framed = bytes + self.cfg.header_bytes;
+        let out = Self::port(&mut self.egress, &self.cfg, from).transfer(at, framed).depart;
+        let on_wire = out + self.cfg.wire_latency;
+        let arrived = Self::port(&mut self.ingress, &self.cfg, to).transfer(on_wire, framed).depart;
+        self.messages += 1;
+        arrived
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes (framed) that left `node`'s egress port so far.
+    pub fn egress_bytes(&self, node: NodeId) -> u64 {
+        self.egress.get(&node).map(|l| l.bytes_moved()).unwrap_or(0)
+    }
+
+    /// Average egress bandwidth of `node` over `[0, now]`.
+    pub fn egress_bandwidth(&self, node: NodeId, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.egress_bytes(node) as f64 / secs
+        }
+    }
+
+    /// Resets all port occupancy and counters.
+    pub fn reset(&mut self) {
+        self.egress.clear();
+        self.ingress.clear();
+        self.messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_is_wire_dominated() {
+        let mut net = Network::new(NetConfig::default());
+        let t = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        let ns = t.as_ns_f64();
+        // 264 framed bytes at 3.125 GB/s ≈ 85ns x2 + 850ns wire.
+        assert!((950.0..1100.0).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn port_bandwidth_limits_throughput() {
+        let mut net = Network::new(NetConfig::default());
+        let mut last = SimTime::ZERO;
+        let n = 10_000u64;
+        for _ in 0..n {
+            last = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        }
+        let achieved = (n as f64 * 1200.0) / last.as_secs_f64();
+        let port = 25.0e9 / 8.0;
+        assert!((achieved - port).abs() / port < 0.01, "achieved={achieved}");
+    }
+
+    #[test]
+    fn distinct_senders_use_distinct_ports() {
+        let mut net = Network::new(NetConfig::default());
+        // Two senders to two receivers do not serialize on each other.
+        let a = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000);
+        let b = net.send(SimTime::ZERO, NodeId(1), NodeId(3), 1_000_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn receiver_port_is_shared() {
+        let mut net = Network::new(NetConfig::default());
+        // Two senders into one receiver serialize at the receiver's port.
+        let a = net.send(SimTime::ZERO, NodeId(0), NodeId(9), 1_000_000);
+        let b = net.send(SimTime::ZERO, NodeId(1), NodeId(9), 1_000_000);
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_panics() {
+        Network::new(NetConfig::default()).send(SimTime::ZERO, NodeId(1), NodeId(1), 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut net = Network::new(NetConfig::default());
+        net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        assert_eq!(net.messages(), 1);
+        assert_eq!(net.egress_bytes(NodeId(0)), 300);
+        assert!(net.egress_bandwidth(NodeId(0), SimTime::from_us(1)) > 0.0);
+        net.reset();
+        assert_eq!(net.messages(), 0);
+    }
+}

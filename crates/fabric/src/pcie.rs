@@ -1,0 +1,187 @@
+//! The PCIe link between a device and its host.
+//!
+//! This is the cost the paper's whole design works around: Smart-NIC cores
+//! reaching host memory (Fig. 1), doorbell MMIO writes, and inbound DMA
+//! whose destination the TPH bit steers (Fig. 5).
+
+use rambda_des::{Link, SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+/// PCIe parameters (defaults: a Gen4 x16 device link with the one-sided
+/// RDMA round-trip costs measured on BlueField-2-class hardware).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcieConfig {
+    /// Link bandwidth per direction, bytes/second.
+    pub bandwidth: f64,
+    /// One-way TLP latency through the physical link, MMU/IOMMU, DMA
+    /// engine, and I/O controller.
+    pub one_way_latency: Span,
+    /// Extra per-operation device-side processing for a one-sided RDMA
+    /// read/write issued by on-NIC cores via direct verbs.
+    pub verbs_overhead: Span,
+    /// Cost of an MMIO register write (doorbell) from the host CPU,
+    /// including the surrounding `sfence`.
+    pub mmio_write_cost: Span,
+    /// One-way latency of a posted MMIO write (shorter than a full DMA
+    /// transaction: no IOMMU walk or DMA-engine turnaround).
+    pub mmio_latency: Span,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        PcieConfig {
+            bandwidth: 16.0e9,
+            one_way_latency: Span::from_ns(700),
+            verbs_overhead: Span::from_ns(250),
+            mmio_write_cost: Span::from_ns(250),
+            mmio_latency: Span::from_ns(300),
+        }
+    }
+}
+
+/// A full-duplex PCIe link with FIFO queueing per direction.
+///
+/// ```
+/// use rambda_des::SimTime;
+/// use rambda_fabric::{PcieConfig, PcieLink};
+///
+/// let mut pcie = PcieLink::new(PcieConfig::default());
+/// // A 64 B one-sided read from the device to host memory: ~1.7us.
+/// let done = pcie.device_read(SimTime::ZERO, 64);
+/// assert!(done.as_us_f64() > 1.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcieLink {
+    cfg: PcieConfig,
+    upstream: Link,   // device -> host
+    downstream: Link, // host -> device
+}
+
+impl PcieLink {
+    /// Creates a link from a configuration.
+    pub fn new(cfg: PcieConfig) -> Self {
+        PcieLink {
+            upstream: Link::new(cfg.bandwidth, cfg.one_way_latency),
+            downstream: Link::new(cfg.bandwidth, cfg.one_way_latency),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PcieConfig {
+        &self.cfg
+    }
+
+    /// A device-initiated read of `bytes` from host memory (one-sided RDMA
+    /// read over direct verbs): request TLP up, completion with data down.
+    /// Returns when the data is at the device. Host media time is charged
+    /// separately by the caller's memory model.
+    pub fn device_read(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let issued = at + self.cfg.verbs_overhead;
+        let req_at_host = self.upstream.transfer(issued, 32).arrive;
+        self.downstream.transfer(req_at_host, bytes).arrive
+    }
+
+    /// A device-initiated posted write of `bytes` to host memory. Returns
+    /// when the TLP has been delivered to the host's I/O controller (the
+    /// write is posted; the device does not wait for media).
+    pub fn device_write(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let issued = at + self.cfg.verbs_overhead;
+        self.upstream.transfer(issued, bytes).arrive
+    }
+
+    /// A host MMIO write to a device register (doorbell). Returns when the
+    /// device observes it; the CPU itself is stalled for
+    /// [`mmio_write_cost`](PcieConfig::mmio_write_cost).
+    pub fn mmio_write(&mut self, at: SimTime) -> SimTime {
+        let t = self.downstream.transfer(at + self.cfg.mmio_write_cost, 8);
+        t.depart + self.cfg.mmio_latency
+    }
+
+    /// A device DMA delivering `bytes` toward host memory/LLC, without verbs
+    /// overhead (the RNIC's own datapath). Returns TLP delivery time.
+    pub fn dma_to_host(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        self.upstream.transfer(at, bytes).arrive
+    }
+
+    /// A host-to-device DMA (e.g. the RNIC fetching a WQE by DMA).
+    pub fn dma_to_device(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        self.downstream.transfer(at, bytes).arrive
+    }
+
+    /// Upstream (device→host) bytes moved.
+    pub fn upstream_bytes(&self) -> u64 {
+        self.upstream.bytes_moved()
+    }
+
+    /// Downstream (host→device) bytes moved.
+    pub fn downstream_bytes(&self) -> u64 {
+        self.downstream.bytes_moved()
+    }
+
+    /// Resets occupancy and counters.
+    pub fn reset(&mut self) {
+        self.upstream.reset();
+        self.downstream.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_read_round_trip_cost() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        let t = p.device_read(SimTime::ZERO, 64);
+        // 250ns verbs + 700ns up + 700ns down + serialization ≈ 1.66us.
+        let us = t.as_us_f64();
+        assert!((1.6..1.8).contains(&us), "{us}");
+    }
+
+    #[test]
+    fn device_write_is_posted_one_way() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        let w = p.device_write(SimTime::ZERO, 64);
+        let mut p2 = PcieLink::new(PcieConfig::default());
+        let r = p2.device_read(SimTime::ZERO, 64);
+        assert!(w < r, "posted write {w} should beat round-trip read {r}");
+    }
+
+    #[test]
+    fn mmio_write_cost() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        let t = p.mmio_write(SimTime::ZERO);
+        let ns = t.as_ns_f64();
+        // 250ns CPU-side + ~300ns posted-write latency.
+        assert!((540.0..600.0).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn directions_do_not_contend() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        p.dma_to_host(SimTime::ZERO, 1_000_000);
+        let t = p.dma_to_device(SimTime::ZERO, 64);
+        // Downstream unaffected by the big upstream transfer.
+        assert!(t.as_ns_f64() < 710.0, "{}", t.as_ns_f64());
+    }
+
+    #[test]
+    fn same_direction_serializes() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        let a = p.dma_to_host(SimTime::ZERO, 1_000_000);
+        let b = p.dma_to_host(SimTime::ZERO, 1_000_000);
+        assert!(b > a);
+        assert_eq!(p.upstream_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = PcieLink::new(PcieConfig::default());
+        p.dma_to_host(SimTime::ZERO, 100);
+        p.dma_to_device(SimTime::ZERO, 100);
+        p.reset();
+        assert_eq!(p.upstream_bytes(), 0);
+        assert_eq!(p.downstream_bytes(), 0);
+    }
+}

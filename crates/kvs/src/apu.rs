@@ -1,0 +1,167 @@
+//! The Rambda-KV APU (Sec. IV-A): pipelined hash unit + data-structure
+//! walker over the MICA-style store.
+
+use rambda_accel::{Apu, ApuCtx};
+
+use crate::store::{KvStore, OpTrace};
+
+/// A KVS request as delivered through the request ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvRequest {
+    /// Read a key.
+    Get {
+        /// The key.
+        key: u64,
+    },
+    /// Insert or update a key.
+    Put {
+        /// The key.
+        key: u64,
+        /// The value payload.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+}
+
+/// A KVS response written back through the RNIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// GET result.
+    Value(Option<Vec<u8>>),
+    /// PUT acknowledgment.
+    Stored,
+    /// DELETE result: whether the key existed.
+    Deleted(bool),
+}
+
+/// The KV APU: owns the store and walks it per request, charging the
+/// traced memory accesses through the context.
+#[derive(Debug)]
+pub struct KvApu {
+    store: KvStore,
+}
+
+impl KvApu {
+    /// Wraps a store.
+    pub fn new(store: KvStore) -> Self {
+        KvApu { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Mutable access to the store (pre-loading).
+    pub fn store_mut(&mut self) -> &mut KvStore {
+        &mut self.store
+    }
+
+    fn charge(ctx: &mut ApuCtx<'_>, trace: &OpTrace) {
+        // Hash unit is pipelined (one ALU op); the walker then performs the
+        // traced dependent accesses: bucket line(s), then the value line(s).
+        ctx.compute(1);
+        ctx.read_chain(trace.bucket_reads, 64);
+        if trace.value_reads > 0 {
+            ctx.read_chain(trace.value_reads, 64);
+        }
+        if trace.writes > 0 {
+            ctx.write(trace.writes as u64 * 64);
+        }
+    }
+}
+
+impl Apu for KvApu {
+    type Req = KvRequest;
+    type Resp = KvResponse;
+
+    fn process(&mut self, req: KvRequest, ctx: &mut ApuCtx<'_>) -> KvResponse {
+        match req {
+            KvRequest::Get { key } => {
+                let (value, trace) = {
+                    let (v, t) = self.store.get(key);
+                    (v.map(|v| v.to_vec()), t)
+                };
+                Self::charge(ctx, &trace);
+                KvResponse::Value(value)
+            }
+            KvRequest::Put { key, value } => {
+                let trace = self.store.put(key, value);
+                Self::charge(ctx, &trace);
+                KvResponse::Stored
+            }
+            KvRequest::Delete { key } => {
+                let (old, trace) = self.store.remove(key);
+                Self::charge(ctx, &trace);
+                KvResponse::Deleted(old.is_some())
+            }
+        }
+    }
+
+    fn response_bytes(&self, resp: &KvResponse) -> u64 {
+        match resp {
+            KvResponse::Value(Some(v)) => 8 + v.len() as u64,
+            KvResponse::Value(None) => 8,
+            KvResponse::Stored | KvResponse::Deleted(_) => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvConfig;
+    use rambda_accel::{AccelConfig, AccelEngine, DataLocation};
+    use rambda_des::SimTime;
+    use rambda_mem::{MemConfig, MemorySystem};
+
+    fn apu() -> KvApu {
+        let mut apu = KvApu::new(KvStore::new(KvConfig::for_pairs(1000, 64)));
+        apu.store_mut().put(5, vec![9u8; 64]);
+        apu
+    }
+
+    #[test]
+    fn get_round_trip_through_apu() {
+        let mut engine = AccelEngine::new(AccelConfig::prototype(DataLocation::HostDram));
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut apu = apu();
+        let mut ctx = ApuCtx::new(&mut engine, &mut mem, SimTime::ZERO);
+        let resp = apu.process(KvRequest::Get { key: 5 }, &mut ctx);
+        assert_eq!(resp, KvResponse::Value(Some(vec![9u8; 64])));
+        // Two dependent host reads (bucket + value) plus hash.
+        assert!(ctx.now().as_ns_f64() > 300.0);
+        assert_eq!(apu.response_bytes(&resp), 72);
+    }
+
+    #[test]
+    fn delete_round_trip_through_apu() {
+        let mut engine = AccelEngine::new(AccelConfig::prototype(DataLocation::HostDram));
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut apu = apu();
+        let mut ctx = ApuCtx::new(&mut engine, &mut mem, SimTime::ZERO);
+        let resp = apu.process(KvRequest::Delete { key: 5 }, &mut ctx);
+        assert_eq!(resp, KvResponse::Deleted(true));
+        assert!(apu.store().get(5).0.is_none());
+        let mut ctx = ApuCtx::new(&mut engine, &mut mem, SimTime::ZERO);
+        let resp = apu.process(KvRequest::Delete { key: 5 }, &mut ctx);
+        assert_eq!(resp, KvResponse::Deleted(false));
+        assert_eq!(apu.response_bytes(&resp), 8);
+    }
+
+    #[test]
+    fn put_writes_are_charged() {
+        let mut engine = AccelEngine::new(AccelConfig::prototype(DataLocation::HostDram));
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let mut apu = apu();
+        let mut ctx = ApuCtx::new(&mut engine, &mut mem, SimTime::ZERO);
+        let resp = apu.process(KvRequest::Put { key: 6, value: vec![1; 64] }, &mut ctx);
+        assert_eq!(resp, KvResponse::Stored);
+        assert_eq!(apu.store().get(6).0.unwrap(), &[1u8; 64][..]);
+        assert!(engine.stats().mem_bytes >= 128);
+    }
+}

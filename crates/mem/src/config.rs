@@ -1,0 +1,176 @@
+//! Memory-system configuration, defaulting to the paper's testbed (Tab. II)
+//! plus published Optane DC PMM and U280 DDR4/HBM2 characteristics.
+
+use rambda_des::Span;
+use serde::{Deserialize, Serialize};
+
+const GB: f64 = 1.0e9;
+
+/// Latency/bandwidth/capacity parameters for every memory medium in the
+/// modelled system.
+///
+/// All bandwidths are bytes/second; all latencies are loaded single-access
+/// latencies for a 64 B cache line (NVM accesses are charged at 256 B
+/// granularity on top of this).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Loaded DRAM access latency (64 B line).
+    pub dram_latency: Span,
+    /// Aggregate DRAM bandwidth across the six DDR4-2666 channels.
+    pub dram_bw: f64,
+    /// LLC hit latency.
+    pub llc_latency: Span,
+    /// LLC capacity in bytes (27.5 MB on the 6138P).
+    pub llc_capacity: u64,
+    /// Fraction of the LLC usable by DDIO injection (2 of 11 ways).
+    pub ddio_way_fraction: f64,
+
+    /// NVM (Optane-like) read latency (256 B granule).
+    pub nvm_read_latency: Span,
+    /// NVM write latency into the ADR write buffer.
+    pub nvm_write_latency: Span,
+    /// NVM read bandwidth (per socket, all DIMMs).
+    pub nvm_read_bw: f64,
+    /// NVM write bandwidth (per socket, all DIMMs).
+    pub nvm_write_bw: f64,
+    /// NVM internal access granularity in bytes (256 B on Optane).
+    pub nvm_granularity: u64,
+    /// Effective physical-write multiplier when 64 B lines are evicted from
+    /// the LLC to NVM in cache-replacement (i.e. partially random) order,
+    /// relative to sequential granule-aligned direct writes. Calibrated to
+    /// the ~20 % NVM-bandwidth loss prior Optane studies report and the
+    /// ~20 % adaptive-DDIO gain of Sec. VI-A.
+    pub nvm_ddio_write_amp: f64,
+
+    /// Accelerator-local DDR4 latency (Rambda-LD, U280).
+    pub accel_ddr_latency: Span,
+    /// Accelerator-local DDR4 bandwidth (~36 GB/s on the U280).
+    pub accel_ddr_bw: f64,
+    /// Accelerator-local HBM2 latency (higher than DDR4 per Sec. VI-B).
+    pub accel_hbm_latency: Span,
+    /// Accelerator-local HBM2 bandwidth (~425 GB/s on the U280).
+    pub accel_hbm_bw: f64,
+
+    /// Smart-NIC on-board DRAM latency.
+    pub nic_dram_latency: Span,
+    /// Smart-NIC on-board DRAM bandwidth (single DDR4-1600 channel pair).
+    pub nic_dram_bw: f64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            dram_latency: Span::from_ns(90),
+            dram_bw: 120.0 * GB,
+            llc_latency: Span::from_ns(20),
+            llc_capacity: 27_500_000,
+            ddio_way_fraction: 2.0 / 11.0,
+
+            nvm_read_latency: Span::from_ns(305),
+            nvm_write_latency: Span::from_ns(94),
+            nvm_read_bw: 39.0 * GB,
+            nvm_write_bw: 13.0 * GB,
+            nvm_granularity: 256,
+            nvm_ddio_write_amp: 1.2,
+
+            accel_ddr_latency: Span::from_ns(120),
+            accel_ddr_bw: 36.0 * GB,
+            accel_hbm_latency: Span::from_ns(180),
+            accel_hbm_bw: 425.0 * GB,
+
+            nic_dram_latency: Span::from_ns(110),
+            nic_dram_bw: 25.6 * GB,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Bytes of LLC usable by DDIO injection.
+    pub fn ddio_capacity(&self) -> u64 {
+        (self.llc_capacity as f64 * self.ddio_way_fraction) as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let bws = [
+            ("dram_bw", self.dram_bw),
+            ("nvm_read_bw", self.nvm_read_bw),
+            ("nvm_write_bw", self.nvm_write_bw),
+            ("accel_ddr_bw", self.accel_ddr_bw),
+            ("accel_hbm_bw", self.accel_hbm_bw),
+            ("nic_dram_bw", self.nic_dram_bw),
+        ];
+        for (name, bw) in bws {
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(format!("{name} must be positive, got {bw}"));
+            }
+        }
+        if self.nvm_granularity == 0 || !self.nvm_granularity.is_power_of_two() {
+            return Err(format!(
+                "nvm_granularity must be a power of two, got {}",
+                self.nvm_granularity
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.ddio_way_fraction) {
+            return Err(format!(
+                "ddio_way_fraction must be in [0,1], got {}",
+                self.ddio_way_fraction
+            ));
+        }
+        if self.nvm_ddio_write_amp < 1.0 {
+            return Err(format!(
+                "nvm_ddio_write_amp must be >= 1, got {}",
+                self.nvm_ddio_write_amp
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MemConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn ddio_capacity_is_fraction_of_llc() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.ddio_capacity(), (27_500_000.0 * 2.0 / 11.0) as u64);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut cfg = MemConfig::default();
+        cfg.dram_bw = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::default();
+        cfg.nvm_granularity = 100;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::default();
+        cfg.ddio_way_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MemConfig::default();
+        cfg.nvm_ddio_write_amp = 0.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn hbm_is_faster_bw_but_slower_latency_than_ddr() {
+        // Matches Sec. VI-B's observation that Rambda-LH has higher average
+        // latency but far higher bandwidth than Rambda-LD.
+        let cfg = MemConfig::default();
+        assert!(cfg.accel_hbm_bw > cfg.accel_ddr_bw);
+        assert!(cfg.accel_hbm_latency > cfg.accel_ddr_latency);
+    }
+}

@@ -1,0 +1,28 @@
+//! Memory-system model for the Rambda reproduction.
+//!
+//! Models the server memory hierarchy the paper's evaluation exercises:
+//!
+//! * six-channel DDR4 DRAM (Tab. II),
+//! * Optane-like NVM with 256 B access granularity, asymmetric read/write
+//!   latency, reduced bandwidth, and DDIO-eviction **write amplification**
+//!   (Sec. III-D),
+//! * the shared LLC with **DDIO** ways and the PCIe **TPH** per-packet
+//!   routing knob (Fig. 5 / Fig. 6),
+//! * accelerator-local DDR4 / HBM2 for the envisioned Rambda-LD / Rambda-LH
+//!   variants (Sec. V),
+//! * Smart-NIC on-board DRAM.
+//!
+//! The model is a deterministic cost model: every access is charged latency
+//! and bandwidth on the appropriate media, and byte counters expose the
+//! memory-bandwidth consumption that Fig. 5 measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod llc;
+mod system;
+
+pub use config::MemConfig;
+pub use llc::{DmaRoute, Llc};
+pub use system::{AccessKind, MemKind, MemReq, MemStats, MemorySystem};

@@ -1,0 +1,452 @@
+//! The unified memory system: media links, LLC routing, NVM amplification.
+
+use rambda_des::{Link, SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+use crate::config::MemConfig;
+use crate::llc::{DmaRoute, Llc};
+
+/// A physical memory medium in the modelled system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Host six-channel DDR4.
+    Dram,
+    /// Host Optane-like persistent memory.
+    Nvm,
+    /// Accelerator-local DDR4 (Rambda-LD).
+    AccelDdr,
+    /// Accelerator-local HBM2 (Rambda-LH).
+    AccelHbm,
+    /// Smart-NIC on-board DRAM.
+    NicDram,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// One memory access to be charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Target medium.
+    pub kind: MemKind,
+    /// Read or write.
+    pub access: AccessKind,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl MemReq {
+    /// A 64 B cache-line read.
+    pub fn line_read(kind: MemKind) -> Self {
+        MemReq { kind, access: AccessKind::Read, bytes: 64 }
+    }
+
+    /// A 64 B cache-line write.
+    pub fn line_write(kind: MemKind) -> Self {
+        MemReq { kind, access: AccessKind::Write, bytes: 64 }
+    }
+}
+
+/// Byte counters exposing consumed memory bandwidth (what Fig. 5 measures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Bytes read from the DRAM channels.
+    pub dram_read_bytes: u64,
+    /// Bytes written to the DRAM channels.
+    pub dram_write_bytes: u64,
+    /// Bytes read from NVM.
+    pub nvm_read_bytes: u64,
+    /// Logical bytes written to NVM (what the application asked for).
+    pub nvm_logical_write_bytes: u64,
+    /// Physical bytes written to NVM media (after granularity rounding and
+    /// DDIO-eviction write amplification).
+    pub nvm_physical_write_bytes: u64,
+    /// Inbound DMA bytes routed into the LLC (DDIO/TPH path).
+    pub dma_to_llc_bytes: u64,
+    /// Inbound DMA bytes routed to memory.
+    pub dma_to_mem_bytes: u64,
+}
+
+impl MemStats {
+    /// Total DRAM channel traffic (read + write).
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// NVM write amplification factor observed so far.
+    pub fn nvm_write_amplification(&self) -> f64 {
+        if self.nvm_logical_write_bytes == 0 {
+            1.0
+        } else {
+            self.nvm_physical_write_bytes as f64 / self.nvm_logical_write_bytes as f64
+        }
+    }
+}
+
+/// The full memory system of one simulated machine.
+///
+/// ```
+/// use rambda_des::SimTime;
+/// use rambda_mem::{MemConfig, MemKind, MemReq, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(MemConfig::default(), true);
+/// let done = mem.access(SimTime::ZERO, MemReq::line_read(MemKind::Dram));
+/// assert_eq!(done.as_ns_f64().round(), 91.0); // 90ns latency + 64B serialization
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    llc: Llc,
+    dram: Link,
+    nvm_read: Link,
+    nvm_write: Link,
+    accel_ddr: Link,
+    accel_hbm: Link,
+    nic_dram: Link,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with the given configuration and global DDIO
+    /// setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MemConfig::validate`].
+    pub fn new(cfg: MemConfig, ddio_enabled: bool) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MemConfig: {e}");
+        }
+        let llc = Llc::new(ddio_enabled, cfg.ddio_capacity());
+        MemorySystem {
+            dram: Link::new(cfg.dram_bw, cfg.dram_latency),
+            nvm_read: Link::new(cfg.nvm_read_bw, cfg.nvm_read_latency),
+            nvm_write: Link::new(cfg.nvm_write_bw, cfg.nvm_write_latency),
+            accel_ddr: Link::new(cfg.accel_ddr_bw, cfg.accel_ddr_latency),
+            accel_hbm: Link::new(cfg.accel_hbm_bw, cfg.accel_hbm_latency),
+            nic_dram: Link::new(cfg.nic_dram_bw, cfg.nic_dram_latency),
+            llc,
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// The LLC model (for DDIO toggling and occupancy queries).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Mutable access to the LLC model.
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// Accumulated byte counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// LLC hit latency (charged by callers that model a known-resident line,
+    /// e.g. the pinned cpoll region).
+    pub fn llc_latency(&self) -> Span {
+        self.cfg.llc_latency
+    }
+
+    fn round_to_granule(&self, bytes: u64) -> u64 {
+        let g = self.cfg.nvm_granularity;
+        bytes.div_ceil(g) * g
+    }
+
+    /// Charges one memory access starting at or after `at`; returns the
+    /// completion time (bandwidth serialization + loaded latency).
+    pub fn access(&mut self, at: SimTime, req: MemReq) -> SimTime {
+        match (req.kind, req.access) {
+            (MemKind::Dram, AccessKind::Read) => {
+                self.stats.dram_read_bytes += req.bytes;
+                self.dram.transfer(at, req.bytes).arrive
+            }
+            (MemKind::Dram, AccessKind::Write) => {
+                self.stats.dram_write_bytes += req.bytes;
+                self.dram.transfer(at, req.bytes).arrive
+            }
+            (MemKind::Nvm, AccessKind::Read) => {
+                let physical = self.round_to_granule(req.bytes);
+                self.stats.nvm_read_bytes += physical;
+                self.nvm_read.transfer(at, physical).arrive
+            }
+            (MemKind::Nvm, AccessKind::Write) => {
+                // Direct (store + clwb) writes: sequential, so only
+                // granularity rounding applies.
+                let physical = self.round_to_granule(req.bytes);
+                self.stats.nvm_logical_write_bytes += req.bytes;
+                self.stats.nvm_physical_write_bytes += physical;
+                self.nvm_write.transfer(at, physical).arrive
+            }
+            (MemKind::AccelDdr, _) => self.accel_ddr.transfer(at, req.bytes).arrive,
+            (MemKind::AccelHbm, _) => self.accel_hbm.transfer(at, req.bytes).arrive,
+            (MemKind::NicDram, _) => self.nic_dram.transfer(at, req.bytes).arrive,
+        }
+    }
+
+    /// Charges an inbound device DMA write (PCIe) of `bytes` destined for a
+    /// buffer living in `dest`, with the packet's TPH bit set to `tph`.
+    ///
+    /// Returns the completion time and where the data landed. This is the
+    /// Fig. 5 / Fig. 6 path:
+    ///
+    /// * routed to the **LLC**: no memory-channel traffic now; if the DDIO
+    ///   working set overflows, evicted lines are written back — to DRAM at
+    ///   line granularity, or to NVM with
+    ///   [`nvm_ddio_write_amp`](MemConfig::nvm_ddio_write_amp) amplification
+    ///   because replacement-order evictions defeat the 256 B granule.
+    /// * routed to **memory**: a DMA write costs a read-for-ownership plus
+    ///   the write on the DRAM channels, or a granule-rounded write on NVM.
+    pub fn dma_write(&mut self, at: SimTime, bytes: u64, tph: bool, dest: MemKind) -> (SimTime, DmaRoute) {
+        debug_assert!(
+            matches!(dest, MemKind::Dram | MemKind::Nvm),
+            "inbound host DMA must target host memory, got {dest:?}"
+        );
+        let route = self.llc.route(tph);
+        match route {
+            DmaRoute::Llc => {
+                self.stats.dma_to_llc_bytes += bytes;
+                let spill = self.llc.inject(bytes);
+                if spill > 0 {
+                    match dest {
+                        MemKind::Nvm => {
+                            let physical =
+                                (spill as f64 * self.cfg.nvm_ddio_write_amp).round() as u64;
+                            self.stats.nvm_logical_write_bytes += spill;
+                            self.stats.nvm_physical_write_bytes += physical;
+                            self.nvm_write.transfer(at, physical);
+                        }
+                        _ => {
+                            self.stats.dram_write_bytes += spill;
+                            self.dram.transfer(at, spill);
+                        }
+                    }
+                }
+                (at + self.cfg.llc_latency, route)
+            }
+            DmaRoute::Memory => {
+                self.stats.dma_to_mem_bytes += bytes;
+                match dest {
+                    MemKind::Nvm => {
+                        let physical = self.round_to_granule(bytes);
+                        self.stats.nvm_logical_write_bytes += bytes;
+                        self.stats.nvm_physical_write_bytes += physical;
+                        (self.nvm_write.transfer(at, physical).arrive, route)
+                    }
+                    _ => {
+                        // Write-allocate: the iMC reads the line before
+                        // merging the DMA write (both directions show ~the
+                        // DMA rate in Fig. 5).
+                        self.stats.dram_read_bytes += bytes;
+                        self.stats.dram_write_bytes += bytes;
+                        self.dram.transfer(at, bytes);
+                        (self.dram.transfer(at, bytes).arrive, route)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charges a persistence flush (`clwb`-style) of `bytes` of
+    /// DDIO-resident data to NVM.
+    ///
+    /// Flushing cache-resident lines evicts them in replacement order, so
+    /// the configured write amplification applies — this is why the adaptive
+    /// scheme routes NVM-destined DMA around the cache.
+    pub fn flush_llc_to_nvm(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let physical = (bytes as f64 * self.cfg.nvm_ddio_write_amp).round() as u64;
+        self.stats.nvm_logical_write_bytes += bytes;
+        self.stats.nvm_physical_write_bytes += physical;
+        self.llc.consume(bytes);
+        self.nvm_write.transfer(at, physical).arrive
+    }
+
+    /// Average consumed DRAM bandwidth over `[0, now]` in bytes/second.
+    pub fn dram_consumed_bw(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.stats.dram_total_bytes() as f64 / secs
+        }
+    }
+
+    /// Resets link occupancy and statistics (configuration is kept).
+    pub fn reset(&mut self) {
+        self.dram.reset();
+        self.nvm_read.reset();
+        self.nvm_write.reset();
+        self.accel_ddr.reset();
+        self.accel_hbm.reset();
+        self.nic_dram.reset();
+        self.stats = MemStats::default();
+        let ddio = self.llc.ddio_enabled();
+        self.llc = Llc::new(ddio, self.cfg.ddio_capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(ddio: bool) -> MemorySystem {
+        MemorySystem::new(MemConfig::default(), ddio)
+    }
+
+    #[test]
+    fn dram_read_latency_dominates_single_access() {
+        let mut m = sys(true);
+        let done = m.access(SimTime::ZERO, MemReq::line_read(MemKind::Dram));
+        let ns = done.as_ns_f64();
+        assert!((90.0..92.0).contains(&ns), "got {ns}");
+        assert_eq!(m.stats().dram_read_bytes, 64);
+    }
+
+    #[test]
+    fn dram_bandwidth_serializes() {
+        let mut m = sys(true);
+        // Push 120 GB through a 120 GB/s channel set: ~1s of serialization.
+        let done = m.access(
+            SimTime::ZERO,
+            MemReq { kind: MemKind::Dram, access: AccessKind::Read, bytes: 120_000_000_000 },
+        );
+        assert!((done.as_secs_f64() - 1.0).abs() < 0.01, "{}", done.as_secs_f64());
+    }
+
+    #[test]
+    fn nvm_reads_are_granule_rounded() {
+        let mut m = sys(true);
+        m.access(SimTime::ZERO, MemReq { kind: MemKind::Nvm, access: AccessKind::Read, bytes: 64 });
+        assert_eq!(m.stats().nvm_read_bytes, 256);
+    }
+
+    #[test]
+    fn nvm_direct_write_rounds_but_does_not_amplify() {
+        let mut m = sys(false);
+        m.access(
+            SimTime::ZERO,
+            MemReq { kind: MemKind::Nvm, access: AccessKind::Write, bytes: 1024 },
+        );
+        assert_eq!(m.stats().nvm_physical_write_bytes, 1024);
+        assert_eq!(m.stats().nvm_write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn dma_write_ddio_off_tph_off_hits_memory_both_ways() {
+        // Fig. 5: only DDIO-off + TPH-off consumes memory bandwidth, in both
+        // read and write directions.
+        let mut m = sys(false);
+        let (_, route) = m.dma_write(SimTime::ZERO, 4096, false, MemKind::Dram);
+        assert_eq!(route, DmaRoute::Memory);
+        assert_eq!(m.stats().dram_read_bytes, 4096);
+        assert_eq!(m.stats().dram_write_bytes, 4096);
+    }
+
+    #[test]
+    fn dma_write_with_tph_bypasses_memory() {
+        let mut m = sys(false);
+        let (_, route) = m.dma_write(SimTime::ZERO, 4096, true, MemKind::Dram);
+        assert_eq!(route, DmaRoute::Llc);
+        assert_eq!(m.stats().dram_total_bytes(), 0);
+        assert_eq!(m.stats().dma_to_llc_bytes, 4096);
+    }
+
+    #[test]
+    fn dma_write_with_ddio_bypasses_memory() {
+        let mut m = sys(true);
+        let (_, route) = m.dma_write(SimTime::ZERO, 4096, false, MemKind::Dram);
+        assert_eq!(route, DmaRoute::Llc);
+        assert_eq!(m.stats().dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn ddio_overflow_spills_to_dram() {
+        let mut m = sys(true);
+        let cap = m.config().ddio_capacity();
+        m.dma_write(SimTime::ZERO, cap + 1000, false, MemKind::Dram);
+        assert_eq!(m.stats().dram_write_bytes, 1000);
+        assert_eq!(m.stats().dram_read_bytes, 0);
+    }
+
+    #[test]
+    fn nvm_ddio_spill_amplifies() {
+        let mut m = sys(true);
+        let cap = m.config().ddio_capacity();
+        m.dma_write(SimTime::ZERO, cap + 1000, false, MemKind::Nvm);
+        assert_eq!(m.stats().nvm_logical_write_bytes, 1000);
+        assert_eq!(m.stats().nvm_physical_write_bytes, 1200);
+        assert!((m.stats().nvm_write_amplification() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvm_dma_direct_is_granule_rounded_only() {
+        let mut m = sys(false);
+        m.dma_write(SimTime::ZERO, 100, false, MemKind::Nvm);
+        assert_eq!(m.stats().nvm_physical_write_bytes, 256);
+    }
+
+    #[test]
+    fn flush_llc_to_nvm_amplifies() {
+        let mut m = sys(true);
+        m.dma_write(SimTime::ZERO, 1024, false, MemKind::Nvm);
+        let done = m.flush_llc_to_nvm(SimTime::from_ns(100), 1024);
+        assert!(done > SimTime::from_ns(100));
+        assert_eq!(m.stats().nvm_physical_write_bytes, 1229);
+    }
+
+    #[test]
+    fn accel_local_memories_have_distinct_costs() {
+        let mut m = sys(true);
+        let big = 1_000_000_000u64;
+        let ddr = m.access(
+            SimTime::ZERO,
+            MemReq { kind: MemKind::AccelDdr, access: AccessKind::Read, bytes: big },
+        );
+        let mut m2 = sys(true);
+        let hbm = m2.access(
+            SimTime::ZERO,
+            MemReq { kind: MemKind::AccelHbm, access: AccessKind::Read, bytes: big },
+        );
+        // HBM is ~12x the bandwidth: 1 GB takes far less serialization time.
+        assert!(ddr.as_secs_f64() > 10.0 * hbm.as_secs_f64());
+    }
+
+    #[test]
+    fn reset_clears_stats_and_occupancy() {
+        let mut m = sys(true);
+        m.access(SimTime::ZERO, MemReq::line_write(MemKind::Dram));
+        m.reset();
+        assert_eq!(*m.stats(), MemStats::default());
+        let done = m.access(SimTime::ZERO, MemReq::line_read(MemKind::Dram));
+        assert!(done.as_ns_f64() < 92.0);
+    }
+
+    #[test]
+    fn consumed_bw_matches_fig5_setup() {
+        // The Fig. 5 generator: 3.5 GB/s DMA for 1 simulated second with
+        // DDIO and TPH off -> ~3.5 GB/s read and ~3.5 GB/s write.
+        let mut m = sys(false);
+        let chunk = 3500u64 * 1024; // ~3.5 MB per ms
+        for i in 0..1000u64 {
+            m.dma_write(SimTime::from_us(i * 1000), chunk, false, MemKind::Dram);
+        }
+        let bw = m.dram_consumed_bw(SimTime::from_us(1_000_000));
+        let expect = 2.0 * 3500.0 * 1024.0 * 1000.0;
+        assert!((bw - expect).abs() / expect < 0.01, "bw={bw}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the memory-system model.
+
+use proptest::prelude::*;
+use rambda_des::SimTime;
+use rambda_mem::{AccessKind, MemConfig, MemKind, MemReq, MemorySystem};
+
+proptest! {
+    /// NVM write amplification is always >= 1 and direct writes never
+    /// amplify beyond granule rounding.
+    #[test]
+    fn nvm_amplification_bounds(writes in proptest::collection::vec(1u64..5000, 1..100)) {
+        let mut mem = MemorySystem::new(MemConfig::default(), false);
+        let mut logical = 0u64;
+        for (i, &w) in writes.iter().enumerate() {
+            mem.access(
+                SimTime::from_us(i as u64),
+                MemReq { kind: MemKind::Nvm, access: AccessKind::Write, bytes: w },
+            );
+            logical += w;
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.nvm_logical_write_bytes, logical);
+        prop_assert!(s.nvm_physical_write_bytes >= logical);
+        // Granule rounding adds at most granularity-1 per write.
+        prop_assert!(s.nvm_physical_write_bytes < logical + 256 * writes.len() as u64);
+        prop_assert!(s.nvm_write_amplification() >= 1.0);
+    }
+
+    /// DMA routing: with DDIO on or TPH set, DRAM-destined writes never
+    /// touch the memory channels, whatever the sizes.
+    #[test]
+    fn ddio_routing_invariant(writes in proptest::collection::vec(1u64..100_000, 1..50),
+                              ddio in any::<bool>(), tph in any::<bool>()) {
+        let mut mem = MemorySystem::new(MemConfig::default(), ddio);
+        let capacity = mem.config().ddio_capacity();
+        let mut injected = 0u64;
+        for (i, &w) in writes.iter().enumerate() {
+            mem.dma_write(SimTime::from_us(i as u64), w, tph, MemKind::Dram);
+            injected += w;
+        }
+        let s = *mem.stats();
+        if ddio || tph {
+            prop_assert_eq!(s.dma_to_llc_bytes, injected);
+            // Only overflow beyond the DDIO ways may spill to DRAM writes,
+            // and never more than the overflow amount.
+            prop_assert!(s.dram_write_bytes <= injected.saturating_sub(capacity.min(injected)) + 1);
+            prop_assert_eq!(s.dram_read_bytes, 0);
+        } else {
+            prop_assert_eq!(s.dma_to_mem_bytes, injected);
+            prop_assert_eq!(s.dram_read_bytes, injected);
+            prop_assert_eq!(s.dram_write_bytes, injected);
+        }
+    }
+
+    /// Access completion times are causal (>= request time) and byte
+    /// counters are exact for DRAM traffic.
+    #[test]
+    fn dram_accounting_exact(ops in proptest::collection::vec((any::<bool>(), 1u64..10_000), 1..100)) {
+        let mut mem = MemorySystem::new(MemConfig::default(), true);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (i, &(is_write, bytes)) in ops.iter().enumerate() {
+            let at = SimTime::from_us(i as u64);
+            let access = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let done = mem.access(at, MemReq { kind: MemKind::Dram, access, bytes });
+            prop_assert!(done >= at);
+            if is_write { writes += bytes } else { reads += bytes }
+        }
+        prop_assert_eq!(mem.stats().dram_read_bytes, reads);
+        prop_assert_eq!(mem.stats().dram_write_bytes, writes);
+    }
+}

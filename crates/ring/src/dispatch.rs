@@ -1,0 +1,229 @@
+//! Flock-style cross-thread connection sharing (Sec. III-A).
+//!
+//! Ring buffers (and their QPs) are never shared across *connections*, but
+//! they may be shared across *threads of one machine*: a dedicated dispatch
+//! thread owns the connection's single-producer/single-consumer ends and
+//! multiplexes requests from worker threads, so there is only one
+//! buffer pair (and QP) per client–server pair per application — "with
+//! slight performance overheads" and no change to the wire protocol.
+//!
+//! [`SharedClient`] is the worker-facing handle; [`run_dispatcher`] is the
+//! loop the dedicated thread runs. Responses are routed back to the issuing
+//! worker over per-worker channels.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use crate::pair::{ClientEnd, ServerEnd};
+
+/// A request tagged with its issuing worker.
+struct Tagged<Req> {
+    worker: usize,
+    req: Req,
+}
+
+/// Shared front-end state: workers enqueue here; the dispatcher drains.
+struct Shared<Req, Resp> {
+    submit: Mutex<mpsc::Sender<Tagged<Req>>>,
+    replies: Vec<Mutex<mpsc::Receiver<Resp>>>,
+}
+
+/// A worker's handle onto a shared connection.
+pub struct SharedClient<Req, Resp> {
+    worker: usize,
+    shared: Arc<Shared<Req, Resp>>,
+}
+
+impl<Req, Resp> SharedClient<Req, Resp> {
+    /// Issues a request through the dispatch thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dispatcher has shut down.
+    pub fn call_async(&self, req: Req) -> Result<(), DispatchGone> {
+        let tx = self.shared.submit.lock().expect("submit lock poisoned");
+        tx.send(Tagged { worker: self.worker, req }).map_err(|_| DispatchGone)
+    }
+
+    /// Blocks for this worker's next response.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dispatcher has shut down.
+    pub fn recv(&self) -> Result<Resp, DispatchGone> {
+        let rx = self.shared.replies[self.worker].lock().expect("reply lock poisoned");
+        rx.recv().map_err(|_| DispatchGone)
+    }
+
+    /// A synchronous request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dispatcher has shut down.
+    pub fn call(&self, req: Req) -> Result<Resp, DispatchGone> {
+        self.call_async(req)?;
+        self.recv()
+    }
+}
+
+/// The dispatcher disappeared (connection torn down).
+#[derive(Debug, PartialEq, Eq)]
+pub struct DispatchGone;
+
+impl std::fmt::Display for DispatchGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the dispatch thread has shut down")
+    }
+}
+
+impl std::error::Error for DispatchGone {}
+
+/// Builds `workers` handles plus the dispatcher's private state.
+pub fn shared_connection<Req, Resp>(
+    workers: usize,
+) -> (Vec<SharedClient<Req, Resp>>, Dispatcher<Req, Resp>) {
+    let (submit_tx, submit_rx) = mpsc::channel();
+    let mut reply_txs = Vec::with_capacity(workers);
+    let mut reply_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel();
+        reply_txs.push(tx);
+        reply_rxs.push(Mutex::new(rx));
+    }
+    let shared = Arc::new(Shared { submit: Mutex::new(submit_tx), replies: reply_rxs });
+    let clients = (0..workers)
+        .map(|worker| SharedClient { worker, shared: Arc::clone(&shared) })
+        .collect();
+    (clients, Dispatcher { submit: submit_rx, replies: reply_txs, in_flight: Vec::new() })
+}
+
+/// The dispatch thread's state: owns the SPSC connection end.
+pub struct Dispatcher<Req, Resp> {
+    submit: mpsc::Receiver<Tagged<Req>>,
+    replies: Vec<mpsc::Sender<Resp>>,
+    /// Issue-order worker tags of in-flight requests (ring responses come
+    /// back in order).
+    in_flight: Vec<usize>,
+}
+
+impl<Req, Resp> Dispatcher<Req, Resp> {
+    /// Runs one dispatch iteration against the connection's client end:
+    /// forward as many queued worker requests as credits allow, then route
+    /// completed responses back. Returns the number of responses routed.
+    pub fn pump(&mut self, conn: &mut ClientEnd<Req, Resp>) -> usize {
+        // Forward while the credit window has room.
+        while conn.can_issue() {
+            match self.submit.try_recv() {
+                Ok(t) => {
+                    self.in_flight.push(t.worker);
+                    if conn.issue(t.req).is_err() {
+                        unreachable!("credits were checked");
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        // Route responses back in issue order (the ring is FIFO).
+        let mut routed = 0;
+        while let Some(resp) = conn.poll() {
+            let worker = self.in_flight.remove(0);
+            // A worker that hung up just drops its response.
+            let _ = self.replies[worker].send(resp);
+            routed += 1;
+        }
+        routed
+    }
+
+    /// Requests currently issued but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// Runs a complete dispatcher + echo-server loop until `total` responses
+/// have been routed (test/demo harness; production embeds [`Dispatcher::pump`]
+/// in its own loop).
+pub fn run_dispatcher<Req: Send + 'static, Resp>(
+    dispatcher: &mut Dispatcher<Req, Resp>,
+    client: &mut ClientEnd<Req, Resp>,
+    server: &mut ServerEnd<Req, Resp>,
+    mut serve: impl FnMut(Req) -> Resp,
+    total: usize,
+) {
+    let mut routed = 0;
+    while routed < total {
+        routed += dispatcher.pump(client);
+        while let Some(req) = server.next_request() {
+            if server.respond(serve(req)).is_err() {
+                unreachable!("response ring overflow under credits");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::BufferPair;
+
+    #[test]
+    fn single_worker_round_trip() {
+        let (clients, mut dispatcher) = shared_connection::<u32, u32>(1);
+        let (mut conn, mut server) = BufferPair::with_capacity::<u32, u32>(8);
+        clients[0].call_async(20).unwrap();
+        run_dispatcher(&mut dispatcher, &mut conn, &mut server, |r| r + 1, 1);
+        assert_eq!(clients[0].recv(), Ok(21));
+    }
+
+    #[test]
+    fn many_workers_share_one_connection() {
+        const WORKERS: usize = 8;
+        const PER_WORKER: usize = 500;
+        let (clients, mut dispatcher) = shared_connection::<u64, u64>(WORKERS);
+        let (mut conn, mut server) = BufferPair::with_capacity::<u64, u64>(16);
+
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(w, client)| {
+                std::thread::spawn(move || {
+                    for i in 0..PER_WORKER as u64 {
+                        let req = (w as u64) << 32 | i;
+                        let resp = client.call(req).unwrap();
+                        // Each worker gets exactly its own responses, in its
+                        // own order.
+                        assert_eq!(resp, req + 1, "worker {w} got someone else's response");
+                    }
+                })
+            })
+            .collect();
+
+        run_dispatcher(&mut dispatcher, &mut conn, &mut server, |r| r + 1, WORKERS * PER_WORKER);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dispatcher.in_flight(), 0);
+        assert_eq!(conn.issued(), (WORKERS * PER_WORKER) as u64);
+    }
+
+    #[test]
+    fn dispatcher_respects_the_credit_window() {
+        let (clients, mut dispatcher) = shared_connection::<u32, u32>(1);
+        let (mut conn, _server) = BufferPair::with_capacity::<u32, u32>(4);
+        for i in 0..10 {
+            clients[0].call_async(i).unwrap();
+        }
+        dispatcher.pump(&mut conn);
+        // Only the window's worth issued; the rest wait in the MPSC queue.
+        assert_eq!(conn.in_flight(), 4);
+        assert_eq!(dispatcher.in_flight(), 4);
+    }
+
+    #[test]
+    fn hung_up_dispatcher_reports_gone() {
+        let (clients, dispatcher) = shared_connection::<u32, u32>(1);
+        drop(dispatcher);
+        assert_eq!(clients[0].recv(), Err(DispatchGone));
+        assert!(!format!("{DispatchGone}").is_empty());
+    }
+}

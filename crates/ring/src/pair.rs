@@ -1,0 +1,280 @@
+//! Request/response buffer pairs with credit-based flow control (Sec. III-A).
+//!
+//! For each client–server connection, Rambda establishes one request ring
+//! (living in server memory, written by one-sided RDMA write) and one
+//! response ring (living in client memory). The client tracks the request
+//! ring's tail and the response ring's head; it may issue a request only
+//! while the in-flight window has room — "only if the request buffer's tail
+//! is behind the response buffer's head can the client issue a request".
+//! With that rule, every message needs exactly one network trip and no
+//! head/tail exchange.
+
+use crate::spsc::{channel, Consumer, Producer};
+
+/// Why a request could not be issued.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IssueError<R> {
+    /// The credit window is exhausted: `capacity` requests are in flight.
+    /// The request is handed back.
+    NoCredit(R),
+}
+
+impl<R> IssueError<R> {
+    /// Recovers the request that failed to issue.
+    pub fn into_inner(self) -> R {
+        match self {
+            IssueError::NoCredit(r) => r,
+        }
+    }
+}
+
+impl<R> std::fmt::Display for IssueError<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "credit window exhausted; poll responses before issuing")
+    }
+}
+
+impl<R: std::fmt::Debug> std::error::Error for IssueError<R> {}
+
+/// Factory for connected client/server ring-buffer ends.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferPair;
+
+impl BufferPair {
+    /// Creates a connected request/response pair with `capacity` entries in
+    /// each ring (1024 in the prototype, Sec. V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two.
+    pub fn with_capacity<Req, Resp>(capacity: usize) -> (ClientEnd<Req, Resp>, ServerEnd<Req, Resp>) {
+        let (req_tx, req_rx) = channel::<Req>(capacity);
+        let (resp_tx, resp_rx) = channel::<Resp>(capacity);
+        (
+            ClientEnd { req_tx, resp_rx, issued: 0, completed: 0 },
+            ServerEnd { req_rx, resp_tx, drained: 0, responded: 0 },
+        )
+    }
+}
+
+/// The client side of a connection: issues requests under credit control and
+/// polls responses.
+#[derive(Debug)]
+pub struct ClientEnd<Req, Resp> {
+    req_tx: Producer<Req>,
+    resp_rx: Consumer<Resp>,
+    issued: u64,
+    completed: u64,
+}
+
+impl<Req, Resp> ClientEnd<Req, Resp> {
+    /// The credit window size (= ring capacity).
+    pub fn capacity(&self) -> usize {
+        self.req_tx.capacity()
+    }
+
+    /// Requests currently in flight (issued but not yet completed).
+    pub fn in_flight(&self) -> u64 {
+        self.issued - self.completed
+    }
+
+    /// Whether the credit window currently has room.
+    pub fn can_issue(&self) -> bool {
+        self.in_flight() < self.capacity() as u64
+    }
+
+    /// Issues a request if the credit window has room.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError::NoCredit`] (handing the request back) if
+    /// `capacity` requests are already in flight.
+    pub fn issue(&mut self, req: Req) -> Result<(), IssueError<Req>> {
+        if !self.can_issue() {
+            return Err(IssueError::NoCredit(req));
+        }
+        match self.req_tx.push(req) {
+            Ok(()) => {
+                self.issued += 1;
+                Ok(())
+            }
+            // Unreachable while credits are respected: the request ring can
+            // hold `capacity` entries and at most `capacity` are in flight.
+            Err(req) => Err(IssueError::NoCredit(req)),
+        }
+    }
+
+    /// Polls for one response; updates the local record of the response
+    /// ring's head ("whenever it receives a message ... it will update its
+    /// local record and reset the buffer entry").
+    pub fn poll(&mut self) -> Option<Resp> {
+        let resp = self.resp_rx.pop()?;
+        self.completed += 1;
+        Some(resp)
+    }
+
+    /// Total requests ever issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total responses ever received.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// The server side of a connection: drains requests, pushes responses.
+#[derive(Debug)]
+pub struct ServerEnd<Req, Resp> {
+    req_rx: Consumer<Req>,
+    resp_tx: Producer<Resp>,
+    drained: u64,
+    responded: u64,
+}
+
+impl<Req, Resp> ServerEnd<Req, Resp> {
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.resp_tx.capacity()
+    }
+
+    /// Takes the next pending request, if any.
+    pub fn next_request(&mut self) -> Option<Req> {
+        let req = self.req_rx.pop()?;
+        self.drained += 1;
+        Some(req)
+    }
+
+    /// Number of requests visible but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.req_rx.len()
+    }
+
+    /// Sends a response back to the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns the response back if the response ring is full — impossible
+    /// while the client respects its credit window, so callers may treat
+    /// this as a protocol violation.
+    pub fn respond(&mut self, resp: Resp) -> Result<(), Resp> {
+        self.resp_tx.push(resp)?;
+        self.responded += 1;
+        Ok(())
+    }
+
+    /// Total requests ever drained.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Total responses ever sent.
+    pub fn responded(&self) -> u64 {
+        self.responded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_round_trip() {
+        let (mut client, mut server) = BufferPair::with_capacity::<u32, u32>(8);
+        client.issue(5).unwrap();
+        let req = server.next_request().unwrap();
+        server.respond(req * 2).unwrap();
+        assert_eq!(client.poll(), Some(10));
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    #[test]
+    fn credit_window_blocks_at_capacity() {
+        let (mut client, mut server) = BufferPair::with_capacity::<u32, u32>(4);
+        for i in 0..4 {
+            client.issue(i).unwrap();
+        }
+        assert!(!client.can_issue());
+        assert_eq!(client.issue(99), Err(IssueError::NoCredit(99)));
+        // Draining requests alone does NOT restore credit: the client only
+        // learns from responses.
+        assert_eq!(server.next_request(), Some(0));
+        assert!(!client.can_issue());
+        server.respond(100).unwrap();
+        assert_eq!(client.poll(), Some(100));
+        assert!(client.can_issue());
+        client.issue(4).unwrap();
+        assert_eq!(client.in_flight(), 4);
+    }
+
+    #[test]
+    fn respond_never_overflows_under_credits() {
+        // With credits respected, the response ring cannot fill.
+        let (mut client, mut server) = BufferPair::with_capacity::<u32, u32>(4);
+        for round in 0..100u32 {
+            while client.can_issue() {
+                client.issue(round).unwrap();
+            }
+            while let Some(r) = server.next_request() {
+                server.respond(r).unwrap();
+            }
+            while client.poll().is_some() {}
+        }
+        assert_eq!(client.issued(), client.completed());
+        assert_eq!(server.drained(), server.responded());
+    }
+
+    #[test]
+    fn poll_on_empty_returns_none() {
+        let (mut client, _server) = BufferPair::with_capacity::<u32, u32>(4);
+        assert_eq!(client.poll(), None);
+    }
+
+    #[test]
+    fn error_display_and_into_inner() {
+        let e = IssueError::NoCredit(7u8);
+        assert!(!format!("{e}").is_empty());
+        assert_eq!(e.into_inner(), 7);
+    }
+
+    #[test]
+    fn pending_reflects_undrained_requests() {
+        let (mut client, mut server) = BufferPair::with_capacity::<u32, u32>(8);
+        client.issue(1).unwrap();
+        client.issue(2).unwrap();
+        assert_eq!(server.pending(), 2);
+        server.next_request();
+        assert_eq!(server.pending(), 1);
+    }
+
+    #[test]
+    fn cross_thread_closed_loop() {
+        let (mut client, mut server) = BufferPair::with_capacity::<u64, u64>(16);
+        const N: u64 = 50_000;
+        let server_thread = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < N {
+                if let Some(r) = server.next_request() {
+                    server.respond(r + 1).unwrap();
+                    served += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut next = 0u64;
+        let mut got = 0u64;
+        while got < N {
+            while next < N && client.can_issue() {
+                client.issue(next).unwrap();
+                next += 1;
+            }
+            while let Some(resp) = client.poll() {
+                assert_eq!(resp, got + 1);
+                got += 1;
+            }
+        }
+        server_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! A HERD-style RPC wire format (Sec. V adopts HERD's protocol; Sec. III-C
+//! notes the APU's optional (de)serializer for RPC-framed requests).
+//!
+//! Frames are what one-sided writes deposit into request-ring entries:
+//!
+//! ```text
+//! magic(2) | opcode(1) | flags(1) | request_id(4) | payload_len(4)
+//! | payload(len) | checksum(4)
+//! ```
+//!
+//! The checksum lets the consumer detect a torn entry (the producer's RDMA
+//! write is not atomic beyond 64 B), standing in for the "poll on the last
+//! byte" trick real implementations use.
+
+/// Frame magic.
+pub const MAGIC: u16 = 0x7A4D; // "zM"
+/// Fixed header bytes before the payload.
+pub const HEADER_BYTES: usize = 12;
+/// Trailing checksum bytes.
+pub const TRAILER_BYTES: usize = 4;
+
+/// Operation codes carried in frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// KVS read.
+    Get = 1,
+    /// KVS write.
+    Put = 2,
+    /// Combined multi-tuple transaction.
+    Txn = 3,
+    /// DLRM inference query.
+    Infer = 4,
+    /// Response frame.
+    Response = 5,
+}
+
+impl OpCode {
+    fn from_u8(v: u8) -> Option<OpCode> {
+        Some(match v {
+            1 => OpCode::Get,
+            2 => OpCode::Put,
+            3 => OpCode::Txn,
+            4 => OpCode::Infer,
+            5 => OpCode::Response,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Operation.
+    pub op: OpCode,
+    /// Flag bits (application-defined).
+    pub flags: u8,
+    /// Request id (echoed in the response).
+    pub request_id: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(op: OpCode, request_id: u32, payload: Vec<u8>) -> Self {
+        Frame { op, flags: 0, request_id, payload }
+    }
+
+    /// Encoded size.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.payload.len() + TRAILER_BYTES
+    }
+
+    /// Encodes the frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.op as u8);
+        out.push(self.flags);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&checksum(&out).to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Reports exactly what is malformed — truncation, bad magic, unknown
+    /// opcode, length mismatch, or checksum failure (torn write).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
+        if bytes.len() < HEADER_BYTES + TRAILER_BYTES {
+            return Err(DecodeError::Truncated { have: bytes.len() });
+        }
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let op = OpCode::from_u8(bytes[2]).ok_or(DecodeError::UnknownOpcode(bytes[2]))?;
+        let flags = bytes[3];
+        let request_id = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced"));
+        let len = u32::from_le_bytes(bytes[8..12].try_into().expect("sliced")) as usize;
+        let total = HEADER_BYTES + len + TRAILER_BYTES;
+        if bytes.len() < total {
+            return Err(DecodeError::Truncated { have: bytes.len() });
+        }
+        let payload = bytes[HEADER_BYTES..HEADER_BYTES + len].to_vec();
+        let want = u32::from_le_bytes(
+            bytes[HEADER_BYTES + len..total].try_into().expect("sliced"),
+        );
+        let got = checksum(&bytes[..HEADER_BYTES + len]);
+        if want != got {
+            return Err(DecodeError::Checksum { want, got });
+        }
+        Ok(Frame { op, flags, request_id, payload })
+    }
+}
+
+/// FNV-1a over the frame prefix.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough bytes for the declared frame.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+    },
+    /// Wrong magic.
+    BadMagic(u16),
+    /// Unrecognized opcode byte.
+    UnknownOpcode(u8),
+    /// Checksum mismatch — a torn or corrupted entry.
+    Checksum {
+        /// Expected checksum.
+        want: u32,
+        /// Computed checksum.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { have } => write!(f, "frame truncated at {have} bytes"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            DecodeError::UnknownOpcode(o) => write!(f, "unknown opcode {o}"),
+            DecodeError::Checksum { want, got } => {
+                write!(f, "checksum mismatch (want {want:#010x}, got {got:#010x}) — torn entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = Frame::new(OpCode::Get, 77, b"key-123".to_vec());
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.wire_bytes());
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let f = Frame::new(OpCode::Response, 0, Vec::new());
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn torn_write_detected() {
+        let mut bytes = Frame::new(OpCode::Put, 5, vec![9; 100]).encode();
+        bytes[40] ^= 0xFF; // flip a payload byte
+        assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Checksum { .. })));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = Frame::new(OpCode::Txn, 5, vec![1; 32]).encode();
+        for cut in [0, 5, HEADER_BYTES, bytes.len() - 1] {
+            assert!(matches!(
+                Frame::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_opcode_detected() {
+        let mut bytes = Frame::new(OpCode::Infer, 1, vec![]).encode();
+        bytes[0] = 0;
+        assert!(matches!(Frame::decode(&bytes), Err(DecodeError::BadMagic(_))));
+
+        let mut bytes = Frame::new(OpCode::Infer, 1, vec![]).encode();
+        bytes[2] = 99;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::UnknownOpcode(99)));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            DecodeError::Truncated { have: 3 },
+            DecodeError::BadMagic(1),
+            DecodeError::UnknownOpcode(9),
+            DecodeError::Checksum { want: 1, got: 2 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn header_sizes_are_stable() {
+        // Wire-format stability: downstream FPGAs parse these offsets.
+        let f = Frame::new(OpCode::Get, 0x0403_0201, vec![0xAA]);
+        let b = f.encode();
+        assert_eq!(&b[0..2], &MAGIC.to_le_bytes());
+        assert_eq!(b[2], OpCode::Get as u8);
+        assert_eq!(&b[4..8], &[0x01, 0x02, 0x03, 0x04]);
+        assert_eq!(&b[8..12], &1u32.to_le_bytes());
+        assert_eq!(b[12], 0xAA);
+    }
+}

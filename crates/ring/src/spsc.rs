@@ -1,0 +1,314 @@
+//! A Lamport-style lock-free single-producer/single-consumer ring buffer.
+//!
+//! This is the data structure at the bottom of every Rambda communication
+//! path. Slots carry a per-slot sequence word, which mirrors how the paper's
+//! rings detect message arrival by observing slot contents change (the
+//! consumer "resets the entry to 0" after draining — here, the consumer
+//! advances the slot's sequence so the producer can reuse it).
+//!
+//! # Example
+//!
+//! ```
+//! let (mut tx, mut rx) = rambda_ring::channel::<u32>(8);
+//! assert!(tx.push(7).is_ok());
+//! assert_eq!(rx.pop(), Some(7));
+//! assert_eq!(rx.pop(), None);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct Slot<T> {
+    /// Sequence protocol (for capacity `n`, lap = index / n):
+    /// `seq == index`       → empty, writable by the producer at `index`.
+    /// `seq == index + 1`   → full, readable by the consumer at `index`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Shared<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    head: CachePadded<AtomicUsize>, // next pop index (consumer-owned)
+    tail: CachePadded<AtomicUsize>, // next push index (producer-owned)
+}
+
+// SAFETY: the slot protocol hands each `value` cell to exactly one side at a
+// time (producer when seq == index, consumer when seq == index + 1), with
+// Acquire/Release ordering on `seq` establishing happens-before for the cell
+// contents.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// The producing half of an SPSC ring. Not clonable: single producer.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer's private copy of the tail (it is the only writer).
+    tail: usize,
+}
+
+/// The consuming half of an SPSC ring. Not clonable: single consumer.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer's private copy of the head (it is the only writer).
+    head: usize,
+}
+
+/// Creates an SPSC ring with `capacity` slots.
+///
+/// # Panics
+///
+/// Panics if `capacity` is not a power of two of at least 2 (ring buffers in
+/// the prototype are power-of-two sized so index arithmetic is a mask; a
+/// one-slot ring would make the slot-sequence protocol ambiguous).
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(
+        capacity >= 2 && capacity.is_power_of_two(),
+        "capacity must be a power of two >= 2, got {capacity}"
+    );
+    let slots: Box<[Slot<T>]> = (0..capacity)
+        .map(|i| Slot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: capacity - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (Producer { shared: Arc::clone(&shared), tail: 0 }, Consumer { shared, head: 0 })
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Attempts to push a value; on a full ring, hands the value back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let idx = self.tail;
+        let slot = &self.shared.slots[idx & self.shared.mask];
+        if slot.seq.load(Ordering::Acquire) != idx {
+            return Err(value); // consumer has not freed this lap yet
+        }
+        // SAFETY: seq == idx hands this cell to the producer exclusively.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.seq.store(idx + 1, Ordering::Release);
+        self.tail = idx + 1;
+        self.shared.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements currently in the ring (approximate under
+    /// concurrency, exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.tail - self.shared.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the ring appears full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Total values ever pushed (the producer-side cursor).
+    pub fn pushed(&self) -> usize {
+        self.tail
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Attempts to pop the next value.
+    pub fn pop(&mut self) -> Option<T> {
+        let idx = self.head;
+        let slot = &self.shared.slots[idx & self.shared.mask];
+        if slot.seq.load(Ordering::Acquire) != idx + 1 {
+            return None; // empty
+        }
+        // SAFETY: seq == idx + 1 hands this cell to the consumer exclusively,
+        // and the value was initialized by the matching push.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // Free the slot for the producer's next lap ("reset the entry").
+        slot.seq.store(idx + self.capacity(), Ordering::Release);
+        self.head = idx + 1;
+        self.shared.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Pops up to `max` values into a vector (batched drain, as the server
+    /// side of the paper's rings does).
+    pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of elements currently readable.
+    pub fn len(&self) -> usize {
+        self.shared.tail.load(Ordering::Acquire) - self.head
+    }
+
+    /// Whether the ring appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total values ever popped (the consumer-side cursor).
+    pub fn popped(&self) -> usize {
+        self.head
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Drain remaining initialized values so they are dropped exactly once.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").field("tail", &self.tail).field("capacity", &self.capacity()).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").field("head", &self.head).field("capacity", &self.capacity()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.is_full());
+        assert_eq!(tx.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let (mut tx, mut rx) = channel::<usize>(8);
+        for lap in 0..1000 {
+            for i in 0..8 {
+                tx.push(lap * 8 + i).unwrap();
+            }
+            for i in 0..8 {
+                assert_eq!(rx.pop(), Some(lap * 8 + i));
+            }
+        }
+        assert_eq!(tx.pushed(), 8000);
+        assert_eq!(rx.popped(), 8000);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        for i in 0..10 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(rx.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_batch(100), vec![4, 5, 6, 7, 8, 9]);
+        assert!(rx.pop_batch(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = channel::<u8>(3);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = channel::<u8>(4);
+        assert_eq!(tx.len(), 0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn drops_remaining_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = channel::<D>(4);
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(rx);
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stress() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        const N: u64 = 50_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect, "out-of-order or lost message");
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+}

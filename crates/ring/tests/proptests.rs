@@ -1,0 +1,85 @@
+//! Property-based tests for the ring-buffer layer.
+
+use proptest::prelude::*;
+use rambda_ring::{BufferPair, PointerBuffer, TailTracker};
+
+proptest! {
+    /// Whatever interleaving of pushes and pops we drive, the SPSC ring
+    /// delivers exactly the pushed values, in order, with none lost.
+    #[test]
+    fn spsc_preserves_fifo(ops in proptest::collection::vec(any::<bool>(), 1..500),
+                           cap_pow in 1u32..6) {
+        let cap = 1usize << cap_pow;
+        let (mut tx, mut rx) = rambda_ring::channel::<u64>(cap);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for push in ops {
+            if push {
+                if tx.push(next_push).is_ok() {
+                    next_push += 1;
+                }
+            } else if let Some(v) = rx.pop() {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+        }
+        // Drain the rest.
+        while let Some(v) = rx.pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push);
+    }
+
+    /// The credit window never admits more than `capacity` in-flight
+    /// requests and never deadlocks a compliant client/server pair.
+    #[test]
+    fn credit_window_invariant(ops in proptest::collection::vec(0u8..3, 1..500),
+                               cap_pow in 1u32..5) {
+        let cap = 1usize << cap_pow;
+        let (mut client, mut server) = BufferPair::with_capacity::<u64, u64>(cap);
+        let mut seq = 0u64;
+        let mut expected = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let before = client.in_flight();
+                    match client.issue(seq) {
+                        Ok(()) => { seq += 1; }
+                        Err(_) => prop_assert_eq!(before, cap as u64),
+                    }
+                }
+                1 => {
+                    if let Some(r) = server.next_request() {
+                        server.respond(r).expect("response ring overflow under credits");
+                    }
+                }
+                _ => {
+                    if let Some(resp) = client.poll() {
+                        prop_assert_eq!(resp, expected);
+                        expected += 1;
+                    }
+                }
+            }
+            prop_assert!(client.in_flight() <= cap as u64);
+        }
+    }
+
+    /// The tail tracker recovers the exact number of requests regardless of
+    /// how bumps coalesce into observations.
+    #[test]
+    fn tail_tracker_recovers_all(bursts in proptest::collection::vec(1u32..100, 1..100)) {
+        let pb = PointerBuffer::new(1);
+        let mut tracker = TailTracker::new();
+        let mut total = 0u64;
+        let mut recovered = 0u64;
+        for burst in bursts {
+            for _ in 0..burst {
+                pb.bump(0); // burst of writes, single coalesced observation
+            }
+            total += burst as u64;
+            recovered += tracker.advance_to(pb.load(0)) as u64;
+        }
+        prop_assert_eq!(total, recovered);
+    }
+}

@@ -1,0 +1,27 @@
+//! RDMA NIC model.
+//!
+//! Implements the verbs-level machinery the paper relies on (Sec. II-A,
+//! Sec. III):
+//!
+//! * queue pairs with send-queue processing pipelines,
+//! * WQE posting with MMIO doorbells and **doorbell batching** (one MMIO for
+//!   a chain of WQEs, only the last signaled — the optimization Rambda's SQ
+//!   handler and the HERD-style baselines both use),
+//! * **unsignaled WQEs** (CQEs generated only for selected operations),
+//! * memory-region registration carrying the **TPH knob** of Sec. III-D, so
+//!   an RDMA write to a DRAM region steers into the LLC while a write to an
+//!   NVM region bypasses it,
+//! * end-to-end one-sided write / read paths composing the PCIe, network,
+//!   and memory models.
+//!
+//! The model charges time and routes bytes; message *contents* move through
+//! `rambda-ring` structures owned by the framework layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod endpoint;
+mod ops;
+
+pub use endpoint::{MrInfo, MrKey, PostPath, QpId, RnicConfig, RnicEndpoint, RnicStats};
+pub use ops::{rdma_read, rdma_write, two_sided_send, ReadOutcome, WriteOpts, WriteOutcome};

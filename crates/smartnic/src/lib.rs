@@ -1,0 +1,270 @@
+//! Smart NIC baseline model (BlueField-2-class).
+//!
+//! Models the comparison system of Sec. II-B / Sec. VI: eight wimpy ARM
+//! cores with 16 GB of on-board DRAM, of which 512 MB serves as a cache for
+//! host-resident application data; misses go to the host over PCIe using
+//! one-sided RDMA through direct verbs — the cost Fig. 1 measures growing
+//! linearly with the host-access fraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rambda_des::{Server, SimRng, SimTime, Span};
+use rambda_fabric::{PcieConfig, PcieLink};
+use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
+use serde::{Deserialize, Serialize};
+
+/// Smart NIC parameters (defaults = Tab. II's BlueField-2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmartNicConfig {
+    /// Number of ARM cores.
+    pub cores: usize,
+    /// Per-request software overhead on an ARM core (RPC parse + dispatch;
+    /// wimpier than a Xeon core).
+    pub request_overhead: Span,
+    /// Per-memory-access instruction overhead on the ARM core.
+    pub access_overhead: Span,
+    /// On-board DRAM bytes reserved as a cache of host data (512 MB in
+    /// Sec. VI-B).
+    pub cache_bytes: u64,
+    /// PCIe link to the host.
+    pub pcie: PcieConfig,
+    /// Relative jitter of a host access (DMA engine / IOMMU variance);
+    /// exponential with this mean fraction. Produces the Fig. 1 tail.
+    pub host_jitter: f64,
+}
+
+impl Default for SmartNicConfig {
+    fn default() -> Self {
+        SmartNicConfig {
+            cores: 8,
+            request_overhead: Span::from_ns(400),
+            access_overhead: Span::from_ns(15),
+            cache_bytes: 512 << 20,
+            pcie: PcieConfig::default(),
+            host_jitter: 0.10,
+        }
+    }
+}
+
+/// Counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmartNicStats {
+    /// Requests processed.
+    pub requests: u64,
+    /// Accesses served from on-board DRAM.
+    pub local_accesses: u64,
+    /// Accesses that crossed PCIe to the host.
+    pub host_accesses: u64,
+}
+
+/// The Smart NIC: cores + on-board memory + PCIe to the host.
+#[derive(Debug, Clone)]
+pub struct SmartNic {
+    cfg: SmartNicConfig,
+    cores: Server,
+    pcie: PcieLink,
+    stats: SmartNicStats,
+}
+
+impl SmartNic {
+    /// Creates a Smart NIC.
+    pub fn new(cfg: SmartNicConfig) -> Self {
+        SmartNic {
+            cores: Server::new(cfg.cores),
+            pcie: PcieLink::new(cfg.pcie.clone()),
+            cfg,
+            stats: SmartNicStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmartNicConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SmartNicStats {
+        &self.stats
+    }
+
+    /// Claims an ARM core for a request arriving at `arrival`, expected to
+    /// hold it for `hold` of compute (memory time computed separately).
+    pub fn claim_core(&mut self, arrival: SimTime, hold: Span) -> SimTime {
+        self.cores.acquire(arrival, hold)
+    }
+
+    /// Start of service for a request arriving at `arrival` whose duration
+    /// is only known after processing; pair with
+    /// [`end_request`](Self::end_request).
+    pub fn begin_request(&mut self, arrival: SimTime) -> SimTime {
+        self.cores.earliest_free().max(arrival) + self.cfg.request_overhead
+    }
+
+    /// Completes the two-phase claim started by
+    /// [`begin_request`](Self::begin_request).
+    pub fn end_request(&mut self, arrival: SimTime, end: SimTime) {
+        let start = self.cores.earliest_free().max(arrival);
+        let hold = end.saturating_since(start);
+        let _ = self.cores.acquire(arrival, hold);
+        self.stats.requests += 1;
+    }
+
+    /// One 64 B-line memory access from an ARM core.
+    ///
+    /// `local` accesses hit the on-board DRAM; host accesses issue a
+    /// one-sided RDMA read/write over PCIe (direct verbs) and touch the
+    /// host's memory system.
+    pub fn mem_access(
+        &mut self,
+        at: SimTime,
+        bytes: u64,
+        write: bool,
+        local: bool,
+        nic_mem: &mut MemorySystem,
+        host_mem: &mut MemorySystem,
+        host_kind: MemKind,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let at = at + self.cfg.access_overhead;
+        if local {
+            self.stats.local_accesses += 1;
+            let access = if write { AccessKind::Write } else { AccessKind::Read };
+            nic_mem.access(at, MemReq { kind: MemKind::NicDram, access, bytes })
+        } else {
+            self.stats.host_accesses += 1;
+            let jitter = Span::from_ns_f64(
+                self.cfg.pcie.one_way_latency.as_ns_f64() * rng.exp(self.cfg.host_jitter),
+            );
+            if write {
+                let posted = self.pcie.device_write(at, bytes);
+                host_mem.access(
+                    posted + jitter,
+                    MemReq { kind: host_kind, access: AccessKind::Write, bytes },
+                )
+            } else {
+                let req_up = self.pcie.device_write(at, 32); // read request TLP
+                let media = host_mem.access(
+                    req_up,
+                    MemReq { kind: host_kind, access: AccessKind::Read, bytes },
+                );
+                self.pcie.dma_to_device(media, bytes) + jitter
+            }
+        }
+    }
+
+    /// The Fig. 1 microbenchmark request: `accesses` back-to-back 64 B
+    /// accesses, each going to the host with probability `host_fraction`.
+    /// Returns the request's service time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random_access_request(
+        &mut self,
+        at: SimTime,
+        accesses: usize,
+        host_fraction: f64,
+        nic_mem: &mut MemorySystem,
+        host_mem: &mut MemorySystem,
+        rng: &mut SimRng,
+    ) -> Span {
+        let start = self.claim_core(at, Span::ZERO);
+        let mut t = start;
+        for _ in 0..accesses {
+            let local = !rng.chance(host_fraction);
+            t = self.mem_access(t, 64, false, local, nic_mem, host_mem, MemKind::Dram, rng);
+        }
+        self.stats.requests += 1;
+        t - at
+    }
+
+    /// Resets dynamic state.
+    pub fn reset(&mut self) {
+        self.cores.reset();
+        self.pcie.reset();
+        self.stats = SmartNicStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambda_mem::MemConfig;
+
+    fn world() -> (SmartNic, MemorySystem, MemorySystem, SimRng) {
+        (
+            SmartNic::new(SmartNicConfig::default()),
+            MemorySystem::new(MemConfig::default(), true), // NIC-side
+            MemorySystem::new(MemConfig::default(), true), // host-side
+            SimRng::seed(42),
+        )
+    }
+
+    #[test]
+    fn local_access_is_fast() {
+        let (mut nic, mut nmem, mut hmem, mut rng) = world();
+        let t = nic.mem_access(SimTime::ZERO, 64, false, true, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        assert!(t.as_ns_f64() < 200.0, "{}", t.as_ns_f64());
+        assert_eq!(nic.stats().local_accesses, 1);
+    }
+
+    #[test]
+    fn host_access_pays_pcie() {
+        let (mut nic, mut nmem, mut hmem, mut rng) = world();
+        let t = nic.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        assert!(t.as_us_f64() > 1.4, "{}", t.as_us_f64());
+        assert_eq!(nic.stats().host_accesses, 1);
+        assert_eq!(hmem.stats().dram_read_bytes, 64);
+    }
+
+    #[test]
+    fn fig1_latency_grows_linearly_with_host_fraction() {
+        // The headline behaviour of Fig. 1.
+        let mut means = Vec::new();
+        for pct in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let (mut nic, mut nmem, mut hmem, mut rng) = world();
+            let mut total = Span::ZERO;
+            let n = 200;
+            for i in 0..n {
+                let at = SimTime::from_us(1000 * (i + 1));
+                total += nic.random_access_request(at, 100, pct, &mut nmem, &mut hmem, &mut rng);
+            }
+            means.push(total.as_us_f64() / n as f64);
+        }
+        // Strictly increasing, and roughly linear: the midpoint should be
+        // near the average of the endpoints.
+        for w in means.windows(2) {
+            assert!(w[1] > w[0], "{means:?}");
+        }
+        let linear_mid = (means[0] + means[5]) / 2.0;
+        let rel = (means[2] + means[3]) / 2.0 / linear_mid;
+        assert!((0.85..1.15).contains(&rel), "means={means:?}");
+        // 100% host is dramatically slower than 0%.
+        assert!(means[5] > 10.0 * means[0], "{means:?}");
+    }
+
+    #[test]
+    fn cores_limit_concurrency() {
+        let (mut nic, _, _, _) = world();
+        let hold = Span::from_us(10);
+        for _ in 0..8 {
+            assert_eq!(nic.claim_core(SimTime::ZERO, hold), SimTime::ZERO);
+        }
+        assert_eq!(nic.claim_core(SimTime::ZERO, hold), SimTime::from_us(10));
+    }
+
+    #[test]
+    fn writes_are_posted() {
+        let (mut nic, mut nmem, mut hmem, mut rng) = world();
+        let w = nic.mem_access(SimTime::ZERO, 64, true, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        let mut nic2 = SmartNic::new(SmartNicConfig::default());
+        let r = nic2.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        assert!(w < r, "posted write {w} vs read {r}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let (mut nic, mut nmem, mut hmem, mut rng) = world();
+        nic.random_access_request(SimTime::ZERO, 10, 0.5, &mut nmem, &mut hmem, &mut rng);
+        nic.reset();
+        assert_eq!(*nic.stats(), SmartNicStats::default());
+    }
+}

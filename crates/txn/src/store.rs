@@ -1,0 +1,185 @@
+//! A log-structured persistent key-value store over (simulated) NVM.
+//!
+//! Stands in for RocksDB in the evaluation (Sec. VI-C): a volatile memtable
+//! in front of a durable redo log. A write is durable once its log record is
+//! in the NVM-backed log; crash recovery replays the durable prefix. Values
+//! are addressed by key and stored with the offset-in-NVM discipline
+//! HyperLoop uses.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One durable redo-log record: a whole transaction's writes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Transaction id (monotonic per chain).
+    pub txn_id: u64,
+    /// `(key, value)` writes, applied atomically.
+    pub writes: Vec<(u64, Vec<u8>)>,
+}
+
+impl WalRecord {
+    /// Serialized size: the paper's log format — one count byte plus
+    /// `(data, len, offset)` tuples.
+    pub fn log_bytes(&self) -> u64 {
+        1 + self
+            .writes
+            .iter()
+            .map(|(_, v)| v.len() as u64 + 4 + 8)
+            .sum::<u64>()
+    }
+}
+
+/// The persistent store: memtable + durable redo log.
+#[derive(Debug, Clone, Default)]
+pub struct PersistentStore {
+    memtable: HashMap<u64, Vec<u8>>,
+    /// The simulated NVM contents: records up to `durable` survive a crash.
+    wal: Vec<WalRecord>,
+    durable: usize,
+}
+
+impl PersistentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PersistentStore::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.memtable.is_empty()
+    }
+
+    /// Reads a key from the memtable.
+    pub fn get(&self, key: u64) -> Option<&[u8]> {
+        self.memtable.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Appends a transaction's record to the redo log (not yet durable) and
+    /// applies it to the memtable. Returns the record's log index.
+    pub fn apply(&mut self, record: WalRecord) -> usize {
+        for (k, v) in &record.writes {
+            self.memtable.insert(*k, v.clone());
+        }
+        self.wal.push(record);
+        self.wal.len() - 1
+    }
+
+    /// Marks the log durable through `index` (the NVM write completed —
+    /// ADR guarantees persistence once it reaches the DIMM's write buffer).
+    pub fn persist_through(&mut self, index: usize) {
+        self.durable = self.durable.max(index + 1);
+    }
+
+    /// Number of durable log records.
+    pub fn durable_len(&self) -> usize {
+        self.durable
+    }
+
+    /// Total log records (durable + volatile tail).
+    pub fn log_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// The durable log prefix.
+    pub fn durable_log(&self) -> &[WalRecord] {
+        &self.wal[..self.durable]
+    }
+
+    /// Simulates a crash: the memtable and the volatile log tail are lost.
+    pub fn crash(&mut self) {
+        self.memtable.clear();
+        self.wal.truncate(self.durable);
+    }
+
+    /// Recovers after a crash by replaying the durable log.
+    pub fn recover(&mut self) {
+        self.memtable.clear();
+        for rec in &self.wal {
+            for (k, v) in &rec.writes {
+                self.memtable.insert(*k, v.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, kvs: &[(u64, u8)]) -> WalRecord {
+        WalRecord {
+            txn_id: id,
+            writes: kvs.iter().map(|&(k, b)| (k, vec![b; 8])).collect(),
+        }
+    }
+
+    #[test]
+    fn apply_and_get() {
+        let mut s = PersistentStore::new();
+        s.apply(rec(1, &[(10, 0xAA), (11, 0xBB)]));
+        assert_eq!(s.get(10).unwrap(), &[0xAA; 8]);
+        assert_eq!(s.get(11).unwrap(), &[0xBB; 8]);
+        assert_eq!(s.len(), 2);
+        assert!(s.get(99).is_none());
+    }
+
+    #[test]
+    fn log_bytes_match_paper_format() {
+        let r = rec(1, &[(1, 0), (2, 0)]);
+        // 1 count byte + 2 x (8 bytes data + 4 len + 8 offset).
+        assert_eq!(r.log_bytes(), 1 + 2 * 20);
+    }
+
+    #[test]
+    fn crash_loses_volatile_tail_only() {
+        let mut s = PersistentStore::new();
+        let i0 = s.apply(rec(1, &[(1, 0x01)]));
+        s.persist_through(i0);
+        s.apply(rec(2, &[(2, 0x02)])); // never persisted
+        s.crash();
+        assert_eq!(s.log_len(), 1);
+        assert!(s.get(1).is_none(), "memtable lost in the crash");
+        s.recover();
+        assert_eq!(s.get(1).unwrap(), &[0x01; 8]);
+        assert!(s.get(2).is_none(), "unpersisted txn must not reappear");
+    }
+
+    #[test]
+    fn recovery_applies_log_in_order() {
+        let mut s = PersistentStore::new();
+        let a = s.apply(rec(1, &[(7, 0x01)]));
+        s.persist_through(a);
+        let b = s.apply(rec(2, &[(7, 0x02)])); // overwrites key 7
+        s.persist_through(b);
+        s.crash();
+        s.recover();
+        assert_eq!(s.get(7).unwrap(), &[0x02; 8], "later record must win");
+    }
+
+    #[test]
+    fn persist_through_is_monotonic() {
+        let mut s = PersistentStore::new();
+        let a = s.apply(rec(1, &[(1, 1)]));
+        let b = s.apply(rec(2, &[(2, 2)]));
+        s.persist_through(b);
+        s.persist_through(a); // regress attempt
+        assert_eq!(s.durable_len(), 2);
+        assert_eq!(s.durable_log().len(), 2);
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let mut s = PersistentStore::new();
+        assert!(s.is_empty());
+        s.crash();
+        s.recover();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: chain replication invariants under arbitrary
+//! transaction mixes and crash points.
+
+use proptest::prelude::*;
+use rambda_txn::{Chain, TxnWrite};
+
+#[derive(Debug, Clone)]
+struct PropTxn {
+    reads: Vec<u64>,
+    writes: Vec<(u64, u8)>,
+}
+
+fn txn_strategy() -> impl Strategy<Value = PropTxn> {
+    (
+        proptest::collection::vec(0u64..50, 0..4),
+        proptest::collection::vec((0u64..50, any::<u8>()), 0..4),
+    )
+        .prop_map(|(reads, writes)| PropTxn { reads, writes })
+}
+
+proptest! {
+    /// All replicas hold identical durable logs and identical values after
+    /// any workload.
+    #[test]
+    fn replicas_never_diverge(txns in proptest::collection::vec(txn_strategy(), 1..100),
+                              replicas in 1usize..5) {
+        let mut chain = Chain::new(replicas);
+        for t in txns {
+            let writes = t.writes.iter().map(|&(k, b)| TxnWrite { key: k, value: vec![b; 4] }).collect();
+            chain.execute(&t.reads, writes);
+        }
+        chain.check_consistency().unwrap();
+        for key in 0..50u64 {
+            let head = chain.replica(0).get(key).map(<[u8]>::to_vec);
+            for r in 1..replicas {
+                prop_assert_eq!(chain.replica(r).get(key).map(<[u8]>::to_vec), head.clone());
+            }
+        }
+    }
+
+    /// Crash + recovery at any point preserves exactly the committed state.
+    #[test]
+    fn recovery_is_exact(txns in proptest::collection::vec(txn_strategy(), 1..60),
+                         crash_replica in 0usize..3) {
+        let mut chain = Chain::new(3);
+        for t in &txns {
+            let writes = t.writes.iter().map(|&(k, b)| TxnWrite { key: k, value: vec![b; 4] }).collect();
+            chain.execute(&t.reads, writes);
+        }
+        let before: Vec<_> = (0..50u64)
+            .map(|k| chain.replica(crash_replica).get(k).map(<[u8]>::to_vec))
+            .collect();
+        chain.replica_mut(crash_replica).crash();
+        chain.replica_mut(crash_replica).recover();
+        for (k, want) in before.into_iter().enumerate() {
+            prop_assert_eq!(chain.replica(crash_replica).get(k as u64).map(<[u8]>::to_vec), want);
+        }
+        chain.check_consistency().unwrap();
+    }
+
+    /// Reads always observe the latest committed write for their key.
+    #[test]
+    fn reads_are_monotone(values in proptest::collection::vec(any::<u8>(), 1..50)) {
+        let mut chain = Chain::new(2);
+        for (i, &b) in values.iter().enumerate() {
+            chain.execute(&[], vec![TxnWrite { key: 7, value: vec![b; 2] }]);
+            let out = chain.execute(&[7], vec![]);
+            prop_assert_eq!(out.reads[0].as_deref().unwrap(), &[b, b][..], "iteration {}", i);
+        }
+    }
+}

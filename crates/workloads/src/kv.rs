@@ -1,0 +1,249 @@
+//! KVS and transaction workload generators (Sec. VI-B / VI-C).
+
+use rambda_des::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::zipf::Zipf;
+
+/// Key popularity distribution.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Number of keys.
+        n: u64,
+    },
+    /// Zipfian with the given sampler.
+    Zipfian(Zipf),
+}
+
+impl KeyDist {
+    /// Uniform over `n` keys.
+    pub fn uniform(n: u64) -> Self {
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian over `n` keys with exponent `theta` (the paper uses 0.9).
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::Zipfian(Zipf::new(n, theta))
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::Zipfian(z) => z.n(),
+        }
+    }
+
+    /// Draws a key.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::Zipfian(z) => z.sample(rng),
+        }
+    }
+
+    /// Expected fraction of draws landing in the hottest `c` keys (cache
+    /// hit-rate model).
+    pub fn hot_mass(&self, c: u64) -> f64 {
+        match self {
+            KeyDist::Uniform { n } => Zipf::uniform_mass(*n, c),
+            KeyDist::Zipfian(z) => z.hot_mass(c),
+        }
+    }
+}
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read the value for a key.
+    Get {
+        /// The key.
+        key: u64,
+    },
+    /// Insert or update a key with a value of `value_bytes`.
+    Put {
+        /// The key.
+        key: u64,
+        /// Value size in bytes.
+        value_bytes: u32,
+    },
+}
+
+impl KvOp {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            KvOp::Get { key } | KvOp::Put { key, .. } => *key,
+        }
+    }
+
+    /// Whether this is a write.
+    pub fn is_put(&self) -> bool {
+        matches!(self, KvOp::Put { .. })
+    }
+}
+
+/// A GET/PUT mix over a key distribution.
+///
+/// The paper's two workloads: read-intensive (100 % GET) and write-intensive
+/// (50 % GET, 50 % PUT), over 100 M pairs of 64 B.
+#[derive(Debug, Clone)]
+pub struct KvMix {
+    dist: KeyDist,
+    get_fraction: f64,
+    value_bytes: u32,
+}
+
+impl KvMix {
+    /// Creates a mix with the given GET fraction and value size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `get_fraction` is outside `[0, 1]`.
+    pub fn new(dist: KeyDist, get_fraction: f64, value_bytes: u32) -> Self {
+        assert!((0.0..=1.0).contains(&get_fraction), "bad GET fraction {get_fraction}");
+        KvMix { dist, get_fraction, value_bytes }
+    }
+
+    /// The paper's read-intensive workload (100 % GET, 64 B values).
+    pub fn read_intensive(dist: KeyDist) -> Self {
+        KvMix::new(dist, 1.0, 64)
+    }
+
+    /// The paper's write-intensive workload (50 % GET / 50 % PUT, 64 B).
+    pub fn write_intensive(dist: KeyDist) -> Self {
+        KvMix::new(dist, 0.5, 64)
+    }
+
+    /// The key distribution.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&self, rng: &mut SimRng) -> KvOp {
+        let key = self.dist.sample(rng);
+        if rng.chance(self.get_fraction) {
+            KvOp::Get { key }
+        } else {
+            KvOp::Put { key, value_bytes: self.value_bytes }
+        }
+    }
+}
+
+/// A multi-operation transaction shape for the chain-replication system.
+///
+/// Sec. VI-C evaluates (reads, writes) ∈ {(0,1), (4,2)} with 64 B and
+/// 1024 B values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Read operations per transaction.
+    pub reads: usize,
+    /// Write operations per transaction.
+    pub writes: usize,
+    /// Value size in bytes.
+    pub value_bytes: u32,
+}
+
+impl TxnSpec {
+    /// The paper's single-write transaction.
+    pub fn single_write(value_bytes: u32) -> Self {
+        TxnSpec { reads: 0, writes: 1, value_bytes }
+    }
+
+    /// The paper's (4 reads, 2 writes) transaction, "representative of
+    /// real-world transactional systems".
+    pub fn read_write(value_bytes: u32) -> Self {
+        TxnSpec { reads: 4, writes: 2, value_bytes }
+    }
+
+    /// Total operations.
+    pub fn ops(&self) -> usize {
+        self.reads + self.writes
+    }
+
+    /// Draws the distinct keys this transaction touches.
+    pub fn sample_keys(&self, dist: &KeyDist, rng: &mut SimRng) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.ops());
+        while keys.len() < self.ops() {
+            let k = dist.sample(rng);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+
+    /// Redo-log entry size: a 1-byte tuple count plus `(data, len, offset)`
+    /// tuples for each write (Sec. IV-B's log format).
+    pub fn log_entry_bytes(&self) -> u64 {
+        1 + self.writes as u64 * (self.value_bytes as u64 + 4 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions() {
+        let mix = KvMix::write_intensive(KeyDist::uniform(1000));
+        let mut rng = SimRng::seed(1);
+        let puts = (0..10_000).filter(|_| mix.next_op(&mut rng).is_put()).count();
+        assert!((4_500..5_500).contains(&puts), "puts={puts}");
+    }
+
+    #[test]
+    fn read_intensive_is_all_gets() {
+        let mix = KvMix::read_intensive(KeyDist::zipfian(1000, 0.9));
+        let mut rng = SimRng::seed(2);
+        assert!((0..1000).all(|_| !mix.next_op(&mut rng).is_put()));
+    }
+
+    #[test]
+    fn op_accessors() {
+        let g = KvOp::Get { key: 5 };
+        let p = KvOp::Put { key: 6, value_bytes: 64 };
+        assert_eq!(g.key(), 5);
+        assert_eq!(p.key(), 6);
+        assert!(p.is_put() && !g.is_put());
+    }
+
+    #[test]
+    fn txn_specs_match_paper() {
+        let t = TxnSpec::read_write(64);
+        assert_eq!((t.reads, t.writes), (4, 2));
+        assert_eq!(t.ops(), 6);
+        let s = TxnSpec::single_write(1024);
+        assert_eq!(s.ops(), 1);
+        // 1 count byte + 2x(1024+12) for the (4,2) @1024 shape.
+        assert_eq!(TxnSpec::read_write(1024).log_entry_bytes(), 1 + 2 * 1036);
+    }
+
+    #[test]
+    fn txn_keys_are_distinct() {
+        let dist = KeyDist::zipfian(100, 0.9); // heavy collisions, must dedup
+        let mut rng = SimRng::seed(3);
+        for _ in 0..100 {
+            let keys = TxnSpec::read_write(64).sample_keys(&dist, &mut rng);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), keys.len());
+        }
+    }
+
+    #[test]
+    fn keydist_hot_mass_dispatch() {
+        assert_eq!(KeyDist::uniform(100).hot_mass(50), 0.5);
+        assert!(KeyDist::zipfian(1000, 0.9).hot_mass(100) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad GET fraction")]
+    fn bad_fraction_panics() {
+        KvMix::new(KeyDist::uniform(10), 1.5, 64);
+    }
+}

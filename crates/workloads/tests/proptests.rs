@@ -1,0 +1,67 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rambda_des::SimRng;
+use rambda_workloads::{KeyDist, KvMix, TxnSpec, Zipf};
+
+proptest! {
+    /// Zipf samples always land in range and hot_mass is monotone in c for
+    /// any (n, theta).
+    #[test]
+    fn zipf_range_and_monotone_mass(n in 1u64..1_000_000, theta in 0.0f64..1.2, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..200 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+        let mut last = 0.0;
+        for c in [0, n / 7 + 1, n / 3 + 1, n] {
+            let m = zipf.hot_mass(c);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+            prop_assert!(m + 1e-9 >= last, "hot_mass not monotone at c={c}");
+            last = m;
+        }
+    }
+
+    /// Higher skew concentrates more mass on the same hot set.
+    #[test]
+    fn skew_orders_hot_mass(n in 100u64..1_000_000) {
+        let mild = Zipf::new(n, 0.3);
+        let heavy = Zipf::new(n, 0.99);
+        let c = n / 10 + 1;
+        prop_assert!(heavy.hot_mass(c) >= mild.hot_mass(c) - 1e-9);
+    }
+
+    /// KvMix respects its GET fraction within statistical tolerance and
+    /// only emits in-range keys.
+    #[test]
+    fn kv_mix_fraction_holds(frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mix = KvMix::new(KeyDist::uniform(1000), frac, 64);
+        let mut rng = SimRng::seed(seed);
+        let n = 4000;
+        let mut gets = 0;
+        for _ in 0..n {
+            let op = mix.next_op(&mut rng);
+            prop_assert!(op.key() < 1000);
+            if !op.is_put() {
+                gets += 1;
+            }
+        }
+        let measured = gets as f64 / n as f64;
+        prop_assert!((measured - frac).abs() < 0.05, "frac={frac} measured={measured}");
+    }
+
+    /// Transaction key sets are always distinct and exactly sized.
+    #[test]
+    fn txn_keys_distinct(reads in 0usize..5, writes in 1usize..5, seed in any::<u64>()) {
+        let spec = TxnSpec { reads, writes, value_bytes: 64 };
+        let dist = KeyDist::zipfian(50, 0.9); // tiny space forces collisions
+        let mut rng = SimRng::seed(seed);
+        let keys = spec.sample_keys(&dist, &mut rng);
+        prop_assert_eq!(keys.len(), reads + writes);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), keys.len());
+    }
+}

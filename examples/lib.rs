@@ -1,0 +1,14 @@
+//! Shared output helpers for the example binaries. The examples themselves
+//! live next to this file: `quickstart.rs`, `kvs_cluster.rs`,
+//! `chain_txn.rs`, `dlrm_inference.rs` — run them with
+//! `cargo run -p rambda-examples --bin <name>`.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Prints one labelled measurement line.
+pub fn metric(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<44} {value}");
+}

@@ -1,0 +1,81 @@
+//! Adaptive-DDIO integration: RNIC memory regions, TPH routing, NVM write
+//! amplification, and the end-to-end Fig. 5 / Sec. III-D behaviour.
+
+use rambda_des::SimTime;
+use rambda_fabric::{NodeId, PcieConfig};
+use rambda_mem::{DmaRoute, MemConfig, MemKind, MemorySystem};
+use rambda_rnic::{MrInfo, RnicConfig, RnicEndpoint};
+
+fn nic() -> RnicEndpoint {
+    RnicEndpoint::new(NodeId(1), RnicConfig::default(), PcieConfig::default())
+}
+
+#[test]
+fn fig6_policy_steers_per_region() {
+    // Global DDIO off (guideline 1); TPH set per region (guideline 2).
+    let mut nic = nic();
+    let mut mem = MemorySystem::new(MemConfig::default(), false);
+    let dram = nic.register_region(MrInfo::adaptive(MemKind::Dram));
+    let nvm = nic.register_region(MrInfo::adaptive(MemKind::Nvm));
+
+    let (_, r1) = nic.deliver_write(SimTime::ZERO, dram, 4096, &mut mem);
+    let (_, r2) = nic.deliver_write(SimTime::ZERO, nvm, 4096, &mut mem);
+    assert_eq!(r1, DmaRoute::Llc, "DRAM region rides DDIO via TPH");
+    assert_eq!(r2, DmaRoute::Memory, "NVM region bypasses the cache");
+    // The DRAM region consumed no memory-channel bandwidth.
+    assert_eq!(mem.stats().dram_total_bytes(), 0);
+    // The NVM write was granule-rounded but NOT amplified.
+    assert_eq!(mem.stats().nvm_physical_write_bytes, 4096);
+}
+
+#[test]
+fn global_ddio_on_amplifies_nvm_evictions() {
+    // The non-adaptive configuration: DDIO on, everything lands in the LLC;
+    // flushing to the persistence domain pays the eviction amplification.
+    let mut nic = nic();
+    let mut mem = MemorySystem::new(MemConfig::default(), true);
+    let nvm = nic.register_region(MrInfo { dest: MemKind::Nvm, tph: false });
+    let (t, route) = nic.deliver_write(SimTime::ZERO, nvm, 4096, &mut mem);
+    assert_eq!(route, DmaRoute::Llc, "global DDIO overrides the region");
+    mem.flush_llc_to_nvm(t, 4096);
+    let amp = mem.stats().nvm_write_amplification();
+    assert!(amp > 1.15, "expected eviction amplification, got {amp}");
+}
+
+#[test]
+fn adaptive_beats_ddio_on_nvm_write_bandwidth() {
+    // Same logical write stream; compare physical NVM bytes.
+    let logical: u64 = 10 * 1024 * 1024;
+    let chunk = 4096u64;
+
+    let mut adaptive = MemorySystem::new(MemConfig::default(), false);
+    let mut nic_a = nic();
+    let nvm_a = nic_a.register_region(MrInfo::adaptive(MemKind::Nvm));
+    for i in 0..logical / chunk {
+        nic_a.deliver_write(SimTime::from_us(i), nvm_a, chunk, &mut adaptive);
+    }
+
+    let mut always = MemorySystem::new(MemConfig::default(), true);
+    let mut nic_b = nic();
+    let nvm_b = nic_b.register_region(MrInfo { dest: MemKind::Nvm, tph: false });
+    for i in 0..logical / chunk {
+        let (t, _) = nic_b.deliver_write(SimTime::from_us(i), nvm_b, chunk, &mut always);
+        always.flush_llc_to_nvm(t, chunk);
+    }
+
+    let a = adaptive.stats().nvm_physical_write_bytes;
+    let b = always.stats().nvm_physical_write_bytes;
+    assert_eq!(a, logical, "adaptive path writes exactly the logical bytes");
+    assert!(b as f64 >= 1.15 * a as f64, "DDIO path amplifies: {b} vs {a}");
+}
+
+#[test]
+fn cq_rings_still_use_the_cache() {
+    // CQEs are DRAM rings: even with global DDIO off, the RNIC sets TPH on
+    // them so completions land in the LLC.
+    let mut nic = nic();
+    let mut mem = MemorySystem::new(MemConfig::default(), false);
+    nic.complete(SimTime::ZERO, &mut mem);
+    assert_eq!(mem.stats().dma_to_llc_bytes, 64);
+    assert_eq!(mem.stats().dram_total_bytes(), 0);
+}

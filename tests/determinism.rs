@@ -1,0 +1,56 @@
+//! Reproducibility: every experiment is a deterministic function of its
+//! seed — identical runs, bit-for-bit identical statistics.
+
+use rambda::micro::{run_cpu, run_rambda, MicroParams};
+use rambda::Testbed;
+use rambda_accel::DataLocation;
+use rambda_kvs::designs as kvs;
+use rambda_kvs::KvsParams;
+use rambda_txn::{run_rambda_tx, TxnParams};
+use rambda_workloads::TxnSpec;
+
+fn same(a: &rambda::RunStats, b: &rambda::RunStats) -> bool {
+    a.completed == b.completed
+        && a.throughput_ops == b.throughput_ops
+        && a.latency.mean() == b.latency.mean()
+        && a.latency.percentile(0.99) == b.latency.percentile(0.99)
+}
+
+#[test]
+fn micro_runs_are_reproducible() {
+    let tb = Testbed::default();
+    let p = MicroParams::quick();
+    let a = run_rambda(&tb, p, DataLocation::HostDram, true, 7);
+    let b = run_rambda(&tb, p, DataLocation::HostDram, true, 7);
+    assert!(same(&a, &b));
+    let c = run_rambda(&tb, p.with_nvm(), DataLocation::HostDram, false, 7);
+    let d = run_rambda(&tb, p.with_nvm(), DataLocation::HostDram, false, 7);
+    assert!(same(&c, &d));
+    // The CPU run takes no seed: fully deterministic.
+    assert!(same(&run_cpu(&tb, p, 4, 16), &run_cpu(&tb, p, 4, 16)));
+}
+
+#[test]
+fn kvs_runs_are_reproducible_and_seed_sensitive() {
+    let tb = Testbed::default();
+    let p = KvsParams { requests: 10_000, ..KvsParams::quick() }.with_zipf(0.9);
+    let a = kvs::run_rambda(&tb, &p, DataLocation::HostDram);
+    let b = kvs::run_rambda(&tb, &p, DataLocation::HostDram);
+    assert!(same(&a, &b));
+
+    let mut p2 = p.clone();
+    p2.seed = p.seed + 1;
+    let c = kvs::run_cpu(&tb, &p);
+    let d = kvs::run_cpu(&tb, &p2);
+    // A different seed produces a (slightly) different run.
+    assert!(c.latency.mean() != d.latency.mean() || c.throughput_ops != d.throughput_ops);
+}
+
+#[test]
+fn txn_runs_are_reproducible() {
+    let tb = Testbed::default();
+    let p = TxnParams { txns: 2_000, ..TxnParams::quick(TxnSpec::read_write(64)) };
+    let a = run_rambda_tx(&tb, &p);
+    let b = run_rambda_tx(&tb, &p);
+    assert!(same(&a, &b));
+}

@@ -1,0 +1,118 @@
+//! The full notification pipeline across crates: RDMA delivery → coherence
+//! invalidation → cpoll dispatch → ring drain, including the pointer-buffer
+//! mode with signal coalescing.
+
+use rambda_coherence::{AgentId, CpollChecker, Directory, LineAddr};
+use rambda_ring::{BufferPair, PointerBuffer, TailTracker};
+
+/// A miniature server: 4 connections, each with a ring and a pointer-buffer
+/// entry registered as the cpoll region.
+struct MiniServer {
+    dir: Directory,
+    checker: CpollChecker,
+    pointer: PointerBuffer,
+    trackers: Vec<TailTracker>,
+}
+
+const PTR_BASE: u64 = 0x8000;
+const RINGS: usize = 4;
+
+impl MiniServer {
+    fn new() -> Self {
+        let mut checker = CpollChecker::new(64 * 1024);
+        // Pointer buffer: one 64 B line per ring (padded 4 B entries).
+        checker.register(PTR_BASE, (RINGS * 64) as u64, 64).unwrap();
+        let mut dir = Directory::new();
+        // The accelerator owns (pins) the pointer-buffer lines.
+        for r in 0..RINGS {
+            dir.write(AgentId::ACCEL, LineAddr(PTR_BASE + (r as u64) * 64));
+        }
+        MiniServer {
+            dir,
+            checker,
+            pointer: PointerBuffer::new(RINGS),
+            trackers: vec![TailTracker::new(); RINGS],
+        }
+    }
+
+    /// A remote write lands in `ring`: bump the pointer entry (the second
+    /// WQE of the batched-doorbell pair) and produce any cpoll notification.
+    fn deliver(&mut self, ring: usize) -> Option<usize> {
+        self.pointer.bump(ring);
+        let line = LineAddr(PTR_BASE + (ring as u64) * 64);
+        let events = self.dir.write(AgentId::IO, line);
+        let note = events.iter().find_map(|e| self.checker.observe(e));
+        // The accelerator re-reads (and re-owns) the line afterwards.
+        self.dir.write(AgentId::ACCEL, line);
+        note.map(|n| n.ring)
+    }
+
+    /// The scheduler consumes a notification for `ring`: how many new
+    /// requests since last time?
+    fn harvest(&mut self, ring: usize) -> u32 {
+        self.trackers[ring].advance_to(self.pointer.load(ring))
+    }
+}
+
+#[test]
+fn every_delivery_notifies_the_right_ring() {
+    let mut s = MiniServer::new();
+    for ring in 0..RINGS {
+        let got = s.deliver(ring).expect("delivery must notify");
+        assert_eq!(got, ring);
+        assert_eq!(s.harvest(ring), 1);
+    }
+}
+
+#[test]
+fn coalesced_signals_recover_every_request() {
+    let mut s = MiniServer::new();
+    // Three writes land back-to-back; only the *first* invalidation fires
+    // (the line is already Invalid for the accelerator afterwards if it has
+    // not re-read it) — emulate by bumping without re-owning.
+    for _ in 0..3 {
+        s.pointer.bump(2);
+    }
+    let line = LineAddr(PTR_BASE + 2 * 64);
+    let events = s.dir.write(AgentId::IO, line);
+    let notes: Vec<_> = events.iter().filter_map(|e| s.checker.observe(e)).collect();
+    assert!(notes.len() <= 1, "coalesced to at most one signal");
+    // The tail tracker still recovers all three requests.
+    assert_eq!(s.harvest(2), 3);
+    assert_eq!(s.harvest(2), 0);
+}
+
+#[test]
+fn pointer_buffer_scales_where_pinning_cannot() {
+    // 1K connections with 1 MB rings: pinning needs 1 GB of cache (fails);
+    // the pointer buffer needs 4 KB (fits) — Sec. III-B's scalability fix.
+    let mut pinned = CpollChecker::new(64 * 1024);
+    assert!(pinned.register(0, 1024 * (1 << 20), 1 << 20).is_err());
+    let mut ptr = CpollChecker::new(64 * 1024);
+    assert!(ptr.register(0, 1024 * 64, 64).is_ok());
+}
+
+#[test]
+fn ring_and_notification_stay_in_sync_under_load() {
+    let mut s = MiniServer::new();
+    let (mut client, mut server) = BufferPair::with_capacity::<u32, u32>(64);
+    let mut delivered = 0u32;
+    let mut harvested = 0u32;
+    for i in 0..1000u32 {
+        if client.can_issue() {
+            client.issue(i).unwrap();
+            s.deliver(0);
+            delivered += 1;
+        }
+        if i % 7 == 0 {
+            // Scheduler wakes up: harvest notifications, drain the ring.
+            harvested += s.harvest(0);
+            while let Some(req) = server.next_request() {
+                server.respond(req).unwrap();
+            }
+            while client.poll().is_some() {}
+        }
+    }
+    harvested += s.harvest(0);
+    assert_eq!(delivered, harvested, "notifications must match deliveries");
+}

@@ -1,0 +1,90 @@
+//! Integration: the Sec. III-E programming model — framework registration,
+//! cross-thread dispatch, and RPC framing working together.
+
+use rambda::{AppRegistration, CpollLayout, Framework, Testbed};
+use rambda_coherence::CpollChecker;
+use rambda_fabric::NodeId;
+use rambda_ring::rpc::{DecodeError, Frame, OpCode};
+use rambda_ring::{run_dispatcher, shared_connection, BufferPair};
+use rambda_rnic::RnicEndpoint;
+
+fn parts() -> (RnicEndpoint, CpollChecker, Framework) {
+    let tb = Testbed::default();
+    (
+        RnicEndpoint::new(NodeId(1), tb.rnic.clone(), tb.pcie.clone()),
+        CpollChecker::new(tb.cc.local_cache_bytes),
+        Framework::new(),
+    )
+}
+
+#[test]
+fn framework_chooses_layout_by_scale() {
+    let (mut rnic, mut cpoll, mut fw) = parts();
+    let small = fw
+        .register_app::<u64, u64>(AppRegistration::new("small", 8).with_rings(32, 64), &mut rnic, &mut cpoll)
+        .unwrap();
+    assert_eq!(small.layout, CpollLayout::PinnedRings);
+    // A second, large app on the *same* accelerator must take the pointer
+    // buffer (the cache is partially pinned already).
+    let large = fw
+        .register_app::<u64, u64>(
+            AppRegistration::new("large", 128).with_rings(1024, 512),
+            &mut rnic,
+            &mut cpoll,
+        )
+        .unwrap();
+    assert_eq!(large.layout, CpollLayout::PointerBuffer);
+}
+
+#[test]
+fn rpc_frames_survive_the_shared_connection() {
+    let (mut rnic, mut cpoll, mut fw) = parts();
+    let _app = fw
+        .register_app::<Frame, Frame>(AppRegistration::new("rpc", 1).with_rings(32, 256), &mut rnic, &mut cpoll)
+        .unwrap();
+
+    let (clients, mut dispatcher) = shared_connection::<Frame, Frame>(3);
+    let (mut conn, mut server) = BufferPair::with_capacity::<Frame, Frame>(8);
+    let handles: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(w, c)| {
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let id = (w as u32) * 1000 + i;
+                    let resp = c.call(Frame::new(OpCode::Put, id, vec![w as u8; 40])).unwrap();
+                    assert_eq!(resp.request_id, id);
+                    assert_eq!(resp.payload, vec![w as u8; 40]);
+                }
+            })
+        })
+        .collect();
+    run_dispatcher(
+        &mut dispatcher,
+        &mut conn,
+        &mut server,
+        |req| {
+            // The server-side (de)serializer verifies integrity end-to-end.
+            let round = Frame::decode(&req.encode()).unwrap();
+            Frame::new(OpCode::Response, round.request_id, round.payload)
+        },
+        300,
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn torn_entries_are_rejected_not_served() {
+    // A frame whose RDMA write was torn mid-entry fails the checksum and
+    // must be retried by polling again, not half-served.
+    let good = Frame::new(OpCode::Txn, 9, vec![7; 128]).encode();
+    let mut torn = good.clone();
+    let cut = good.len() / 2;
+    for b in &mut torn[cut..cut + 8] {
+        *b = 0xEE;
+    }
+    assert!(matches!(Frame::decode(&torn), Err(DecodeError::Checksum { .. })));
+    assert!(Frame::decode(&good).is_ok());
+}
