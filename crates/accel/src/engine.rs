@@ -3,6 +3,7 @@
 use rambda_coherence::{CcConfig, CcInterconnect, CpollChecker, Notifier};
 use rambda_des::{Server, SimRng, SimTime, Span, Throttle};
 use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
+use rambda_metrics::MetricSet;
 use serde::{Deserialize, Serialize};
 
 /// Where the application's data lives, from the accelerator's perspective.
@@ -149,6 +150,20 @@ impl AccelEngine {
         &self.cc
     }
 
+    /// Publishes the engine's counters under `prefix`: the APU stats, the
+    /// cc-interconnect traffic, the outstanding-request slots, and the
+    /// local-memory issue throttle.
+    pub fn publish_metrics(&self, m: &mut MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.requests"), self.stats.requests);
+        m.set(&format!("{prefix}.mem_ops"), self.stats.mem_ops);
+        m.set(&format!("{prefix}.mem_bytes"), self.stats.mem_bytes);
+        m.set(&format!("{prefix}.alu_ops"), self.stats.alu_ops);
+        m.set(&format!("{prefix}.notifications"), self.stats.notifications);
+        m.set(&format!("{prefix}.cc.bytes"), self.cc.bytes_moved());
+        m.observe_server(&format!("{prefix}.slots"), &self.slots);
+        m.observe_throttle(&format!("{prefix}.local_issue"), &self.local_issue);
+    }
+
     /// Computes when a request written to the cpoll region at `written_at`
     /// is discovered by the scheduler (cpoll signal or spin-poll cycle).
     pub fn discover(&mut self, written_at: SimTime, monitored_rings: usize, rng: &mut SimRng) -> SimTime {
@@ -180,13 +195,7 @@ impl AccelEngine {
     /// Host-resident data pays the coherence controller's serial issue gap,
     /// one interconnect hop each way, and the host media time; local data
     /// pays the local controller gap and the local media time.
-    pub fn mem_access(
-        &mut self,
-        at: SimTime,
-        bytes: u64,
-        write: bool,
-        mem: &mut MemorySystem,
-    ) -> SimTime {
+    pub fn mem_access(&mut self, at: SimTime, bytes: u64, write: bool, mem: &mut MemorySystem) -> SimTime {
         self.stats.mem_ops += 1;
         self.stats.mem_bytes += bytes;
         let kind = self.cfg.location.mem_kind();
@@ -246,20 +255,14 @@ impl AccelEngine {
                 let mut line_done = at;
                 for _ in 0..lines {
                     let at_host = self.cc.accel_gather_line(at, 16);
-                    let ready = mem.access(
-                        at_host,
-                        MemReq { kind, access: AccessKind::Read, bytes: 64 },
-                    );
+                    let ready = mem.access(at_host, MemReq { kind, access: AccessKind::Read, bytes: 64 });
                     line_done = self.cc.toward_accel(ready, 64);
                 }
                 last = last.max(line_done);
             } else {
                 // Local memory controllers burst the whole row.
                 let issued = self.local_issue.admit(at);
-                let done = mem.access(
-                    issued,
-                    MemReq { kind, access: AccessKind::Read, bytes: row_bytes },
-                );
+                let done = mem.access(issued, MemReq { kind, access: AccessKind::Read, bytes: row_bytes });
                 last = last.max(done);
             }
         }
@@ -311,10 +314,7 @@ mod tests {
     use rambda_mem::MemConfig;
 
     fn engine(location: DataLocation) -> (AccelEngine, MemorySystem) {
-        (
-            AccelEngine::new(AccelConfig::prototype(location)),
-            MemorySystem::new(MemConfig::default(), true),
-        )
+        (AccelEngine::new(AccelConfig::prototype(location)), MemorySystem::new(MemConfig::default(), true))
     }
 
     #[test]
@@ -341,10 +341,7 @@ mod tests {
         let chain = e.read_chain(SimTime::ZERO, 8, 64, &mut mem);
         let (mut e2, mut mem2) = engine(DataLocation::HostDram);
         let fanout = e2.read_fanout(SimTime::ZERO, 8, 64, &mut mem2);
-        assert!(
-            chain.as_ns_f64() > 2.0 * fanout.as_ns_f64(),
-            "chain {chain} fanout {fanout}"
-        );
+        assert!(chain.as_ns_f64() > 2.0 * fanout.as_ns_f64(), "chain {chain} fanout {fanout}");
     }
 
     #[test]
@@ -376,9 +373,7 @@ mod tests {
 
     #[test]
     fn slots_gate_concurrency() {
-        let mut cfg = AccelConfig::default();
-        cfg.outstanding = 1;
-        cfg.dispatch_overhead = Span::ZERO;
+        let cfg = AccelConfig { outstanding: 1, dispatch_overhead: Span::ZERO, ..AccelConfig::default() };
         let mut e = AccelEngine::new(cfg);
         let s1 = e.claim_slot(SimTime::ZERO);
         assert_eq!(s1, SimTime::ZERO);

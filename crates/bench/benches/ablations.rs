@@ -41,13 +41,13 @@ fn hardened_controller() {
     let tb = Testbed::default();
     let p = MicroParams { requests: 60_000, ..MicroParams::paper() };
     let soft = run_rambda(&tb, p, DataLocation::HostDram, true, 1).throughput_mops();
-    let mut tb_hard = Testbed::default();
-    tb_hard.cc = CcConfig::hardened();
+    let tb_hard = Testbed { cc: CcConfig::hardened(), ..Testbed::default() };
     let hard = run_rambda(&tb_hard, p, DataLocation::HostDram, true, 1).throughput_mops();
 
     // DLRM-style gather rate, soft vs hardened.
     let gather_rate = |cc: CcConfig| {
-        let mut engine = AccelEngine::new(AccelConfig { cc, ..AccelConfig::prototype(DataLocation::HostDram) });
+        let mut engine =
+            AccelEngine::new(AccelConfig { cc, ..AccelConfig::prototype(DataLocation::HostDram) });
         let mut mem = MemorySystem::new(MemConfig::default(), true);
         let rows = 4_000usize;
         let done = engine.gather(SimTime::ZERO, rows, 256, &mut mem);
@@ -60,12 +60,7 @@ fn hardened_controller() {
         "Ablation 2 — hardened coherence controller (Sec. V outlook)",
         &["metric", "soft 400MHz", "hardened", "gain"],
     );
-    table.row(vec![
-        "microbench Mops".into(),
-        mops(soft),
-        mops(hard),
-        ratio(hard / soft),
-    ]);
+    table.row(vec!["microbench Mops".into(), mops(soft), mops(hard), ratio(hard / soft)]);
     table.row(vec![
         "DLRM gather GB/s".into(),
         format!("{soft_gather:.2}"),
@@ -92,11 +87,7 @@ fn unsignaled_wqes() {
                 nic.complete(SimTime::from_us(i as u64), &mut mem);
             }
         }
-        table.row(vec![
-            name.into(),
-            nic.stats().cqes.to_string(),
-            (nic.stats().cqes * 64).to_string(),
-        ]);
+        table.row(vec![name.into(), nic.stats().cqes.to_string(), (nic.stats().cqes * 64).to_string()]);
     }
     table.print();
 }
@@ -114,12 +105,7 @@ fn network_scaling() {
         let tb = Testbed::default().with_network_gbps(gbps);
         let cpu = kvs_cpu(&tb, &p).throughput_mops();
         let rambda = kvs_rambda(&tb, &p, DataLocation::HostDram).throughput_mops();
-        table.row(vec![
-            format!("{gbps:.0} GbE"),
-            mops(cpu),
-            mops(rambda),
-            ratio(rambda / cpu),
-        ]);
+        table.row(vec![format!("{gbps:.0} GbE"), mops(cpu), mops(rambda), ratio(rambda / cpu)]);
     }
     table.print();
 }

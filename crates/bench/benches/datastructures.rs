@@ -66,9 +66,7 @@ fn bench_kv(c: &mut Criterion) {
 fn bench_workloads(c: &mut Criterion) {
     let zipf = Zipf::new(100_000_000, 0.9);
     let mut rng = SimRng::seed(2);
-    c.bench_function("zipf_sample_100m", |b| {
-        b.iter(|| std::hint::black_box(zipf.sample(&mut rng)))
-    });
+    c.bench_function("zipf_sample_100m", |b| b.iter(|| std::hint::black_box(zipf.sample(&mut rng))));
 }
 
 fn bench_merci(c: &mut Criterion) {

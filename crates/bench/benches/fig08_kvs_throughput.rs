@@ -45,5 +45,7 @@ fn main() {
         }
     }
     table.print();
-    println!("shape check: Rambda ~2-8% over CPU; SmartNIC uniform << zipf; LD/LH == Rambda (network-bound).");
+    println!(
+        "shape check: Rambda ~2-8% over CPU; SmartNIC uniform << zipf; LD/LH == Rambda (network-bound)."
+    );
 }

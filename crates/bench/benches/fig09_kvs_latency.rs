@@ -17,10 +17,8 @@ fn main() {
     let mut base = KvsParams { requests: 100_000, ..KvsParams::paper() };
     base.window = 2; // light load: measure service latency, not saturation
 
-    let mut table = Table::new(
-        "Fig. 9 — KVS latency, 100% GET, batch 32 (us)",
-        &["design", "dist", "avg", "p99"],
-    );
+    let mut table =
+        Table::new("Fig. 9 — KVS latency, 100% GET, batch 32 (us)", &["design", "dist", "avg", "p99"]);
     for (dist_name, zipf) in [("uniform", None), ("zipf0.9", Some(0.9))] {
         let mut p = base.clone();
         p.zipf = zipf;

@@ -16,21 +16,10 @@ fn main() {
     let tb = Testbed::default();
     let mut table = Table::new(
         "Fig. 10 — batch-size sweep, 100% GET, zipf 0.9",
-        &[
-            "batch",
-            "CPU Mops",
-            "CPU us",
-            "CPU(2c) Mops",
-            "SNIC Mops",
-            "SNIC us",
-            "Rambda Mops",
-            "Rambda us",
-        ],
+        &["batch", "CPU Mops", "CPU us", "CPU(2c) Mops", "SNIC Mops", "SNIC us", "Rambda Mops", "Rambda us"],
     );
     for batch in [1usize, 2, 4, 8, 16, 32] {
-        let p = KvsParams { requests: 60_000, ..KvsParams::quick() }
-            .with_zipf(0.9)
-            .with_batch(batch);
+        let p = KvsParams { requests: 60_000, ..KvsParams::quick() }.with_zipf(0.9).with_batch(batch);
         let mut p2 = p.clone();
         p2.cores = 2; // per-core batching effect (10 cores stay network-bound)
         let cpu = run_cpu(&tb, &p);
@@ -49,5 +38,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("shape check: baselines gain strongly with batch; Rambda ~2x; Rambda latency grows sub-linearly.");
+    println!(
+        "shape check: baselines gain strongly with batch; Rambda ~2x; Rambda latency grows sub-linearly."
+    );
 }

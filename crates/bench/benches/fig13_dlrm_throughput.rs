@@ -33,5 +33,7 @@ fn main() {
         table.row(cells);
     }
     table.print();
-    println!("shape check: CPU ~linear to 8 cores; Rambda << 1 core; LD ~8-core level; LH > CPU (network-capped).");
+    println!(
+        "shape check: CPU ~linear to 8 cores; Rambda << 1 core; LD ~8-core level; LH > CPU (network-capped)."
+    );
 }

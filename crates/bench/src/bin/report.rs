@@ -10,6 +10,7 @@ use rambda_dlrm::serving as dlrm;
 use rambda_dlrm::DlrmParams;
 use rambda_kvs::designs as kvs;
 use rambda_kvs::KvsParams;
+use rambda_metrics::RunReport;
 use rambda_power::{kop_per_watt, Design, PowerConfig};
 use rambda_txn::{run_hyperloop, run_rambda_tx, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
@@ -31,11 +32,7 @@ fn main() {
         "+21.6%".into(),
         format!("{:+.1}%", (cpoll / polling - 1.0) * 100.0),
     ]);
-    t.row(vec![
-        "Rambda-LH over Rambda (micro)".into(),
-        "~2.66x".into(),
-        format!("{:.2}x", lh / cpoll),
-    ]);
+    t.row(vec!["Rambda-LH over Rambda (micro)".into(), "~2.66x".into(), format!("{:.2}x", lh / cpoll)]);
     let mn = mp.with_nvm();
     let adaptive = micro_rambda(&tb, mn, DataLocation::HostDram, true, 1).throughput_mops();
     let ddio = run_rambda_always_ddio(&tb, mn, true, 1).throughput_mops();
@@ -88,17 +85,39 @@ fn main() {
     let c8 = dlrm::run_cpu(&tb, &dp, 8).throughput_mops();
     let r = dlrm::run_rambda(&tb, &dp, DataLocation::HostDram).throughput_mops();
     let dlh = dlrm::run_rambda(&tb, &dp, DataLocation::LocalHbm).throughput_mops();
-    t.row(vec![
-        "DLRM Rambda vs 1 core".into(),
-        "19.7-31.3%".into(),
-        format!("{:.1}%", r / c1 * 100.0),
-    ]);
-    t.row(vec![
-        "DLRM Rambda-LH vs 8 cores".into(),
-        "1.6-3.1x".into(),
-        format!("{:.2}x", dlh / c8),
-    ]);
+    t.row(vec!["DLRM Rambda vs 1 core".into(), "19.7-31.3%".into(), format!("{:.1}%", r / c1 * 100.0)]);
+    t.row(vec!["DLRM Rambda-LH vs 8 cores".into(), "1.6-3.1x".into(), format!("{:.2}x", dlh / c8)]);
 
     t.print();
+
+    // Per-stage latency breakdowns from the observability layer: where do
+    // the microseconds go on each design's critical path?
+    let micro_report =
+        rambda::micro::run_rambda_report(&tb, MicroParams::quick(), DataLocation::HostDram, true, 1);
+    let kvs_report = kvs::run_rambda_report(&tb, &KvsParams::quick(), DataLocation::HostDram);
+    let txn_report = rambda_txn::run_rambda_tx_report(&tb, &TxnParams::quick(TxnSpec::read_write(64)));
+    for report in [&micro_report, &kvs_report, &txn_report] {
+        print_breakdown(report);
+    }
+
     println!("\nFull tables: cargo bench -p rambda-bench");
+    println!("Machine-readable run reports: RunReport::to_json_string() (see tests/goldens/)");
+}
+
+/// Renders a run report's critical-path stage breakdown as a table.
+fn print_breakdown(report: &RunReport) {
+    report.validate().expect("inconsistent run report");
+    let mut t = Table::new(
+        &format!(
+            "{} — stage breakdown ({} reqs, mean {:.2} us)",
+            report.name,
+            report.completed,
+            report.latency.mean_us()
+        ),
+        &["stage", "mean us", "share"],
+    );
+    for (stage, mean_us, share) in report.breakdown() {
+        t.row(vec![stage, format!("{mean_us:.3}"), format!("{:.1}%", share * 100.0)]);
+    }
+    t.print();
 }

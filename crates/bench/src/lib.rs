@@ -45,12 +45,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("\n=== {} ===\n", self.title));
         let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&line(&self.headers, &widths));
         out.push('\n');

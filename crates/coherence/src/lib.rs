@@ -28,4 +28,4 @@ mod notify;
 pub use cpoll::{CpollChecker, CpollError, Notification, RegionId};
 pub use interconnect::{CcConfig, CcInterconnect};
 pub use mesi::{AgentId, CoherenceEvent, Directory, LineAddr, LineState};
-pub use notify::{NotifyCost, Notifier};
+pub use notify::{Notifier, NotifyCost};

@@ -189,10 +189,8 @@ impl Directory {
     /// Returns an error message describing the violation, if any.
     pub fn check_invariants(&self, line: LineAddr) -> Result<(), String> {
         let holders = self.holders(line);
-        let exclusive = holders
-            .iter()
-            .filter(|(_, s)| matches!(s, LineState::Modified | LineState::Exclusive))
-            .count();
+        let exclusive =
+            holders.iter().filter(|(_, s)| matches!(s, LineState::Modified | LineState::Exclusive)).count();
         if exclusive > 1 {
             return Err(format!("line {line:?} has {exclusive} exclusive owners: {holders:?}"));
         }
@@ -280,7 +278,7 @@ mod tests {
     }
 
     #[test]
-    fn owner_keeps_dirty_copy_on_own_read(){
+    fn owner_keeps_dirty_copy_on_own_read() {
         let mut dir = Directory::new();
         dir.write(AgentId::CPU, LineAddr(0));
         dir.read(AgentId::CPU, LineAddr(0));

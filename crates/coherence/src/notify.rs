@@ -78,9 +78,7 @@ impl Notifier {
     pub fn poll_bandwidth(&self, rings: usize) -> f64 {
         match *self {
             Notifier::Cpoll => 0.0,
-            Notifier::SpinPoll { interval } => {
-                64.0 * rings as f64 / interval.as_secs_f64()
-            }
+            Notifier::SpinPoll { interval } => 64.0 * rings as f64 / interval.as_secs_f64(),
         }
     }
 }

@@ -64,8 +64,7 @@ impl CpuServer {
         // Batching hides memory latency and amortizes the per-batch fixed
         // cost (CQ poll, doorbell, descriptor maintenance).
         let amortized = self.cfg.batch_overhead.mul_f64(1.0 / self.batch as f64);
-        let mut hold =
-            self.cfg.rpc_overhead + self.cfg.app_overhead + amortized + access * reads as u64;
+        let mut hold = self.cfg.rpc_overhead + self.cfg.app_overhead + amortized + access * reads as u64;
         if write_bytes > 0 {
             let write_lat = match kind {
                 MemKind::Nvm => mem.config().nvm_write_latency,
@@ -89,6 +88,11 @@ impl CpuServer {
     pub fn occupy(&mut self, arrival: SimTime, hold: Span) -> SimTime {
         let start = self.cores.acquire(arrival, hold);
         start + hold
+    }
+
+    /// Publishes the core pool's counters under `prefix`.
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        m.observe_server(&format!("{prefix}.cores"), &self.cores);
     }
 
     /// Resets core occupancy.

@@ -6,7 +6,7 @@
 //! (after a warm-up) and latency as the full issue→response span, so
 //! queueing at every modelled resource shows up in the tail.
 
-use rambda_des::{EventQueue, Histogram, SimTime};
+use rambda_des::{EventQueue, Histogram, SimTime, Span};
 use serde::{Deserialize, Serialize};
 
 /// Driver parameters.
@@ -45,6 +45,9 @@ pub struct RunStats {
     pub throughput_ops: f64,
     /// Issue→response latency histogram (post-warm-up).
     pub latency: Histogram,
+    /// Simulated time of the last completion (the run's makespan) — the
+    /// denominator for resource-utilization figures in run reports.
+    pub makespan: Span,
 }
 
 impl RunStats {
@@ -120,7 +123,12 @@ where
 
     let span = window_end.saturating_since(window_start);
     let throughput = if span.is_zero() { 0.0 } else { measured as f64 / span.as_secs_f64() };
-    RunStats { completed: measured, throughput_ops: throughput, latency }
+    RunStats {
+        completed: measured,
+        throughput_ops: throughput,
+        latency,
+        makespan: window_end.saturating_since(SimTime::ZERO),
+    }
 }
 
 #[cfg(test)]

@@ -202,14 +202,8 @@ impl Framework {
                     // ring.
                     let ptr_bytes = registration.connections as u64 * 64;
                     let ptr_base = self.allocate(ptr_bytes);
-                    let region = cpoll
-                        .register(ptr_base, ptr_bytes, 64)
-                        .map_err(RegisterError::Cpoll)?;
-                    (
-                        CpollLayout::PointerBuffer,
-                        region,
-                        Some(PointerBuffer::new(registration.connections)),
-                    )
+                    let region = cpoll.register(ptr_base, ptr_bytes, 64).map_err(RegisterError::Cpoll)?;
+                    (CpollLayout::PointerBuffer, region, Some(PointerBuffer::new(registration.connections)))
                 }
                 Err(e) => return Err(RegisterError::Cpoll(e)),
             };
@@ -297,7 +291,11 @@ mod tests {
         let (mut rnic, mut cpoll) = server_parts();
         let mut fw = Framework::new();
         let mut app = fw
-            .register_app::<u32, u32>(AppRegistration::new("echo", 2).with_rings(16, 64), &mut rnic, &mut cpoll)
+            .register_app::<u32, u32>(
+                AppRegistration::new("echo", 2).with_rings(16, 64),
+                &mut rnic,
+                &mut cpoll,
+            )
             .unwrap();
         let conn = &mut app.connections[1];
         conn.client.issue(41).unwrap();
@@ -310,9 +308,8 @@ mod tests {
     fn zero_connections_rejected() {
         let (mut rnic, mut cpoll) = server_parts();
         let mut fw = Framework::new();
-        let err = fw
-            .register_app::<u64, u64>(AppRegistration::new("x", 0), &mut rnic, &mut cpoll)
-            .unwrap_err();
+        let err =
+            fw.register_app::<u64, u64>(AppRegistration::new("x", 0), &mut rnic, &mut cpoll).unwrap_err();
         assert_eq!(err, RegisterError::NoConnections);
         assert!(!format!("{err}").is_empty());
     }
@@ -321,9 +318,7 @@ mod tests {
     fn nvm_apps_register_nvm_regions_without_tph() {
         let (mut rnic, mut cpoll) = server_parts();
         let mut fw = Framework::new();
-        let reg = AppRegistration::new("tx", 2)
-            .with_rings(16, 64)
-            .with_location(DataLocation::HostNvm);
+        let reg = AppRegistration::new("tx", 2).with_rings(16, 64).with_location(DataLocation::HostNvm);
         let app = fw.register_app::<u64, u64>(reg, &mut rnic, &mut cpoll).unwrap();
         let info = rnic.region(app.request_mr);
         assert_eq!(info.dest, MemKind::Nvm);

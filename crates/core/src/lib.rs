@@ -39,8 +39,10 @@ mod machine;
 pub mod cpu;
 pub mod framework;
 pub mod micro;
+pub mod report;
 
 pub use config::{CpuConfig, Testbed};
 pub use driver::{run_closed_loop, DriverConfig, RunStats};
 pub use framework::{AppRegistration, Connection, CpollLayout, Framework, RegisterError, RegisteredApp};
 pub use machine::Machine;
+pub use report::build_report;

@@ -35,6 +35,13 @@ impl Machine {
         self.mem.reset();
         self.rnic.reset();
     }
+
+    /// Publishes the machine's memory-system and RNIC counters under
+    /// `prefix.mem.*` and `prefix.rnic.*`.
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        self.mem.publish_metrics(m, &format!("{prefix}.mem"));
+        self.rnic.publish_metrics(m, &format!("{prefix}.rnic"));
+    }
 }
 
 #[cfg(test)]

@@ -11,10 +11,12 @@ use rambda_accel::{AccelConfig, AccelEngine, DataLocation};
 use rambda_coherence::Notifier;
 use rambda_des::{SimRng, Span};
 use rambda_mem::{MemKind, MemorySystem};
+use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 
 use crate::config::Testbed;
 use crate::cpu::CpuServer;
 use crate::driver::{run_closed_loop, DriverConfig, RunStats};
+use crate::report::build_report;
 
 /// Spin-polling throughput tax relative to cpoll, applied to both the
 /// controller issue rate and the interconnect bandwidth. Calibrated to the
@@ -101,13 +103,42 @@ impl MicroParams {
 
 /// Runs the CPU baseline on `cores` cores with request batches of `batch`.
 pub fn run_cpu(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunStats {
+    run_cpu_inner(testbed, params, cores, batch, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_cpu`] with full observability: per-stage latency breakdown and
+/// resource counters.
+pub fn run_cpu_report(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_cpu_inner(testbed, params, cores, batch, &mut rec, &mut resources);
+    build_report("micro.cpu", 0, &stats, &rec, resources)
+}
+
+fn run_cpu_inner(
+    testbed: &Testbed,
+    params: MicroParams,
+    cores: usize,
+    batch: usize,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
     let record = params.record_bytes();
-    run_closed_loop(&params.driver(), |_c, at| {
-        cpu.serve_request(at, params.chase, record, kind, &mut mem)
-    })
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
+        let done = cpu.serve_request(at, params.chase, record, kind, &mut mem);
+        tr.leg("cpu_serve", done);
+        tr.finish(done);
+        done
+    });
+    if rec.is_active() {
+        cpu.publish_metrics(resources, "cpu");
+        mem.publish_metrics(resources, "mem");
+    }
+    stats
 }
 
 /// Runs a Rambda variant: prototype (`HostDram`/`HostNvm` per
@@ -124,7 +155,32 @@ pub fn run_rambda(
     seed: u64,
 ) -> RunStats {
     // The adaptive scheme disables global DDIO (Fig. 6 guideline 1).
-    run_rambda_inner(testbed, params, location, cpoll, true, seed)
+    run_rambda_inner(
+        testbed,
+        params,
+        location,
+        cpoll,
+        true,
+        seed,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+    )
+}
+
+/// [`run_rambda`] with full observability: per-stage latency breakdown
+/// (coherence, dispatch, ring, pointer chase, APU compute, persist) and
+/// accelerator/memory resource counters.
+pub fn run_rambda_report(
+    testbed: &Testbed,
+    params: MicroParams,
+    location: DataLocation,
+    cpoll: bool,
+    seed: u64,
+) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_rambda_inner(testbed, params, location, cpoll, true, seed, &mut rec, &mut resources);
+    build_report("micro.rambda", seed, &stats, &rec, resources)
 }
 
 /// The "Rambda-DDIO" ablation of the NVM microbenchmark: global DDIO stays
@@ -132,9 +188,19 @@ pub fn run_rambda(
 /// amplification.
 pub fn run_rambda_always_ddio(testbed: &Testbed, params: MicroParams, cpoll: bool, seed: u64) -> RunStats {
     assert!(params.nvm, "the DDIO ablation only applies to the NVM variant");
-    run_rambda_inner(testbed, params, DataLocation::HostNvm, cpoll, false, seed)
+    run_rambda_inner(
+        testbed,
+        params,
+        DataLocation::HostNvm,
+        cpoll,
+        false,
+        seed,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_rambda_inner(
     testbed: &Testbed,
     params: MicroParams,
@@ -142,6 +208,8 @@ fn run_rambda_inner(
     cpoll: bool,
     adaptive_ddio: bool,
     seed: u64,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
 ) -> RunStats {
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
@@ -153,24 +221,30 @@ fn run_rambda_inner(
     let connections = params.connections;
     let record = params.record_bytes();
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut trace = rec.trace(at);
         // Request written into the ring at `at`; discovery via cpoll (or the
         // slower spin-poll cycle).
         let mut t = engine.discover(at, connections, &mut rng);
         if !cpoll {
             t += SPIN_POLL_DELAY;
         }
+        trace.leg("coherence", t);
         let start = engine.claim_slot(t);
+        trace.leg("dispatch", start);
         let mut now = start;
         // Fetch the request entry. In the local-memory emulation requests
         // are generated within the FPGA (Sec. V), so only host-resident
         // variants fetch across the interconnect.
         if location.is_host() {
             now = engine.ring_read(now, 64, &mut mem);
+            trace.leg("ring_read", now);
         }
         // Walk the list: three dependent reads.
         now = engine.read_chain(now, params.chase, 64, &mut mem);
+        trace.leg("mem_chase", now);
         now = engine.compute(now, 1);
+        trace.leg("apu_compute", now);
         // Emit the response / persist the record.
         now = match (params.nvm, adaptive_ddio) {
             (true, true) => engine.mem_access(now, record, true, &mut mem),
@@ -188,9 +262,20 @@ fn run_rambda_inner(
                 }
             }
         };
+        if params.nvm {
+            trace.leg("nvm_persist", now);
+        } else {
+            trace.leg("response_write", now);
+        }
         engine.release_slot(t, now);
+        trace.finish(now);
         now
-    })
+    });
+    if rec.is_active() {
+        engine.publish_metrics(resources, "accel");
+        mem.publish_metrics(resources, "mem");
+    }
+    stats
 }
 
 #[cfg(test)]

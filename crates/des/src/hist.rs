@@ -80,6 +80,14 @@ impl Histogram {
         self.count
     }
 
+    /// Exact sum of all recorded samples, in picoseconds.
+    ///
+    /// The sum is kept outside the log bins, so it is exact — the metrics
+    /// layer relies on this for its stage-decomposition identity checks.
+    pub fn sum_ps(&self) -> u128 {
+        self.sum_ps
+    }
+
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -226,6 +234,62 @@ mod tests {
         assert_eq!(a.mean(), Span::from_ns(20));
         assert_eq!(a.min(), Span::from_ns(10));
         assert_eq!(a.max(), Span::from_ns(30));
+    }
+
+    #[test]
+    fn empty_percentile_is_zero_at_every_quantile() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Span::ZERO, "q={q}");
+        }
+        assert_eq!(h.sum_ps(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(Span::from_us(7));
+        for q in [0.0, 0.5, 1.0] {
+            let p = h.percentile(q);
+            let err = (p.as_ps() as f64 - 7.0e6).abs() / 7.0e6;
+            assert!(err < 0.07, "q={q} p={p}");
+        }
+        assert_eq!(h.min(), h.max());
+        assert_eq!(h.sum_ps(), 7_000_000);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_keeps_both_tails() {
+        // One histogram entirely in the ns range, one entirely in the ms
+        // range; the merge must preserve the global min/max, the exact sum,
+        // and put the median between the two clusters.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for i in 1..=100u64 {
+            low.record(Span::from_ns(i));
+            high.record(Span::from_us(1000 + i));
+        }
+        let low_sum = low.sum_ps();
+        let high_sum = high.sum_ps();
+        low.merge(&high);
+        assert_eq!(low.count(), 200);
+        assert_eq!(low.sum_ps(), low_sum + high_sum);
+        assert_eq!(low.min(), Span::from_ns(1));
+        assert_eq!(low.max(), Span::from_us(1100));
+        // p25 still in the low cluster, p75 in the high cluster.
+        assert!(low.percentile(0.25) <= Span::from_ns(100));
+        assert!(low.percentile(0.75) >= Span::from_us(900));
+    }
+
+    #[test]
+    fn merge_into_empty_histogram_copies() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(Span::from_ns(42));
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Span::from_ns(42));
+        assert_eq!(a.max(), Span::from_ns(42));
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl<E> EventQueue<E> {
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
-            .field("next", &self.peek_time())
-            .finish()
+        f.debug_struct("EventQueue").field("len", &self.heap.len()).field("next", &self.peek_time()).finish()
     }
 }
 

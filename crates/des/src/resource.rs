@@ -27,6 +27,9 @@ use crate::time::{SimTime, Span};
 pub struct Server {
     free: BinaryHeap<Reverse<SimTime>>,
     units: usize,
+    acquisitions: u64,
+    busy_ps: u64,
+    wait_ps: u64,
 }
 
 impl Server {
@@ -41,7 +44,7 @@ impl Server {
         for _ in 0..units {
             free.push(Reverse(SimTime::ZERO));
         }
-        Server { free, units }
+        Server { free, units, acquisitions: 0, busy_ps: 0, wait_ps: 0 }
     }
 
     /// Number of parallel units.
@@ -57,6 +60,9 @@ impl Server {
         let Reverse(free_at) = self.free.pop().expect("server has at least one unit");
         let start = at.max(free_at);
         self.free.push(Reverse(start + hold));
+        self.acquisitions += 1;
+        self.busy_ps = self.busy_ps.saturating_add(hold.as_ps());
+        self.wait_ps = self.wait_ps.saturating_add((start - at).as_ps());
         start
     }
 
@@ -65,13 +71,31 @@ impl Server {
         self.free.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
     }
 
-    /// Resets all units to free-at-zero.
+    /// Number of successful [`acquire`](Self::acquire) calls.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Aggregate hold time across all acquisitions (unit-seconds of work).
+    pub fn busy_time(&self) -> Span {
+        Span::from_ps(self.busy_ps)
+    }
+
+    /// Aggregate queueing delay suffered by acquirers (start − arrival).
+    pub fn queue_wait(&self) -> Span {
+        Span::from_ps(self.wait_ps)
+    }
+
+    /// Resets all units to free-at-zero and clears the counters.
     pub fn reset(&mut self) {
         let units = self.units;
         self.free.clear();
         for _ in 0..units {
             self.free.push(Reverse(SimTime::ZERO));
         }
+        self.acquisitions = 0;
+        self.busy_ps = 0;
+        self.wait_ps = 0;
     }
 }
 
@@ -106,6 +130,9 @@ pub struct Link {
     backlog_bytes: f64,
     last_time: SimTime,
     bytes_moved: u64,
+    transfers: u64,
+    busy_ps: u64,
+    queue_ps: u64,
 }
 
 impl Link {
@@ -126,6 +153,9 @@ impl Link {
             backlog_bytes: 0.0,
             last_time: SimTime::ZERO,
             bytes_moved: 0,
+            transfers: 0,
+            busy_ps: 0,
+            queue_ps: 0,
         }
     }
 
@@ -162,6 +192,9 @@ impl Link {
         let queue_delay = Span::from_secs_f64(self.backlog_bytes / self.bytes_per_sec);
         self.backlog_bytes += bytes as f64;
         self.bytes_moved = self.bytes_moved.saturating_add(bytes);
+        self.transfers += 1;
+        self.busy_ps = self.busy_ps.saturating_add(self.serialization(bytes).as_ps());
+        self.queue_ps = self.queue_ps.saturating_add(queue_delay.as_ps());
         let depart = at + queue_delay + self.serialization(bytes);
         Transfer { depart, arrive: depart + self.latency }
     }
@@ -169,6 +202,21 @@ impl Link {
     /// Total bytes ever pushed through the link.
     pub fn bytes_moved(&self) -> u64 {
         self.bytes_moved
+    }
+
+    /// Number of transfers pushed through the link.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Aggregate serialization time across all transfers.
+    pub fn busy_time(&self) -> Span {
+        Span::from_ps(self.busy_ps)
+    }
+
+    /// Aggregate queueing delay transfers spent waiting behind the backlog.
+    pub fn queue_delay_total(&self) -> Span {
+        Span::from_ps(self.queue_ps)
     }
 
     /// Average consumed bandwidth (bytes/sec) over `[SimTime::ZERO, now]`.
@@ -186,11 +234,14 @@ impl Link {
         self.last_time + Span::from_secs_f64(self.backlog_bytes / self.bytes_per_sec)
     }
 
-    /// Resets occupancy and the byte counter.
+    /// Resets occupancy and all counters.
     pub fn reset(&mut self) {
         self.backlog_bytes = 0.0;
         self.last_time = SimTime::ZERO;
         self.bytes_moved = 0;
+        self.transfers = 0;
+        self.busy_ps = 0;
+        self.queue_ps = 0;
     }
 }
 
@@ -213,12 +264,13 @@ pub struct Throttle {
     backlog_ops: f64,
     last_time: SimTime,
     admitted: u64,
+    delay_ps: u64,
 }
 
 impl Throttle {
     /// Creates a throttle admitting one operation per `gap`.
     pub fn new(gap: Span) -> Self {
-        Throttle { gap, backlog_ops: 0.0, last_time: SimTime::ZERO, admitted: 0 }
+        Throttle { gap, backlog_ops: 0.0, last_time: SimTime::ZERO, admitted: 0, delay_ps: 0 }
     }
 
     /// Creates a throttle from an operations-per-second rate.
@@ -256,6 +308,7 @@ impl Throttle {
         let start = at + self.gap.mul_f64(self.backlog_ops);
         self.backlog_ops += 1.0;
         self.admitted += 1;
+        self.delay_ps = self.delay_ps.saturating_add((start - at).as_ps());
         start
     }
 
@@ -264,11 +317,17 @@ impl Throttle {
         self.admitted
     }
 
-    /// Resets occupancy and the counter.
+    /// Aggregate admission delay (admit time − arrival) across operations.
+    pub fn admit_delay_total(&self) -> Span {
+        Span::from_ps(self.delay_ps)
+    }
+
+    /// Resets occupancy and the counters.
     pub fn reset(&mut self) {
         self.backlog_ops = 0.0;
         self.last_time = SimTime::ZERO;
         self.admitted = 0;
+        self.delay_ps = 0;
     }
 }
 
@@ -348,6 +407,53 @@ mod tests {
         assert_eq!(t.admit(SimTime::from_ns(3)), SimTime::from_ns(10));
         assert_eq!(t.admit(SimTime::from_ns(40)), SimTime::from_ns(40));
         assert_eq!(t.admitted(), 3);
+    }
+
+    #[test]
+    fn server_counts_busy_and_wait() {
+        let mut s = Server::new(1);
+        let hold = Span::from_ns(10);
+        s.acquire(SimTime::ZERO, hold); // starts at 0, no wait
+        s.acquire(SimTime::ZERO, hold); // starts at 10, waits 10
+        assert_eq!(s.acquisitions(), 2);
+        assert_eq!(s.busy_time(), Span::from_ns(20));
+        assert_eq!(s.queue_wait(), Span::from_ns(10));
+        s.reset();
+        assert_eq!(s.acquisitions(), 0);
+        assert_eq!(s.busy_time(), Span::ZERO);
+        assert_eq!(s.queue_wait(), Span::ZERO);
+    }
+
+    #[test]
+    fn link_counts_transfers_and_queueing() {
+        let mut l = Link::new(1.0e9, Span::ZERO);
+        l.transfer(SimTime::ZERO, 1000); // 1us serialization, no queue
+        l.transfer(SimTime::ZERO, 1000); // queues behind the first
+        assert_eq!(l.transfers(), 2);
+        assert_eq!(l.busy_time(), Span::from_us(2));
+        assert_eq!(l.queue_delay_total(), Span::from_us(1));
+        l.reset();
+        assert_eq!(l.transfers(), 0);
+        assert_eq!(l.busy_time(), Span::ZERO);
+    }
+
+    #[test]
+    fn throttle_counts_admit_delay() {
+        let mut t = Throttle::new(Span::from_ns(10));
+        t.admit(SimTime::ZERO); // immediate
+        t.admit(SimTime::ZERO); // delayed 10ns
+        assert_eq!(t.admit_delay_total(), Span::from_ns(10));
+        t.reset();
+        assert_eq!(t.admit_delay_total(), Span::ZERO);
+    }
+
+    #[test]
+    fn zero_gap_throttle_has_no_delay() {
+        let mut t = Throttle::new(Span::ZERO);
+        t.admit(SimTime::ZERO);
+        t.admit(SimTime::ZERO);
+        assert_eq!(t.admitted(), 2);
+        assert_eq!(t.admit_delay_total(), Span::ZERO);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Seeded, deterministic randomness for experiments.
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** (Blackman & Vigna) seeded
+//! through SplitMix64, so the workspace needs no external RNG crate and the
+//! stream produced for a given seed is stable across platforms and toolchain
+//! versions — a prerequisite for the golden run-report regression gate.
 
 /// A deterministic random number generator for simulations.
 ///
@@ -17,19 +18,118 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// One round of SplitMix64: expands a 64-bit seed into a full state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A type that can be drawn uniformly from a range by [`SimRng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Converts to the u64 sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the u64 sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ranges [`SimRng::gen_range`] accepts (half-open and inclusive).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let width = hi - lo;
+        if width == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(width + 1))
+    }
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro256** must not start from the all-zero state; SplitMix64
+        // cannot produce four consecutive zeros, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
     }
 
     /// Derives an independent child RNG (for per-client streams).
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.next_u64() ^ salt.rotate_left(17);
+        let s = self.next_u64() ^ salt.rotate_left(17);
         SimRng::seed(s)
+    }
+
+    /// A raw 64-bit sample (xoshiro256** output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample in `[0, bound)` via Lemire's widening-multiply
+    /// rejection method (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Samples uniformly from a range.
@@ -38,12 +138,12 @@ impl SimRng {
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)` (53 bits of precision).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial with probability `p`.
@@ -59,15 +159,12 @@ impl SimRng {
         -mean * u.ln()
     }
 
-    /// A raw 64-bit sample.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        use rand::seq::SliceRandom;
-        slice.shuffle(&mut self.inner);
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
     }
 }
 
@@ -122,5 +219,39 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SimRng::seed(6);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..=5u64);
+            assert!(w <= 5);
+            let u: usize = rng.gen_range(3..4usize);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SimRng::seed(8);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed(9);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 }

@@ -27,9 +27,7 @@ const PS_PER_S: u64 = 1_000_000_000_000;
 /// let t = SimTime::ZERO + Span::from_us(3);
 /// assert_eq!(t.as_ns_f64(), 3_000.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span (duration) of simulated time, in picoseconds.
@@ -38,9 +36,7 @@ pub struct SimTime(u64);
 /// use rambda_des::Span;
 /// assert_eq!(Span::from_ns(2) * 3, Span::from_ns(6));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Span(u64);
 
 impl SimTime {
@@ -374,9 +370,7 @@ mod tests {
 
     #[test]
     fn sum_of_spans() {
-        let total: Span = [Span::from_ns(1), Span::from_ns(2), Span::from_ns(3)]
-            .into_iter()
-            .sum();
+        let total: Span = [Span::from_ns(1), Span::from_ns(2), Span::from_ns(3)].into_iter().sum();
         assert_eq!(total, Span::from_ns(6));
     }
 }

@@ -36,7 +36,7 @@ proptest! {
         let mut at = SimTime::ZERO;
         let mut last = SimTime::ZERO;
         for g in gaps {
-            at = at + Span::from_ns(g);
+            at += Span::from_ns(g);
             let t = link.transfer(at, 500);
             prop_assert!(t.depart >= last);
             last = t.depart;

@@ -20,4 +20,4 @@ pub mod serving;
 
 pub use merci::{MemoTable, ReductionPlan};
 pub use model::{DlrmModel, EmbeddingTable, Mlp, ReduceOp};
-pub use serving::{run_cpu, run_rambda, DlrmCosts, DlrmParams};
+pub use serving::{run_cpu, run_cpu_report, run_rambda, run_rambda_report, DlrmCosts, DlrmParams};

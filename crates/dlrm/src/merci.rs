@@ -91,11 +91,7 @@ impl ReductionPlan {
         while i < sorted.len() {
             let f = sorted[i];
             let pair = f / 2;
-            if i + 1 < sorted.len()
-                && sorted[i + 1] == f + 1
-                && f.is_multiple_of(2)
-                && memo.covers(pair)
-            {
+            if i + 1 < sorted.len() && sorted[i + 1] == f + 1 && f.is_multiple_of(2) && memo.covers(pair) {
                 memo_pairs.push(pair);
                 i += 2;
             } else {
@@ -199,9 +195,9 @@ mod tests {
     fn memo_entries_are_pair_sums() {
         let (table, memo) = setup();
         let e = memo.entry(3);
-        for c in 0..16 {
+        for (c, &got) in e.iter().enumerate() {
             let want = table.row(6)[c] + table.row(7)[c];
-            assert!((e[c] - want).abs() < 1e-6);
+            assert!((got - want).abs() < 1e-6);
         }
     }
 

@@ -37,9 +37,7 @@ fn synth(row: u64, col: usize) -> f32 {
 impl EmbeddingTable {
     /// Builds a table with synthetic weights.
     pub fn synthetic(rows: usize, dim: usize) -> Self {
-        let rows = (0..rows as u64)
-            .map(|r| (0..dim).map(|c| synth(r, c)).collect())
-            .collect();
+        let rows = (0..rows as u64).map(|r| (0..dim).map(|c| synth(r, c)).collect()).collect();
         EmbeddingTable { dim, rows }
     }
 
@@ -174,10 +172,7 @@ pub struct DlrmModel {
 impl DlrmModel {
     /// A synthetic model: `rows × dim` embeddings, `dim→64→16→1` MLP.
     pub fn synthetic(rows: usize, dim: usize) -> Self {
-        DlrmModel {
-            embedding: EmbeddingTable::synthetic(rows, dim),
-            mlp: Mlp::synthetic(&[dim, 64, 16, 1]),
-        }
+        DlrmModel { embedding: EmbeddingTable::synthetic(rows, dim), mlp: Mlp::synthetic(&[dim, 64, 16, 1]) }
     }
 
     /// End-to-end inference: reduce the features, run the MLP, return the
@@ -200,9 +195,9 @@ mod tests {
     fn reduce_sum_matches_manual() {
         let t = EmbeddingTable::synthetic(10, 4);
         let r = t.reduce(&[1, 3], ReduceOp::Sum);
-        for c in 0..4 {
+        for (c, &got) in r.iter().enumerate() {
             let want = t.row(1)[c] + t.row(3)[c];
-            assert!((r[c] - want).abs() < 1e-6);
+            assert!((got - want).abs() < 1e-6);
         }
     }
 

@@ -8,12 +8,13 @@
 //! (with MERCI memoization) and the lightweight FC layers, and responds
 //! through the RNIC.
 
-use rambda::{cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
+use rambda_des::Link;
 use rambda_des::{Server, SimRng, Span};
 use rambda_fabric::{Network, NodeId};
-use rambda_des::Link;
 use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
+use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
 use rambda_workloads::{DlrmProfile, Zipf};
 
@@ -140,7 +141,8 @@ impl DlrmWorld {
 
     /// Samples a query and computes its reduction plan + inference result.
     fn next_query(&mut self, params: &DlrmParams) -> (ReductionPlan, u64, f32) {
-        let q = sample_correlated_query(&params.profile, params.functional_rows, &self.pair_zipf, &mut self.rng);
+        let q =
+            sample_correlated_query(&params.profile, params.functional_rows, &self.pair_zipf, &mut self.rng);
         let plan = if params.merci {
             ReductionPlan::build(&q, &self.memo)
         } else {
@@ -164,6 +166,26 @@ impl DlrmWorld {
 
 /// The CPU-only MERCI baseline on `cores` cores.
 pub fn run_cpu(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunStats {
+    run_cpu_inner(testbed, params, cores, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_cpu`] with full observability: stage breakdown (fabric, core
+/// queueing, gather+MLP) plus machine, core-pool and gather-roofline
+/// counters.
+pub fn run_cpu_report(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_cpu_inner(testbed, params, cores, &mut rec, &mut resources);
+    build_report("dlrm.cpu", params.seed, &stats, &rec, resources)
+}
+
+fn run_cpu_inner(
+    testbed: &Testbed,
+    params: &DlrmParams,
+    cores: usize,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
@@ -177,31 +199,77 @@ pub fn run_cpu(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunStats
     let row = params.row_bytes();
     let costs = params.costs.clone();
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
         let (plan, wire, _score) = world.next_query(params);
         let delivered = two_sided_send(
-            at, &mut client.rnic, &mut server.rnic, &mut net, &mut server.mem,
-            rq_mr, wire, opts,
+            at,
+            &mut client.rnic,
+            &mut server.rnic,
+            &mut net,
+            &mut server.mem,
+            rq_mr,
+            wire,
+            opts,
         );
+        tr.leg("fabric_request", delivered);
         let bytes = plan.lookups() as u64 * row;
-        let hold = costs.preprocess
-            + costs.mlp_cpu
-            + Span::from_secs_f64(bytes as f64 / costs.core_gather_bw);
+        let hold =
+            costs.preprocess + costs.mlp_cpu + Span::from_secs_f64(bytes as f64 / costs.core_gather_bw);
         let start = core_pool.acquire(delivered, hold);
+        tr.leg("core_queue", start);
         // Socket roofline: the gather bytes queue on the shared link.
         let roofline_done = gather.transfer(start, bytes).depart;
         let done = (start + hold).max(roofline_done);
-        two_sided_send(
-            done, &mut server.rnic, &mut client.rnic, &mut net, &mut client.mem,
-            client_mr, 16, opts,
-        )
-    })
+        tr.leg("gather_compute", done);
+        let fin = two_sided_send(
+            done,
+            &mut server.rnic,
+            &mut client.rnic,
+            &mut net,
+            &mut client.mem,
+            client_mr,
+            16,
+            opts,
+        );
+        tr.leg("fabric_response", fin);
+        tr.finish(fin);
+        fin
+    });
+    if rec.is_active() {
+        client.publish_metrics(resources, "client");
+        server.publish_metrics(resources, "server");
+        resources.observe_server("cores", &core_pool);
+        resources.observe_link("gather", &gather);
+        net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// Rambda-DLRM: accelerator-terminated RPC, CPU pre-processing hand-off,
 /// APU embedding reduction + FC. `location` selects prototype (HostDram) or
 /// the local-memory variants.
 pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunStats {
+    run_rambda_inner(testbed, params, location, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_rambda`] with full observability: stage breakdown (fabric,
+/// coherence, rings, CPU pre-processing hand-off, APU gather/FC) plus
+/// machine, accelerator and network counters.
+pub fn run_rambda_report(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources);
+    build_report("dlrm.rambda", params.seed, &stats, &rec, resources)
+}
+
+fn run_rambda_inner(
+    testbed: &Testbed,
+    params: &DlrmParams,
+    location: DataLocation,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
     let mut server = rambda::Machine::new(SERVER, testbed, false);
@@ -223,22 +291,37 @@ pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation
     let clients = params.clients;
     let local_row = (row as f64 * costs.local_gather_overhead) as u64;
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
         let (plan, wire, _score) = world.next_query(params);
         // Request into the accelerator's ring.
         let out = rdma_write(
-            at, &mut client.rnic, &mut server.rnic, &mut net, &mut server.mem,
-            &mut client.mem, ring_mr, wire, req_opts,
+            at,
+            &mut client.rnic,
+            &mut server.rnic,
+            &mut net,
+            &mut server.mem,
+            &mut client.mem,
+            ring_mr,
+            wire,
+            req_opts,
         );
+        tr.leg("fabric_request", out.delivered_at);
         let discovered = engine.discover(out.delivered_at, clients, &mut world.rng);
+        tr.leg("coherence", discovered);
         let start = engine.claim_slot(discovered);
+        tr.leg("dispatch", start);
         // Hand the raw request to a host core for pre-processing through
         // the intra-machine ring, and get the model-ready input back.
         let sent = engine.ring_write(start, wire, &mut server.mem);
+        tr.leg("ring_write", sent);
         let preprocessed = preprocess_cores.occupy(sent, costs.preprocess);
+        tr.leg("cpu_preprocess", preprocessed);
         let input_back = engine.ring_read(preprocessed, wire, &mut server.mem);
+        tr.leg("ring_read", input_back);
         // Scheduler/(de)serializer occupancy (serial per query).
         let disp = dispatch.acquire(input_back, costs.apu_dispatch) + costs.apu_dispatch;
+        tr.leg("apu_dispatch", disp);
         // The embedding reduction: 64 outstanding gathers per query
         // (Sec. IV-C), bandwidth-bound on the chosen memory.
         let rows = plan.lookups();
@@ -247,16 +330,37 @@ pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation
         } else {
             engine.gather(disp, rows, local_row, &mut server.mem)
         };
+        tr.leg("gather", gathered);
         // FC layers on the APU, then respond through the RNIC.
         let fc_done = gathered + costs.mlp_apu;
+        tr.leg("apu_compute", fc_done);
         let wqe = engine.sq_write_wqe(fc_done);
+        tr.leg("doorbell", wqe);
         engine.release_slot(discovered, wqe);
         let resp = rdma_write(
-            wqe, &mut server.rnic, &mut client.rnic, &mut net, &mut client.mem,
-            &mut server.mem, client_mr, 16, resp_opts,
+            wqe,
+            &mut server.rnic,
+            &mut client.rnic,
+            &mut net,
+            &mut client.mem,
+            &mut server.mem,
+            client_mr,
+            16,
+            resp_opts,
         );
+        tr.leg("fabric_response", resp.delivered_at);
+        tr.finish(resp.delivered_at);
         resp.delivered_at
-    })
+    });
+    if rec.is_active() {
+        client.publish_metrics(resources, "client");
+        server.publish_metrics(resources, "server");
+        engine.publish_metrics(resources, "accel");
+        preprocess_cores.publish_metrics(resources, "preprocess");
+        resources.observe_server("apu_dispatch", &dispatch);
+        net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// Charges a memory write without advancing time (placeholder for response

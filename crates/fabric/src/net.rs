@@ -27,11 +27,7 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig {
-            port_bandwidth: 25.0e9 / 8.0,
-            wire_latency: Span::from_ns(850),
-            header_bytes: 200,
-        }
+        NetConfig { port_bandwidth: 25.0e9 / 8.0, wire_latency: Span::from_ns(850), header_bytes: 200 }
     }
 }
 
@@ -99,6 +95,23 @@ impl Network {
             0.0
         } else {
             self.egress_bytes(node) as f64 / secs
+        }
+    }
+
+    /// Publishes the network's counters under `prefix`: the message count
+    /// and each active port's link counters, keyed by node id (sorted, so
+    /// the output order is deterministic despite the hash maps).
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.messages"), self.messages);
+        let mut nodes: Vec<NodeId> = self.egress.keys().copied().collect();
+        nodes.sort();
+        for node in nodes {
+            m.observe_link(&format!("{prefix}.egress.{}", node.0), &self.egress[&node]);
+        }
+        let mut nodes: Vec<NodeId> = self.ingress.keys().copied().collect();
+        nodes.sort();
+        for node in nodes {
+            m.observe_link(&format!("{prefix}.ingress.{}", node.0), &self.ingress[&node]);
         }
     }
 

@@ -119,6 +119,12 @@ impl PcieLink {
         self.downstream.bytes_moved()
     }
 
+    /// Publishes both directions' link counters under `prefix`.
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        m.observe_link(&format!("{prefix}.upstream"), &self.upstream);
+        m.observe_link(&format!("{prefix}.downstream"), &self.downstream);
+    }
+
     /// Resets occupancy and counters.
     pub fn reset(&mut self) {
         self.upstream.reset();

@@ -6,11 +6,12 @@
 //! use the modelled footprint. Keys follow uniform or Zipf-0.9 popularity;
 //! workloads are 100 % GET or 50/50 GET/PUT.
 
-use rambda::{cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
-use rambda_accel::{AccelEngine, ApuCtx, Apu, DataLocation};
+use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda_accel::{AccelEngine, Apu, ApuCtx, DataLocation};
 use rambda_des::{Server, SimRng, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{MemKind, MemorySystem};
+use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
 use rambda_smartnic::SmartNic;
 use rambda_workloads::{KeyDist, KvMix, KvOp};
@@ -169,6 +170,24 @@ const CPU_JITTER_MEAN_US: f64 = 0.8;
 
 /// The CPU design: two-sided RDMA RPC over ten cores (HERD/MICA-style).
 pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
+    run_cpu_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_cpu`] with full observability: stage breakdown (fabric, RNIC
+/// pipeline, core service) plus client/server machine and core-pool counters.
+pub fn run_cpu_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_cpu_inner(testbed, params, &mut rec, &mut resources);
+    build_report("kvs.cpu", params.seed, &stats, &rec, resources)
+}
+
+fn run_cpu_inner(
+    testbed: &Testbed,
+    params: &KvsParams,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
@@ -181,16 +200,25 @@ pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, signaled: false };
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
         let op = mix.next_op(&mut rng);
         // Request: two-sided send into the server's posted RQ.
         let delivered = two_sided_send(
-            at, &mut client.rnic, &mut server.rnic, &mut net, &mut server.mem,
-            rq_mr, params.request_bytes(&op), opts,
+            at,
+            &mut client.rnic,
+            &mut server.rnic,
+            &mut net,
+            &mut server.mem,
+            rq_mr,
+            params.request_bytes(&op),
+            opts,
         );
+        tr.leg("fabric_request", delivered);
         // Re-post the consumed RECV WQE (extra NIC pipeline work of the
         // two-sided path).
         let t = server.rnic.next_in_pipeline(delivered);
+        tr.leg("rnic_pipeline", t);
         // Application processing on a core.
         let trace = match op {
             KvOp::Get { key } => store.get(key).1,
@@ -206,16 +234,53 @@ pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
         if rng.chance(CPU_JITTER_P) {
             done += Span::from_ns_f64(1000.0 * rng.exp(CPU_JITTER_MEAN_US));
         }
+        tr.leg("cpu_serve", done);
         // Response: two-sided back to the client.
-        two_sided_send(
-            done, &mut server.rnic, &mut client.rnic, &mut net, &mut client.mem,
-            client_mr, params.response_bytes(&op), opts,
-        )
-    })
+        let fin = two_sided_send(
+            done,
+            &mut server.rnic,
+            &mut client.rnic,
+            &mut net,
+            &mut client.mem,
+            client_mr,
+            params.response_bytes(&op),
+            opts,
+        );
+        tr.leg("fabric_response", fin);
+        tr.finish(fin);
+        fin
+    });
+    if rec.is_active() {
+        client.publish_metrics(resources, "client");
+        server.publish_metrics(resources, "server");
+        cpu.publish_metrics(resources, "cpu");
+        net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// The Rambda design (and its LD/LH variants via `location`).
 pub fn run_rambda(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunStats {
+    run_rambda_inner(testbed, params, location, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_rambda`] with full observability: stage breakdown (fabric,
+/// coherence discovery, dispatch, ring read, APU, SQ/doorbell) plus
+/// machine, accelerator and network counters.
+pub fn run_rambda_report(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources);
+    build_report("kvs.rambda", params.seed, &stats, &rec, resources)
+}
+
+fn run_rambda_inner(
+    testbed: &Testbed,
+    params: &KvsParams,
+    location: DataLocation,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     // Adaptive DDIO: global DDIO off, TPH per region (all DRAM here).
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
@@ -240,43 +305,93 @@ pub fn run_rambda(testbed: &Testbed, params: &KvsParams, location: DataLocation)
     let mut sq = Server::new(1);
     let sq_hold = Span::from_ns(165).mul_f64(1.0 / params.batch as f64) + Span::from_ns(5);
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
         let op = mix.next_op(&mut rng);
         // One-sided write into the request ring (cpoll region).
         let out = rdma_write(
-            at, &mut client.rnic, &mut server.rnic, &mut net, &mut server.mem,
-            &mut client.mem, ring_mr, params.request_bytes(&op), req_opts,
+            at,
+            &mut client.rnic,
+            &mut server.rnic,
+            &mut net,
+            &mut server.mem,
+            &mut client.mem,
+            ring_mr,
+            params.request_bytes(&op),
+            req_opts,
         );
+        tr.leg("fabric_request", out.delivered_at);
         // cpoll discovery + scheduler dispatch.
         let discovered = engine.discover(out.delivered_at, clients, &mut rng);
+        tr.leg("coherence", discovered);
         let start = engine.claim_slot(discovered);
+        tr.leg("dispatch", start);
         // Fetch the request entry from the ring.
         let fetched = if location.is_host() {
             engine.ring_read(start, params.request_bytes(&op), &mut server.mem)
         } else {
             engine.mem_access(start, params.request_bytes(&op), false, &mut server.mem)
         };
+        tr.leg("ring_read", fetched);
         // APU processing (hash + walk + value).
         let mut ctx = ApuCtx::new(&mut engine, &mut server.mem, fetched);
         let _resp = apu.process(params.to_request(&op), &mut ctx);
         let done = ctx.now();
+        tr.leg("apu_compute", done);
         // SQ handler: assemble WQE, write it to the WQ, ring the doorbell.
         let wqe = engine.sq_write_wqe(done);
+        tr.leg("sq_wqe", wqe);
         let db_start = sq.acquire(wqe, sq_hold);
         let emitted = db_start + sq_hold;
+        tr.leg("doorbell", emitted);
         engine.release_slot(discovered, emitted);
         // Response by one-sided write back to the client's response ring.
         let resp = rdma_write(
-            emitted, &mut server.rnic, &mut client.rnic, &mut net, &mut client.mem,
-            &mut server.mem, client_mr, params.response_bytes(&op), resp_opts,
+            emitted,
+            &mut server.rnic,
+            &mut client.rnic,
+            &mut net,
+            &mut client.mem,
+            &mut server.mem,
+            client_mr,
+            params.response_bytes(&op),
+            resp_opts,
         );
+        tr.leg("fabric_response", resp.delivered_at);
+        tr.finish(resp.delivered_at);
         resp.delivered_at
-    })
+    });
+    if rec.is_active() {
+        client.publish_metrics(resources, "client");
+        server.publish_metrics(resources, "server");
+        engine.publish_metrics(resources, "accel");
+        resources.observe_server("sq", &sq);
+        net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// The Smart NIC design: eight ARM cores, 512 MB on-board cache of the host
 /// data, synchronous one-sided reads to the host on misses.
 pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
+    run_smartnic_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_smartnic`] with full observability: stage breakdown (doorbell,
+/// fabric, ARM dispatch, memory walk) plus Smart NIC and machine counters.
+pub fn run_smartnic_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_smartnic_inner(testbed, params, &mut rec, &mut resources);
+    build_report("kvs.smartnic", params.seed, &stats, &rec, resources)
+}
+
+fn run_smartnic_inner(
+    testbed: &Testbed,
+    params: &KvsParams,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
@@ -288,13 +403,13 @@ pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
 
     // Cache-hit probability: the 512 MB on-board cache holds the hottest
     // fraction of the modelled footprint (hash entries + pairs).
-    let cache_items =
-        (testbed.smartnic.cache_bytes as f64 / params.modeled_footprint_bytes() as f64
-            * params.pairs as f64) as u64;
+    let cache_items = (testbed.smartnic.cache_bytes as f64 / params.modeled_footprint_bytes() as f64
+        * params.pairs as f64) as u64;
     let hit_rate = params.dist().hot_mass(cache_items);
     let wqe_gap = client.rnic.config().wqe_gap;
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut tr = rec.trace(at);
         let op = mix.next_op(&mut rng);
         // Client posts; request terminates at the Smart NIC (no host PCIe).
         let posted = if params.batch == 1 {
@@ -302,11 +417,14 @@ pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
         } else {
             client.rnic.next_in_pipeline(at + wqe_gap.mul_f64(1.0 / params.batch as f64))
         };
+        tr.leg("doorbell", posted);
         let arrived = net.send(posted, CLIENT, SERVER, params.request_bytes(&op));
         let arrived = server.rnic.rx_process(arrived);
+        tr.leg("fabric_request", arrived);
         // ARM core walks the structure; each access hits the on-board cache
         // with `hit_rate`, else crosses PCIe synchronously.
         let start = nic.begin_request(arrived);
+        tr.leg("arm_dispatch", start);
         let trace = match op {
             KvOp::Get { key } => store.get(key).1,
             KvOp::Put { key, .. } => store.put(key, vec![0xAB; params.value_bytes as usize]),
@@ -320,10 +438,22 @@ pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
             let local = rng.chance(hit_rate);
             t = nic.mem_access(t, 64, true, local, &mut nic_mem, &mut server.mem, MemKind::Dram, &mut rng);
         }
+        tr.leg("arm_mem_access", t);
         nic.end_request(arrived, t);
         // Response straight from the NIC.
-        net.send(t, SERVER, CLIENT, params.response_bytes(&op))
-    })
+        let fin = net.send(t, SERVER, CLIENT, params.response_bytes(&op));
+        tr.leg("fabric_response", fin);
+        tr.finish(fin);
+        fin
+    });
+    if rec.is_active() {
+        client.publish_metrics(resources, "client");
+        server.publish_metrics(resources, "server");
+        nic.publish_metrics(resources, "smartnic");
+        nic_mem.publish_metrics(resources, "nic_mem");
+        net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 #[cfg(test)]

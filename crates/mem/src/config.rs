@@ -110,22 +110,13 @@ impl MemConfig {
             }
         }
         if self.nvm_granularity == 0 || !self.nvm_granularity.is_power_of_two() {
-            return Err(format!(
-                "nvm_granularity must be a power of two, got {}",
-                self.nvm_granularity
-            ));
+            return Err(format!("nvm_granularity must be a power of two, got {}", self.nvm_granularity));
         }
         if !(0.0..=1.0).contains(&self.ddio_way_fraction) {
-            return Err(format!(
-                "ddio_way_fraction must be in [0,1], got {}",
-                self.ddio_way_fraction
-            ));
+            return Err(format!("ddio_way_fraction must be in [0,1], got {}", self.ddio_way_fraction));
         }
         if self.nvm_ddio_write_amp < 1.0 {
-            return Err(format!(
-                "nvm_ddio_write_amp must be >= 1, got {}",
-                self.nvm_ddio_write_amp
-            ));
+            return Err(format!("nvm_ddio_write_amp must be >= 1, got {}", self.nvm_ddio_write_amp));
         }
         Ok(())
     }
@@ -148,20 +139,16 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut cfg = MemConfig::default();
-        cfg.dram_bw = 0.0;
+        let cfg = MemConfig { dram_bw: 0.0, ..MemConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = MemConfig::default();
-        cfg.nvm_granularity = 100;
+        let cfg = MemConfig { nvm_granularity: 100, ..MemConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = MemConfig::default();
-        cfg.ddio_way_fraction = 1.5;
+        let cfg = MemConfig { ddio_way_fraction: 1.5, ..MemConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = MemConfig::default();
-        cfg.nvm_ddio_write_amp = 0.5;
+        let cfg = MemConfig { nvm_ddio_write_amp: 0.5, ..MemConfig::default() };
         assert!(cfg.validate().is_err());
     }
 

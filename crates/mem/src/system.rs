@@ -1,6 +1,7 @@
 //! The unified memory system: media links, LLC routing, NVM amplification.
 
 use rambda_des::{Link, SimTime, Span};
+use rambda_metrics::MetricSet;
 use serde::{Deserialize, Serialize};
 
 use crate::config::MemConfig;
@@ -157,6 +158,27 @@ impl MemorySystem {
         &self.stats
     }
 
+    /// Publishes the memory system's counters under `prefix`: the byte
+    /// stats, each media channel's link counters, and the LLC's DDIO
+    /// occupancy.
+    pub fn publish_metrics(&self, m: &mut MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.dram_read_bytes"), self.stats.dram_read_bytes);
+        m.set(&format!("{prefix}.dram_write_bytes"), self.stats.dram_write_bytes);
+        m.set(&format!("{prefix}.nvm_read_bytes"), self.stats.nvm_read_bytes);
+        m.set(&format!("{prefix}.nvm_logical_write_bytes"), self.stats.nvm_logical_write_bytes);
+        m.set(&format!("{prefix}.nvm_physical_write_bytes"), self.stats.nvm_physical_write_bytes);
+        m.set(&format!("{prefix}.dma_to_llc_bytes"), self.stats.dma_to_llc_bytes);
+        m.set(&format!("{prefix}.dma_to_mem_bytes"), self.stats.dma_to_mem_bytes);
+        m.observe_link(&format!("{prefix}.dram"), &self.dram);
+        m.observe_link(&format!("{prefix}.nvm_read"), &self.nvm_read);
+        m.observe_link(&format!("{prefix}.nvm_write"), &self.nvm_write);
+        m.observe_link(&format!("{prefix}.accel_ddr"), &self.accel_ddr);
+        m.observe_link(&format!("{prefix}.accel_hbm"), &self.accel_hbm);
+        m.observe_link(&format!("{prefix}.nic_dram"), &self.nic_dram);
+        m.set(&format!("{prefix}.llc.injected_bytes"), self.llc.injected_bytes());
+        m.set(&format!("{prefix}.llc.resident_bytes"), self.llc.resident_bytes());
+    }
+
     /// LLC hit latency (charged by callers that model a known-resident line,
     /// e.g. the pinned cpoll region).
     pub fn llc_latency(&self) -> Span {
@@ -225,8 +247,7 @@ impl MemorySystem {
                 if spill > 0 {
                     match dest {
                         MemKind::Nvm => {
-                            let physical =
-                                (spill as f64 * self.cfg.nvm_ddio_write_amp).round() as u64;
+                            let physical = (spill as f64 * self.cfg.nvm_ddio_write_amp).round() as u64;
                             self.stats.nvm_logical_write_bytes += spill;
                             self.stats.nvm_physical_write_bytes += physical;
                             self.nvm_write.transfer(at, physical);
@@ -338,10 +359,7 @@ mod tests {
     #[test]
     fn nvm_direct_write_rounds_but_does_not_amplify() {
         let mut m = sys(false);
-        m.access(
-            SimTime::ZERO,
-            MemReq { kind: MemKind::Nvm, access: AccessKind::Write, bytes: 1024 },
-        );
+        m.access(SimTime::ZERO, MemReq { kind: MemKind::Nvm, access: AccessKind::Write, bytes: 1024 });
         assert_eq!(m.stats().nvm_physical_write_bytes, 1024);
         assert_eq!(m.stats().nvm_write_amplification(), 1.0);
     }
@@ -413,15 +431,11 @@ mod tests {
     fn accel_local_memories_have_distinct_costs() {
         let mut m = sys(true);
         let big = 1_000_000_000u64;
-        let ddr = m.access(
-            SimTime::ZERO,
-            MemReq { kind: MemKind::AccelDdr, access: AccessKind::Read, bytes: big },
-        );
+        let ddr =
+            m.access(SimTime::ZERO, MemReq { kind: MemKind::AccelDdr, access: AccessKind::Read, bytes: big });
         let mut m2 = sys(true);
-        let hbm = m2.access(
-            SimTime::ZERO,
-            MemReq { kind: MemKind::AccelHbm, access: AccessKind::Read, bytes: big },
-        );
+        let hbm = m2
+            .access(SimTime::ZERO, MemReq { kind: MemKind::AccelHbm, access: AccessKind::Read, bytes: big });
         // HBM is ~12x the bandwidth: 1 GB takes far less serialization time.
         assert!(ddr.as_secs_f64() > 10.0 * hbm.as_secs_f64());
     }

@@ -1,0 +1,190 @@
+//! A tiny deterministic JSON value + encoder.
+//!
+//! The golden-report tests gate on byte-identical output across runs and
+//! machines, so the encoder makes every choice explicitly: object keys keep
+//! their insertion order (producers insert from `BTreeMap`s, so keys arrive
+//! sorted), floats render with Rust's shortest-round-trip formatting, and
+//! non-finite floats become `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every counter in a report).
+    U64(u64),
+    /// A float (throughput, utilization). Non-finite renders as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in the order they were inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space indentation
+    /// and a trailing newline (the canonical golden-file format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a ".0" on integral floats and is the
+                    // shortest representation that round-trips.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => Self::write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    Self::pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                Self::pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    Self::pad(out, indent + 1);
+                    Self::write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                Self::pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    fn pad(out: &mut String, indent: usize) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::U64(42).render(), "42\n");
+        assert_eq!(Json::F64(1.0).render(), "1.0\n");
+        assert_eq!(Json::F64(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Str("hi".into()).render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut o = Json::obj();
+        o.push("z", Json::U64(1)).push("a", Json::U64(2));
+        assert_eq!(o.render(), "{\n  \"z\": 1,\n  \"a\": 2\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::obj().render(), "{}\n");
+        assert_eq!(Json::Arr(Vec::new()).render(), "[]\n");
+    }
+
+    #[test]
+    fn nested_structure_indents() {
+        let mut inner = Json::obj();
+        inner.push("k", Json::U64(1));
+        let mut outer = Json::obj();
+        outer.push("arr", Json::Arr(vec![Json::U64(1), Json::U64(2)]));
+        outer.push("obj", inner);
+        let expect = "{\n  \"arr\": [\n    1,\n    2\n  ],\n  \"obj\": {\n    \"k\": 1\n  }\n}\n";
+        assert_eq!(outer.render(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_on_scalar_panics() {
+        Json::U64(1).push("k", Json::Null);
+    }
+}

@@ -1,0 +1,435 @@
+//! Per-stage latency recording and the serializable run report.
+//!
+//! A runner threads a [`StageRecorder`] through its serve closure: each
+//! request opens a [`ReqTrace`] at its issue time and cuts the critical
+//! path into named legs (`doorbell`, `fabric`, `coherence`, `apu_compute`,
+//! `nvm_persist`, ...). Because the legs partition the issue→completion
+//! interval exactly, the report can assert a hard identity — the stage sums
+//! equal the total sum to the picosecond — which catches any runner that
+//! drops or double-counts a leg.
+
+use std::collections::BTreeMap;
+
+use rambda_des::{Histogram, SimTime, Span};
+
+use crate::json::Json;
+use crate::set::MetricSet;
+
+/// Compact, exact summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of all samples, picoseconds.
+    pub sum_ps: u128,
+    /// Smallest sample (0 when empty).
+    pub min_ps: u64,
+    /// Largest sample (0 when empty).
+    pub max_ps: u64,
+    /// Exact arithmetic mean (0 when empty).
+    pub mean_ps: u64,
+    /// Median, to bucket resolution.
+    pub p50_ps: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99_ps: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            sum_ps: h.sum_ps(),
+            min_ps: h.min().as_ps(),
+            max_ps: h.max().as_ps(),
+            mean_ps: h.mean().as_ps(),
+            p50_ps: h.percentile(0.5).as_ps(),
+            p99_ps: h.percentile(0.99).as_ps(),
+        }
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ps as f64 / 1.0e6
+    }
+
+    fn to_json(self) -> Json {
+        let mut o = Json::obj();
+        o.push("count", Json::U64(self.count));
+        // Report sums saturate at u64::MAX in JSON; quick-mode runs are
+        // many orders of magnitude below this.
+        o.push("sum_ps", Json::U64(u64::try_from(self.sum_ps).unwrap_or(u64::MAX)));
+        o.push("min_ps", Json::U64(self.min_ps));
+        o.push("max_ps", Json::U64(self.max_ps));
+        o.push("mean_ps", Json::U64(self.mean_ps));
+        o.push("p50_ps", Json::U64(self.p50_ps));
+        o.push("p99_ps", Json::U64(self.p99_ps));
+        o
+    }
+}
+
+/// Collects one latency histogram per named pipeline stage, plus the
+/// issue→completion total over the same requests.
+#[derive(Debug, Clone)]
+pub struct StageRecorder {
+    active: bool,
+    stages: BTreeMap<&'static str, Histogram>,
+    total: Histogram,
+}
+
+impl StageRecorder {
+    /// A recorder that records.
+    pub fn active() -> Self {
+        StageRecorder { active: true, stages: BTreeMap::new(), total: Histogram::new() }
+    }
+
+    /// A no-op recorder for uninstrumented runs (every call is a cheap
+    /// branch, so the plain `run_*` entry points share the serve code).
+    pub fn disabled() -> Self {
+        StageRecorder { active: false, stages: BTreeMap::new(), total: Histogram::new() }
+    }
+
+    /// Whether this recorder records.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Records `to - from` under `stage`.
+    pub fn segment(&mut self, stage: &'static str, from: SimTime, to: SimTime) {
+        if !self.active {
+            return;
+        }
+        self.stages.entry(stage).or_default().record(to.saturating_since(from));
+    }
+
+    /// Records one request's issue→completion total.
+    pub fn request(&mut self, issued: SimTime, done: SimTime) {
+        if !self.active {
+            return;
+        }
+        self.total.record(done.saturating_since(issued));
+    }
+
+    /// Opens a per-request trace cursor at `issued`.
+    pub fn trace(&mut self, issued: SimTime) -> ReqTrace<'_> {
+        ReqTrace { rec: self, start: issued, cursor: issued }
+    }
+
+    /// The total histogram over all traced requests.
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// The histogram for one stage, if any request exercised it.
+    pub fn stage(&self, name: &str) -> Option<&Histogram> {
+        self.stages.get(name)
+    }
+
+    /// Iterates stages in name order.
+    pub fn stages(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.stages.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+/// A cursor cutting one request's critical path into consecutive legs.
+///
+/// Legs must be cut at non-decreasing times; overlapped work (parallel
+/// branches) is folded into a single leg cut at the joining `max`.
+#[derive(Debug)]
+pub struct ReqTrace<'a> {
+    rec: &'a mut StageRecorder,
+    start: SimTime,
+    cursor: SimTime,
+}
+
+impl ReqTrace<'_> {
+    /// Ends the current leg at `now`, charging it to `stage`, and moves the
+    /// cursor forward.
+    pub fn leg(&mut self, stage: &'static str, now: SimTime) {
+        debug_assert!(now >= self.cursor, "trace leg {stage} moved backwards");
+        self.rec.segment(stage, self.cursor, now);
+        self.cursor = self.cursor.max(now);
+    }
+
+    /// The current cursor position.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Closes the trace: records the issue→`done` total.
+    ///
+    /// For the stage-sum identity to hold, the last leg must have been cut
+    /// exactly at `done`; a debug assertion enforces it, and
+    /// [`RunReport::validate`] catches it in release builds.
+    pub fn finish(self, done: SimTime) {
+        debug_assert!(
+            !self.rec.active || done == self.cursor,
+            "trace finished at {done:?} but legs cover up to {:?}",
+            self.cursor
+        );
+        self.rec.request(self.start, done);
+    }
+}
+
+/// A serializable report of one closed-loop run: the headline numbers, the
+/// per-stage latency breakdown, and the per-resource counters.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Runner name, e.g. `"kvs.rambda"`.
+    pub name: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Measured (post-warm-up) requests.
+    pub completed: u64,
+    /// Steady-state throughput, operations/second.
+    pub throughput_ops: f64,
+    /// Simulated time of the last completion (run makespan), picoseconds.
+    pub elapsed_ps: u64,
+    /// Post-warm-up issue→response latency (what `RunStats` reports).
+    pub latency: HistSummary,
+    /// Issue→response latency over *all* traced requests (warm-up included).
+    pub total: HistSummary,
+    /// Per-stage breakdown, name-sorted; sums partition `total` exactly.
+    pub stages: Vec<(String, HistSummary)>,
+    /// Per-resource counters and utilization gauges.
+    pub resources: MetricSet,
+}
+
+impl RunReport {
+    /// Assembles a report from a finished recorder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        seed: u64,
+        completed: u64,
+        throughput_ops: f64,
+        elapsed: Span,
+        latency: HistSummary,
+        rec: &StageRecorder,
+        resources: MetricSet,
+    ) -> Self {
+        let mut report = RunReport {
+            name: name.to_string(),
+            seed,
+            completed,
+            throughput_ops,
+            elapsed_ps: elapsed.as_ps(),
+            latency,
+            total: HistSummary::of(rec.total()),
+            stages: rec.stages().map(|(n, h)| (n.to_string(), HistSummary::of(h))).collect(),
+            resources,
+        };
+        report.publish_utilization();
+        report
+    }
+
+    /// Derives `*.utilization` gauges from published `*.busy_ps` counters
+    /// (scaled by the sibling `*.units` counter when present) and the run
+    /// makespan.
+    fn publish_utilization(&mut self) {
+        if self.elapsed_ps == 0 {
+            return;
+        }
+        let busy: Vec<(String, u64, u64)> = self
+            .resources
+            .counters()
+            .filter_map(|(name, value)| {
+                let base = name.strip_suffix(".busy_ps")?;
+                let units = self.resources.counter(&format!("{base}.units")).unwrap_or(1).max(1);
+                Some((base.to_string(), value, units))
+            })
+            .collect();
+        for (base, busy_ps, units) in busy {
+            let util = busy_ps as f64 / (units as f64 * self.elapsed_ps as f64);
+            self.resources.gauge(&format!("{base}.utilization"), util);
+        }
+    }
+
+    /// Per-stage `(name, mean_us, share_of_total_time)` rows, name-sorted.
+    pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
+        let total = self.total.sum_ps.max(1) as f64;
+        self.stages.iter().map(|(name, s)| (name.clone(), s.mean_us(), s.sum_ps as f64 / total)).collect()
+    }
+
+    /// Checks the report's internal consistency.
+    ///
+    /// - the stage sums partition the traced total exactly;
+    /// - the traced total covers at least the measured requests, and its
+    ///   min/max envelope the post-warm-up latency histogram;
+    /// - the traced mean and the measured mean agree within a loose factor
+    ///   (warm-up requests differ, but not by orders of magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let stage_sum: u128 = self.stages.iter().map(|(_, s)| s.sum_ps).sum();
+        if stage_sum != self.total.sum_ps {
+            return Err(format!(
+                "stage sums ({} ps) do not partition the traced total ({} ps)",
+                stage_sum, self.total.sum_ps
+            ));
+        }
+        if self.total.count < self.latency.count {
+            return Err(format!("traced {} requests but measured {}", self.total.count, self.latency.count));
+        }
+        if self.latency.count != self.completed {
+            return Err(format!(
+                "latency histogram holds {} samples for {} completions",
+                self.latency.count, self.completed
+            ));
+        }
+        if self.latency.count > 0 {
+            if self.total.min_ps > self.latency.min_ps || self.total.max_ps < self.latency.max_ps {
+                return Err(format!(
+                    "traced envelope [{}, {}] does not contain measured [{}, {}]",
+                    self.total.min_ps, self.total.max_ps, self.latency.min_ps, self.latency.max_ps
+                ));
+            }
+            let traced = self.total.mean_ps.max(1) as f64;
+            let measured = self.latency.mean_ps.max(1) as f64;
+            let ratio = traced / measured;
+            if !(0.2..=5.0).contains(&ratio) {
+                return Err(format!(
+                    "traced mean {} ps and measured mean {} ps disagree (ratio {ratio:.2})",
+                    self.total.mean_ps, self.latency.mean_ps
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the report as a deterministic JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut stages = Json::obj();
+        for (name, summary) in &self.stages {
+            stages.push(name, summary.to_json());
+        }
+        let mut out = Json::obj();
+        out.push("name", Json::Str(self.name.clone()));
+        out.push("seed", Json::U64(self.seed));
+        out.push("completed", Json::U64(self.completed));
+        out.push("throughput_ops", Json::F64(self.throughput_ops));
+        out.push("elapsed_ps", Json::U64(self.elapsed_ps));
+        out.push("latency", self.latency.to_json());
+        out.push("total", self.total.to_json());
+        out.push("stages", stages);
+        out.push("resources", self.resources.to_json());
+        out
+    }
+
+    /// Renders the report as canonical pretty-printed JSON (the golden-file
+    /// format: byte-identical across runs for identical inputs).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_ns(n)
+    }
+
+    #[test]
+    fn trace_legs_partition_the_total() {
+        let mut rec = StageRecorder::active();
+        for i in 0..10u64 {
+            let t0 = ns(i * 100);
+            let mut tr = rec.trace(t0);
+            tr.leg("fabric", t0 + Span::from_ns(30));
+            tr.leg("compute", t0 + Span::from_ns(70));
+            let done = t0 + Span::from_ns(70);
+            tr.finish(done);
+        }
+        let stage_sum: u128 = rec.stages().map(|(_, h)| h.sum_ps()).sum();
+        assert_eq!(stage_sum, rec.total().sum_ps());
+        assert_eq!(rec.total().count(), 10);
+        assert_eq!(rec.stage("fabric").unwrap().mean(), Span::from_ns(30));
+        assert_eq!(rec.stage("compute").unwrap().mean(), Span::from_ns(40));
+        assert!(rec.stage("missing").is_none());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = StageRecorder::disabled();
+        let mut tr = rec.trace(ns(0));
+        tr.leg("fabric", ns(10));
+        tr.finish(ns(10));
+        assert!(!rec.is_active());
+        assert_eq!(rec.total().count(), 0);
+        assert_eq!(rec.stages().count(), 0);
+    }
+
+    fn sample_report(drop_a_leg: bool) -> RunReport {
+        let mut rec = StageRecorder::active();
+        let mut latency = Histogram::new();
+        for i in 0..20u64 {
+            let t0 = ns(i * 1000);
+            let mid = t0 + Span::from_ns(400);
+            let done = t0 + Span::from_ns(1000);
+            let mut tr = rec.trace(t0);
+            tr.leg("first", mid);
+            if !drop_a_leg {
+                tr.leg("second", done);
+            }
+            rec.request(t0, done);
+            if i >= 2 {
+                latency.record(done - t0);
+            }
+        }
+        let mut resources = MetricSet::new();
+        resources.set("cpu.busy_ps", 10_000_000);
+        resources.set("cpu.units", 4);
+        RunReport::new(
+            "test.run",
+            7,
+            18,
+            1.0e6,
+            Span::from_us(20),
+            HistSummary::of(&latency),
+            &rec,
+            resources,
+        )
+    }
+
+    #[test]
+    fn complete_report_validates() {
+        let report = sample_report(false);
+        report.validate().expect("report should be consistent");
+        // Utilization derived from busy_ps, units, and the makespan.
+        let util = report.resources.gauge_value("cpu.utilization").unwrap();
+        assert!((util - 10.0e6 / (4.0 * 20.0e6)).abs() < 1e-12, "{util}");
+        let rows = report.breakdown();
+        assert_eq!(rows.len(), 2);
+        let share: f64 = rows.iter().map(|(_, _, s)| s).sum();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
+    }
+
+    #[test]
+    fn dropped_leg_fails_validation() {
+        let report = sample_report(true);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let a = sample_report(false).to_json_string();
+        let b = sample_report(false).to_json_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"name\": \"test.run\""));
+        assert!(a.contains("\"first\""));
+        assert!(a.contains("cpu.utilization"));
+    }
+
+    #[test]
+    fn mismatched_latency_count_fails_validation() {
+        let mut report = sample_report(false);
+        report.completed += 1;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("completions"), "{err}");
+    }
+}

@@ -79,9 +79,7 @@ impl std::fmt::Display for DispatchGone {
 impl std::error::Error for DispatchGone {}
 
 /// Builds `workers` handles plus the dispatcher's private state.
-pub fn shared_connection<Req, Resp>(
-    workers: usize,
-) -> (Vec<SharedClient<Req, Resp>>, Dispatcher<Req, Resp>) {
+pub fn shared_connection<Req, Resp>(workers: usize) -> (Vec<SharedClient<Req, Resp>>, Dispatcher<Req, Resp>) {
     let (submit_tx, submit_rx) = mpsc::channel();
     let mut reply_txs = Vec::with_capacity(workers);
     let mut reply_rxs = Vec::with_capacity(workers);
@@ -91,9 +89,7 @@ pub fn shared_connection<Req, Resp>(
         reply_rxs.push(Mutex::new(rx));
     }
     let shared = Arc::new(Shared { submit: Mutex::new(submit_tx), replies: reply_rxs });
-    let clients = (0..workers)
-        .map(|worker| SharedClient { worker, shared: Arc::clone(&shared) })
-        .collect();
+    let clients = (0..workers).map(|worker| SharedClient { worker, shared: Arc::clone(&shared) }).collect();
     (clients, Dispatcher { submit: submit_rx, replies: reply_txs, in_flight: Vec::new() })
 }
 

@@ -108,9 +108,7 @@ impl Frame {
             return Err(DecodeError::Truncated { have: bytes.len() });
         }
         let payload = bytes[HEADER_BYTES..HEADER_BYTES + len].to_vec();
-        let want = u32::from_le_bytes(
-            bytes[HEADER_BYTES + len..total].try_into().expect("sliced"),
-        );
+        let want = u32::from_le_bytes(bytes[HEADER_BYTES + len..total].try_into().expect("sliced"));
         let got = checksum(&bytes[..HEADER_BYTES + len]);
         if want != got {
             return Err(DecodeError::Checksum { want, got });
@@ -194,10 +192,7 @@ mod tests {
     fn truncation_detected() {
         let bytes = Frame::new(OpCode::Txn, 5, vec![1; 32]).encode();
         for cut in [0, 5, HEADER_BYTES, bytes.len() - 1] {
-            assert!(matches!(
-                Frame::decode(&bytes[..cut]),
-                Err(DecodeError::Truncated { .. })
-            ), "cut={cut}");
+            assert!(matches!(Frame::decode(&bytes[..cut]), Err(DecodeError::Truncated { .. })), "cut={cut}");
         }
     }
 

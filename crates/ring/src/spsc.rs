@@ -20,7 +20,26 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::CachePadded;
+/// Pads and aligns a value to 128 bytes so the producer- and consumer-owned
+/// indices never share a cache line (false sharing). Local stand-in for
+/// `crossbeam_utils::CachePadded`, which is unavailable offline.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
 
 struct Slot<T> {
     /// Sequence protocol (for capacity `n`, lap = index / n):

@@ -127,6 +127,18 @@ impl RnicEndpoint {
         &self.stats
     }
 
+    /// Publishes the RNIC's counters under `prefix`: operation counts, the
+    /// WQE-pipeline throttle, and the PCIe attachment's links.
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.doorbells"), self.stats.doorbells);
+        m.set(&format!("{prefix}.wqes"), self.stats.wqes);
+        m.set(&format!("{prefix}.cqes"), self.stats.cqes);
+        m.set(&format!("{prefix}.inbound_writes"), self.stats.inbound_writes);
+        m.set(&format!("{prefix}.inbound_reads"), self.stats.inbound_reads);
+        m.observe_throttle(&format!("{prefix}.pipeline"), &self.pipeline);
+        self.pcie.publish_metrics(m, &format!("{prefix}.pcie"));
+    }
+
     /// The PCIe link (shared by Smart-NIC models co-located on the device).
     pub fn pcie_mut(&mut self) -> &mut PcieLink {
         &mut self.pcie
@@ -220,13 +232,7 @@ impl RnicEndpoint {
 
     /// Serves an inbound RDMA read of `bytes` from region `mr`: media read,
     /// then DMA back toward the wire. Returns when the data is on the NIC.
-    pub fn serve_read(
-        &mut self,
-        at: SimTime,
-        mr: MrKey,
-        bytes: u64,
-        mem: &mut MemorySystem,
-    ) -> SimTime {
+    pub fn serve_read(&mut self, at: SimTime, mr: MrKey, bytes: u64, mem: &mut MemorySystem) -> SimTime {
         let info = self.region(mr);
         let processed = self.rx_process(at);
         let req_at_mem = self.pcie.dma_to_device(processed, 32);
@@ -295,10 +301,7 @@ mod tests {
         for _ in 0..8 {
             t = unbatched.post(t, PostPath::AccelMmio, 1);
         }
-        assert!(
-            batched_total < t,
-            "batched {batched_total} should beat unbatched {t}"
-        );
+        assert!(batched_total < t, "batched {batched_total} should beat unbatched {t}");
         assert_eq!(batched.stats().doorbells, 1);
         assert_eq!(unbatched.stats().doorbells, 8);
     }

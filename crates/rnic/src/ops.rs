@@ -55,6 +55,7 @@ pub struct ReadOutcome {
 /// The full pipeline: post (doorbell + WQE fetch, amortized over
 /// `opts.batch`), sender NIC pipeline, wire, receiver NIC pipeline, DMA into
 /// host memory with the region's TPH policy, optional CQE at the sender.
+#[allow(clippy::too_many_arguments)]
 pub fn rdma_write(
     at: SimTime,
     src: &mut RnicEndpoint,
@@ -102,6 +103,7 @@ fn write_path(
 
 /// Executes a one-sided RDMA read of `bytes` from region `mr` on `dst`'s
 /// machine back to `src`'s machine.
+#[allow(clippy::too_many_arguments)]
 pub fn rdma_read(
     at: SimTime,
     src: &mut RnicEndpoint,
@@ -128,6 +130,7 @@ pub fn rdma_read(
 /// plus receiver CPU involvement (charged by the caller's CPU model). The
 /// returned time is when the payload and the receive completion are visible
 /// to the receiving host.
+#[allow(clippy::too_many_arguments)]
 pub fn two_sided_send(
     at: SimTime,
     src: &mut RnicEndpoint,
@@ -151,10 +154,10 @@ pub fn two_sided_send(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::{MrInfo, RnicConfig};
     use rambda_des::Span;
     use rambda_fabric::{NetConfig, NodeId, PcieConfig};
     use rambda_mem::{MemConfig, MemKind};
-    use crate::endpoint::{MrInfo, RnicConfig};
 
     struct World {
         client: RnicEndpoint,
@@ -221,14 +224,27 @@ mod tests {
         let mut w = world();
         let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
         let wr = rdma_write(
-            SimTime::ZERO, &mut w.client, &mut w.server, &mut w.net,
-            &mut w.server_mem, &mut w.client_mem, mr, 64, WriteOpts::default(),
+            SimTime::ZERO,
+            &mut w.client,
+            &mut w.server,
+            &mut w.net,
+            &mut w.server_mem,
+            &mut w.client_mem,
+            mr,
+            64,
+            WriteOpts::default(),
         );
         let mut w2 = world();
         let mr2 = w2.server.register_region(MrInfo::adaptive(MemKind::Dram));
         let rd = rdma_read(
-            SimTime::ZERO, &mut w2.client, &mut w2.server, &mut w2.net,
-            &mut w2.server_mem, mr2, 64, WriteOpts::default(),
+            SimTime::ZERO,
+            &mut w2.client,
+            &mut w2.server,
+            &mut w2.net,
+            &mut w2.server_mem,
+            mr2,
+            64,
+            WriteOpts::default(),
         );
         assert!(rd.data_at > wr.delivered_at);
     }
@@ -242,8 +258,15 @@ mod tests {
             let mut t = SimTime::ZERO;
             for _ in 0..32 {
                 let out = rdma_write(
-                    t, &mut w.client, &mut w.server, &mut w.net,
-                    &mut w.server_mem, &mut w.client_mem, mr, 64, WriteOpts::default(),
+                    t,
+                    &mut w.client,
+                    &mut w.server,
+                    &mut w.net,
+                    &mut w.server_mem,
+                    &mut w.client_mem,
+                    mr,
+                    64,
+                    WriteOpts::default(),
                 );
                 t = out.delivered_at - Span::from_ns(1500); // keep pipeline busy
                 unbatched_done = out.delivered_at;
@@ -257,8 +280,15 @@ mod tests {
                 let opts = WriteOpts { batch: 32, ..WriteOpts::default() };
                 let opts = if i == 0 { WriteOpts { batch: 1, ..opts } } else { opts };
                 let out = rdma_write(
-                    SimTime::ZERO, &mut w.client, &mut w.server, &mut w.net,
-                    &mut w.server_mem, &mut w.client_mem, mr, 64, opts,
+                    SimTime::ZERO,
+                    &mut w.client,
+                    &mut w.server,
+                    &mut w.net,
+                    &mut w.server_mem,
+                    &mut w.client_mem,
+                    mr,
+                    64,
+                    opts,
                 );
                 batched_done = out.delivered_at;
             }
@@ -271,8 +301,14 @@ mod tests {
         let mut w = world();
         let rq = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
         let done = two_sided_send(
-            SimTime::ZERO, &mut w.client, &mut w.server, &mut w.net,
-            &mut w.server_mem, rq, 64, WriteOpts::default(),
+            SimTime::ZERO,
+            &mut w.client,
+            &mut w.server,
+            &mut w.net,
+            &mut w.server_mem,
+            rq,
+            64,
+            WriteOpts::default(),
         );
         assert!(done.as_us_f64() > 3.0);
         assert_eq!(w.server.stats().cqes, 1);

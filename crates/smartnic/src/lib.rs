@@ -88,6 +88,16 @@ impl SmartNic {
         &self.stats
     }
 
+    /// Publishes the Smart NIC's counters under `prefix`: request/access
+    /// counts, the ARM-core pool, and the PCIe link to the host.
+    pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.requests"), self.stats.requests);
+        m.set(&format!("{prefix}.local_accesses"), self.stats.local_accesses);
+        m.set(&format!("{prefix}.host_accesses"), self.stats.host_accesses);
+        m.observe_server(&format!("{prefix}.cores"), &self.cores);
+        self.pcie.publish_metrics(m, &format!("{prefix}.pcie"));
+    }
+
     /// Claims an ARM core for a request arriving at `arrival`, expected to
     /// hold it for `hold` of compute (memory time computed separately).
     pub fn claim_core(&mut self, arrival: SimTime, hold: Span) -> SimTime {
@@ -115,6 +125,7 @@ impl SmartNic {
     /// `local` accesses hit the on-board DRAM; host accesses issue a
     /// one-sided RDMA read/write over PCIe (direct verbs) and touch the
     /// host's memory system.
+    #[allow(clippy::too_many_arguments)]
     pub fn mem_access(
         &mut self,
         at: SimTime,
@@ -133,21 +144,15 @@ impl SmartNic {
             nic_mem.access(at, MemReq { kind: MemKind::NicDram, access, bytes })
         } else {
             self.stats.host_accesses += 1;
-            let jitter = Span::from_ns_f64(
-                self.cfg.pcie.one_way_latency.as_ns_f64() * rng.exp(self.cfg.host_jitter),
-            );
+            let jitter =
+                Span::from_ns_f64(self.cfg.pcie.one_way_latency.as_ns_f64() * rng.exp(self.cfg.host_jitter));
             if write {
                 let posted = self.pcie.device_write(at, bytes);
-                host_mem.access(
-                    posted + jitter,
-                    MemReq { kind: host_kind, access: AccessKind::Write, bytes },
-                )
+                host_mem.access(posted + jitter, MemReq { kind: host_kind, access: AccessKind::Write, bytes })
             } else {
                 let req_up = self.pcie.device_write(at, 32); // read request TLP
-                let media = host_mem.access(
-                    req_up,
-                    MemReq { kind: host_kind, access: AccessKind::Read, bytes },
-                );
+                let media =
+                    host_mem.access(req_up, MemReq { kind: host_kind, access: AccessKind::Read, bytes });
                 self.pcie.dma_to_device(media, bytes) + jitter
             }
         }
@@ -209,7 +214,8 @@ mod tests {
     #[test]
     fn host_access_pays_pcie() {
         let (mut nic, mut nmem, mut hmem, mut rng) = world();
-        let t = nic.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        let t =
+            nic.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
         assert!(t.as_us_f64() > 1.4, "{}", t.as_us_f64());
         assert_eq!(nic.stats().host_accesses, 1);
         assert_eq!(hmem.stats().dram_read_bytes, 64);
@@ -256,7 +262,8 @@ mod tests {
         let (mut nic, mut nmem, mut hmem, mut rng) = world();
         let w = nic.mem_access(SimTime::ZERO, 64, true, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
         let mut nic2 = SmartNic::new(SmartNicConfig::default());
-        let r = nic2.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
+        let r =
+            nic2.mem_access(SimTime::ZERO, 64, false, false, &mut nmem, &mut hmem, MemKind::Dram, &mut rng);
         assert!(w < r, "posted write {w} vs read {r}");
     }
 

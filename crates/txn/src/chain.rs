@@ -96,11 +96,7 @@ impl Chain {
     /// Panics if `replicas == 0`.
     pub fn new(replicas: usize) -> Self {
         assert!(replicas > 0, "a chain needs at least one replica");
-        Chain {
-            replicas: vec![PersistentStore::new(); replicas],
-            cc: ConcurrencyControl::new(),
-            next_txn: 0,
-        }
+        Chain { replicas: vec![PersistentStore::new(); replicas], cc: ConcurrencyControl::new(), next_txn: 0 }
     }
 
     /// Number of replicas.
@@ -134,22 +130,15 @@ impl Chain {
     pub fn execute(&mut self, reads: &[u64], writes: Vec<TxnWrite>) -> TxnOutcome {
         let txn_id = self.next_txn;
         self.next_txn += 1;
-        let keys: Vec<u64> =
-            reads.iter().copied().chain(writes.iter().map(|w| w.key)).collect();
+        let keys: Vec<u64> = reads.iter().copied().chain(writes.iter().map(|w| w.key)).collect();
         let conflicts_waited = self.cc.admit(txn_id, keys.iter().copied());
         // (In the timed model, conflicting admission delays the start; the
         // functional chain executes serially, so admission always proceeds.)
 
-        let read_values = reads
-            .iter()
-            .map(|&k| self.replicas[0].get(k).map(|v| v.to_vec()))
-            .collect();
+        let read_values = reads.iter().map(|&k| self.replicas[0].get(k).map(|v| v.to_vec())).collect();
 
         if !writes.is_empty() {
-            let record = WalRecord {
-                txn_id,
-                writes: writes.into_iter().map(|w| (w.key, w.value)).collect(),
-            };
+            let record = WalRecord { txn_id, writes: writes.into_iter().map(|w| (w.key, w.value)).collect() };
             // Head -> tail: append + persist at every replica in order.
             for replica in &mut self.replicas {
                 let idx = replica.apply(record.clone());

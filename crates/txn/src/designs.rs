@@ -6,11 +6,12 @@
 //! Transactions are issued serially by the client (window 1), as in the
 //! paper, so the latency reduction also reflects throughput.
 
-use rambda::{run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda::{build_report, run_closed_loop, DriverConfig, RunStats, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::{SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::MemKind;
+use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{MrInfo, PostPath, WriteOpts};
 use rambda_workloads::{KeyDist, TxnSpec};
 
@@ -101,10 +102,8 @@ impl TxnWorld {
     fn sample_txn(&mut self, spec: &TxnSpec, value_bytes: u32) -> (Vec<u64>, Vec<TxnWrite>) {
         let keys = spec.sample_keys(&self.dist, &mut self.rng);
         let (read_keys, write_keys) = keys.split_at(spec.reads);
-        let writes = write_keys
-            .iter()
-            .map(|&key| TxnWrite { key, value: vec![0xCD; value_bytes as usize] })
-            .collect();
+        let writes =
+            write_keys.iter().map(|&key| TxnWrite { key, value: vec![0xCD; value_bytes as usize] }).collect();
         (read_keys.to_vec(), writes)
     }
 }
@@ -114,6 +113,24 @@ impl TxnWorld {
 /// that traverses the whole chain — and multi-write transactions must issue
 /// them sequentially (the Sec. IV-B limitation Rambda removes).
 pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
+    run_hyperloop_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_hyperloop`] with full observability: stage breakdown (read RTTs,
+/// sequential chain writes, CQE poll) plus machine and network counters.
+pub fn run_hyperloop_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_hyperloop_inner(testbed, params, &mut rec, &mut resources);
+    build_report("txn.hyperloop", params.seed, &stats, &rec, resources)
+}
+
+fn run_hyperloop_inner(
+    testbed: &Testbed,
+    params: &TxnParams,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let nvm1 = w.port1.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
@@ -121,18 +138,26 @@ pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
     let value = params.value_bytes as u64;
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: true };
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut trace = rec.trace(at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
         let mut t = at;
 
         // Sequential one-sided reads from the head replica's NVM.
         for _ in 0..reads.len() {
             let out = rambda_rnic::rdma_read(
-                t, &mut w.client.rnic, &mut w.port0.rnic, &mut w.net,
-                &mut w.port0.mem, nvm0, value, WriteOpts { signaled: false, ..opts },
+                t,
+                &mut w.client.rnic,
+                &mut w.port0.rnic,
+                &mut w.net,
+                &mut w.port0.mem,
+                nvm0,
+                value,
+                WriteOpts { signaled: false, ..opts },
             );
             t = out.data_at;
         }
+        trace.leg("read_rtts", t);
 
         // Sequential group-RDMA writes, one chain round per KV pair.
         let n_writes = writes.len();
@@ -140,8 +165,14 @@ pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
             // Client -> port0: log-entry write into NVM (single tuple).
             let entry = 1 + value + 12;
             let d0 = rambda_rnic::rdma_write(
-                t, &mut w.client.rnic, &mut w.port0.rnic, &mut w.net,
-                &mut w.port0.mem, &mut w.client.mem, nvm0, entry,
+                t,
+                &mut w.client.rnic,
+                &mut w.port0.rnic,
+                &mut w.net,
+                &mut w.port0.mem,
+                &mut w.client.mem,
+                nvm0,
+                entry,
                 WriteOpts { signaled: false, ..opts },
             );
             // RNIC-triggered forward to the next replica through the ARM.
@@ -153,12 +184,23 @@ pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
             let acked = w.net.send(ack_at_p0, PORT0, CLIENT, 0);
             t = w.client.rnic.complete(acked, &mut w.client.mem);
         }
+        trace.leg("chain_writes", t);
 
         // Functional effect.
         let _ = w.chain.execute(&reads, writes);
         // CQE polled on a client core (cheap).
-        t + Span::from_ns(100)
-    })
+        let fin = t + Span::from_ns(100);
+        trace.leg("cqe_poll", fin);
+        trace.finish(fin);
+        fin
+    });
+    if rec.is_active() {
+        w.client.publish_metrics(resources, "client");
+        w.port0.publish_metrics(resources, "port0");
+        w.port1.publish_metrics(resources, "port1");
+        w.net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// Rambda-Tx: the client issues one combined multi-tuple request; the
@@ -166,6 +208,25 @@ pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
 /// concurrency control, and forwards along the chain — one chain round per
 /// *transaction*.
 pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
+    run_rambda_tx_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+}
+
+/// [`run_rambda_tx`] with full observability: stage breakdown (fabric,
+/// coherence discovery, dispatch, the overlapped chain round, commit) plus
+/// machine, accelerator and network counters.
+pub fn run_rambda_tx_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
+    let mut rec = StageRecorder::active();
+    let mut resources = MetricSet::new();
+    let stats = run_rambda_tx_inner(testbed, params, &mut rec, &mut resources);
+    build_report("txn.rambda_tx", params.seed, &stats, &rec, resources)
+}
+
+fn run_rambda_tx_inner(
+    testbed: &Testbed,
+    params: &TxnParams,
+    rec: &mut StageRecorder,
+    resources: &mut MetricSet,
+) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
     // Request rings live in NVM and double as the redo log (Sec. IV-B).
     let ring0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
@@ -177,21 +238,32 @@ pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: false };
     let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, signaled: false };
 
-    run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |_c, at| {
+        let mut trace = rec.trace(at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
         let entry = spec.log_entry_bytes();
 
         // One combined request into the head's NVM ring (= redo log write).
         let d0 = rambda_rnic::rdma_write(
-            at, &mut w.client.rnic, &mut w.port0.rnic, &mut w.net,
-            &mut w.port0.mem, &mut w.client.mem, ring0, entry, opts,
+            at,
+            &mut w.client.rnic,
+            &mut w.port0.rnic,
+            &mut w.net,
+            &mut w.port0.mem,
+            &mut w.client.mem,
+            ring0,
+            entry,
+            opts,
         );
+        trace.leg("fabric_request", d0.delivered_at);
 
         // Head accelerator: on the cpoll signal it forwards the (already
         // durable) entry down the chain immediately; parsing, concurrency
         // control and the read set overlap with the chain round trip.
         let t = accel0.discover(d0.delivered_at, 1, &mut w.rng);
+        trace.leg("coherence", t);
         let start = accel0.claim_slot(t);
+        trace.leg("dispatch", start);
         let wqe = accel0.sq_write_wqe(start);
         let fwd_posted = w.port0.rnic.post(wqe, PostPath::AccelMmio, 1);
         let at_p1 = w.route(fwd_posted, PORT0, PORT1, entry);
@@ -218,17 +290,38 @@ pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
         // Tail ACK back through the chain; the head commits once both the
         // ACK and its own processing are done, then responds to the client.
         let ack_at_p0 = w.route(ack_posted, PORT1, PORT0, 0);
+        // The chain round trip and the head's local work run in parallel;
+        // the critical path resumes at their join point.
+        trace.leg("chain_round", ack_at_p0.max(local));
         let commit = accel0.compute(ack_at_p0.max(local), 1);
+        trace.leg("commit", commit);
         let resp = rambda_rnic::rdma_write(
-            commit, &mut w.port0.rnic, &mut w.client.rnic, &mut w.net,
-            &mut w.client.mem, &mut w.port0.mem, client_mr,
-            8 + reads.len() as u64 * params.value_bytes as u64, accel_opts,
+            commit,
+            &mut w.port0.rnic,
+            &mut w.client.rnic,
+            &mut w.net,
+            &mut w.client.mem,
+            &mut w.port0.mem,
+            client_mr,
+            8 + reads.len() as u64 * params.value_bytes as u64,
+            accel_opts,
         );
+        trace.leg("fabric_response", resp.delivered_at);
 
         // Functional effect.
         let _ = w.chain.execute(&reads, writes);
+        trace.finish(resp.delivered_at);
         resp.delivered_at
-    })
+    });
+    if rec.is_active() {
+        w.client.publish_metrics(resources, "client");
+        w.port0.publish_metrics(resources, "port0");
+        w.port1.publish_metrics(resources, "port1");
+        accel0.publish_metrics(resources, "accel0");
+        accel1.publish_metrics(resources, "accel1");
+        w.net.publish_metrics(resources, "net");
+    }
+    stats
 }
 
 /// The pure-read fast path (Sec. IV-B): chain replication already provides
@@ -244,8 +337,14 @@ pub fn run_pure_reads(testbed: &Testbed, params: &TxnParams) -> RunStats {
     run_closed_loop(&params.driver(), |_c, at| {
         let key = w.dist.sample(&mut w.rng);
         let out = rambda_rnic::rdma_read(
-            at, &mut w.client.rnic, &mut w.port0.rnic, &mut w.net,
-            &mut w.port0.mem, nvm0, value, opts,
+            at,
+            &mut w.client.rnic,
+            &mut w.port0.rnic,
+            &mut w.net,
+            &mut w.port0.mem,
+            nvm0,
+            value,
+            opts,
         );
         // Functional effect: a read-only transaction at the head.
         let res = w.chain.execute(&[key], Vec::new());

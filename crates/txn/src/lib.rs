@@ -22,5 +22,7 @@ pub mod designs;
 pub mod store;
 
 pub use chain::{Chain, ConcurrencyControl, TxnOutcome, TxnWrite};
-pub use designs::{run_hyperloop, run_pure_reads, run_rambda_tx, TxnParams};
+pub use designs::{
+    run_hyperloop, run_hyperloop_report, run_pure_reads, run_rambda_tx, run_rambda_tx_report, TxnParams,
+};
 pub use store::{PersistentStore, WalRecord};

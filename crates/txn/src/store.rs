@@ -23,11 +23,7 @@ impl WalRecord {
     /// Serialized size: the paper's log format — one count byte plus
     /// `(data, len, offset)` tuples.
     pub fn log_bytes(&self) -> u64 {
-        1 + self
-            .writes
-            .iter()
-            .map(|(_, v)| v.len() as u64 + 4 + 8)
-            .sum::<u64>()
+        1 + self.writes.iter().map(|(_, v)| v.len() as u64 + 4 + 8).sum::<u64>()
     }
 }
 
@@ -114,10 +110,7 @@ mod tests {
     use super::*;
 
     fn rec(id: u64, kvs: &[(u64, u8)]) -> WalRecord {
-        WalRecord {
-            txn_id: id,
-            writes: kvs.iter().map(|&(k, b)| (k, vec![b; 8])).collect(),
-        }
+        WalRecord { txn_id: id, writes: kvs.iter().map(|&(k, b)| (k, vec![b; 8])).collect() }
     }
 
     #[test]

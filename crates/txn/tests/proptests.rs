@@ -11,10 +11,7 @@ struct PropTxn {
 }
 
 fn txn_strategy() -> impl Strategy<Value = PropTxn> {
-    (
-        proptest::collection::vec(0u64..50, 0..4),
-        proptest::collection::vec((0u64..50, any::<u8>()), 0..4),
-    )
+    (proptest::collection::vec(0u64..50, 0..4), proptest::collection::vec((0u64..50, any::<u8>()), 0..4))
         .prop_map(|(reads, writes)| PropTxn { reads, writes })
 }
 

@@ -59,12 +59,54 @@ impl DlrmProfile {
     /// The six evaluation datasets, in the paper's Fig. 13 order.
     pub fn all() -> Vec<DlrmProfile> {
         vec![
-            DlrmProfile { name: "Electro.", rows: 5_000_000, mean_features: 40.0, memo_hit: 0.45, zipf_theta: 0.8, co_occur: 0.72 },
-            DlrmProfile { name: "Clothing", rows: 8_000_000, mean_features: 30.0, memo_hit: 0.40, zipf_theta: 0.8, co_occur: 0.65 },
-            DlrmProfile { name: "Home.", rows: 6_000_000, mean_features: 35.0, memo_hit: 0.42, zipf_theta: 0.8, co_occur: 0.68 },
-            DlrmProfile { name: "Books", rows: 15_000_000, mean_features: 80.0, memo_hit: 0.55, zipf_theta: 0.85, co_occur: 0.8 },
-            DlrmProfile { name: "Sports.", rows: 4_000_000, mean_features: 32.0, memo_hit: 0.44, zipf_theta: 0.8, co_occur: 0.7 },
-            DlrmProfile { name: "Office.", rows: 2_500_000, mean_features: 26.0, memo_hit: 0.38, zipf_theta: 0.75, co_occur: 0.62 },
+            DlrmProfile {
+                name: "Electro.",
+                rows: 5_000_000,
+                mean_features: 40.0,
+                memo_hit: 0.45,
+                zipf_theta: 0.8,
+                co_occur: 0.72,
+            },
+            DlrmProfile {
+                name: "Clothing",
+                rows: 8_000_000,
+                mean_features: 30.0,
+                memo_hit: 0.40,
+                zipf_theta: 0.8,
+                co_occur: 0.65,
+            },
+            DlrmProfile {
+                name: "Home.",
+                rows: 6_000_000,
+                mean_features: 35.0,
+                memo_hit: 0.42,
+                zipf_theta: 0.8,
+                co_occur: 0.68,
+            },
+            DlrmProfile {
+                name: "Books",
+                rows: 15_000_000,
+                mean_features: 80.0,
+                memo_hit: 0.55,
+                zipf_theta: 0.85,
+                co_occur: 0.8,
+            },
+            DlrmProfile {
+                name: "Sports.",
+                rows: 4_000_000,
+                mean_features: 32.0,
+                memo_hit: 0.44,
+                zipf_theta: 0.8,
+                co_occur: 0.7,
+            },
+            DlrmProfile {
+                name: "Office.",
+                rows: 2_500_000,
+                mean_features: 26.0,
+                memo_hit: 0.38,
+                zipf_theta: 0.75,
+                co_occur: 0.62,
+            },
         ]
     }
 

@@ -30,10 +30,7 @@ fn main() {
     chain.replica_mut(2).recover();
     metric("tail after recovery holds keys", chain.replica(2).len());
     chain.check_consistency().expect("chain must be consistent after recovery");
-    metric(
-        "key 1 on recovered tail",
-        String::from_utf8_lossy(chain.replica(2).get(1).unwrap()).to_string(),
-    );
+    metric("key 1 on recovered tail", String::from_utf8_lossy(chain.replica(2).get(1).unwrap()).to_string());
 
     banner("Fig. 12 style latency comparison (2-replica emulation)");
     let testbed = Testbed::default();

@@ -20,9 +20,7 @@ fn main() {
     metric("memory accesses for that GET", trace.accesses());
 
     let testbed = Testbed::default();
-    let params = KvsParams::quick()
-        .with_zipf(0.9)
-        .with_workload(KvsWorkload::WriteIntensive);
+    let params = KvsParams::quick().with_zipf(0.9).with_workload(KvsWorkload::WriteIntensive);
 
     banner("50/50 GET/PUT, zipf 0.9, batch 32");
     let cpu = run_cpu(&testbed, &params);

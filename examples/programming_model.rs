@@ -22,7 +22,11 @@ fn main() {
 
     banner("1. register a small app: rings pin in the local cache");
     let small = framework
-        .register_app::<Frame, Frame>(AppRegistration::new("kvs", 16).with_rings(32, 64), &mut rnic, &mut cpoll)
+        .register_app::<Frame, Frame>(
+            AppRegistration::new("kvs", 16).with_rings(32, 64),
+            &mut rnic,
+            &mut cpoll,
+        )
         .expect("registration");
     metric("connections", small.connections.len());
     metric("cpoll layout", format!("{:?}", small.layout));
@@ -37,10 +41,7 @@ fn main() {
         )
         .expect("registration");
     metric("cpoll layout", format!("{:?}", large.layout));
-    metric(
-        "pointer-buffer footprint (bytes)",
-        large.pointer_buffer.as_ref().unwrap().region_bytes(),
-    );
+    metric("pointer-buffer footprint (bytes)", large.pointer_buffer.as_ref().unwrap().region_bytes());
 
     banner("3. share one connection across 4 worker threads (RPC-framed)");
     let (clients, mut dispatcher) = shared_connection::<Frame, Frame>(4);
@@ -52,7 +53,8 @@ fn main() {
             std::thread::spawn(move || {
                 let mut checks = 0;
                 for i in 0..200u32 {
-                    let req = Frame::new(OpCode::Get, (w as u32) << 16 | i, format!("key-{w}-{i}").into_bytes());
+                    let req =
+                        Frame::new(OpCode::Get, (w as u32) << 16 | i, format!("key-{w}-{i}").into_bytes());
                     let resp = client.call(req).expect("dispatcher alive");
                     assert_eq!(resp.op, OpCode::Response);
                     assert_eq!(resp.request_id, (w as u32) << 16 | i);

@@ -54,10 +54,7 @@ fn main() {
     let rambda = run_rambda(&testbed, params, DataLocation::HostDram, true, 42);
     metric("one CPU core (Mops)", format!("{:.2}", cpu.throughput_mops()));
     metric("Rambda accelerator (Mops)", format!("{:.2}", rambda.throughput_mops()));
-    metric(
-        "speedup",
-        format!("{:.1}x", rambda.throughput_mops() / cpu.throughput_mops()),
-    );
+    metric("speedup", format!("{:.1}x", rambda.throughput_mops() / cpu.throughput_mops()));
     metric("Rambda mean latency (us)", format!("{:.2}", rambda.mean_us()));
     println!("\nNext: kvs_cluster, chain_txn, dlrm_inference.");
 }

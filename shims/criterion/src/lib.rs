@@ -1,0 +1,147 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io, so this shim provides the
+//! small slice of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`iter_batched`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does with the real
+//! criterion) switches to smoke mode: every bench body runs once so CI can
+//! verify bench code still compiles and executes, without timing loops.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes its setup (ignored by the shim's timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each group function.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { smoke: self.smoke, iters: 0, elapsed_ns: 0 };
+        body(&mut b);
+        if self.smoke {
+            println!("bench {name}: ok (smoke mode, {} iter)", b.iters);
+        } else if b.iters > 0 {
+            println!("bench {name}: {:.1} ns/iter ({} iters)", b.elapsed_ns as f64 / b.iters as f64, b.iters);
+        } else {
+            println!("bench {name}: no iterations recorded");
+        }
+        self
+    }
+}
+
+/// Measurement target inside [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+/// Iterations per timed measurement window in the shim.
+const MEASURE_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Times `routine` (once in smoke mode, a fixed loop otherwise).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let iters = if self.smoke { 1 } else { MEASURE_ITERS };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let iters = if self.smoke { 1 } else { MEASURE_ITERS };
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+        }
+        self.iters += iters;
+    }
+}
+
+/// Declares a benchmark group: a runner function invoking each bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0u32;
+        c.bench_function("demo", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn iter_batched_threads_inputs() {
+        let mut c = Criterion { smoke: true };
+        let mut total = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| total += v * 2, BatchSize::SmallInput);
+        });
+        assert_eq!(total, 42);
+    }
+}

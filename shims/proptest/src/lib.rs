@@ -1,0 +1,452 @@
+//! Offline minimal stand-in for `proptest`.
+//!
+//! The build container cannot reach crates.io, so this shim implements the
+//! subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(x in strategy, ...)` tests,
+//! * [`Strategy`] with `prop_map`/`boxed`, range/tuple/`any` strategies,
+//! * [`collection::vec`], [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Each test runs [`CASES`] random cases from a generator seeded by the
+//! test's module path and name, so runs are fully deterministic (CI-stable)
+//! at the cost of proptest's shrinking and persistence machinery. Failures
+//! print the case number; re-running reproduces the same inputs.
+
+/// Cases generated per `proptest!` test.
+pub const CASES: usize = 64;
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from a test's fully-qualified name (FNV-1a hash).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 bits).
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking: `generate`
+/// produces one value per call.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased strategies ([`prop_oneof!`]).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Integer types `Range`/`RangeInclusive` strategies cover.
+pub trait UniformInt: Copy {
+    /// Widens to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back from the `u64` sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl<T: UniformInt> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl<T: UniformInt> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "empty range strategy");
+        if hi - lo == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(hi - lo + 1))
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + rng.f64_unit() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, Strategy,
+    };
+}
+
+/// Defines deterministic randomized tests from `fn name(x in strategy)`
+/// items. Unlike real proptest there is no shrinking; the failing case
+/// number is reported by the panic location instead.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: expands `x in strategy, ...` parameter lists to `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $var:ident in $strat:expr, $($rest:tt)+) => {
+        let mut $var = $crate::Strategy::generate(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ($rng:ident, $var:ident in $strat:expr, $($rest:tt)+) => {
+        let $var = $crate::Strategy::generate(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ($rng:ident, mut $var:ident in $strat:expr $(,)?) => {
+        let mut $var = $crate::Strategy::generate(&$strat, &mut $rng);
+    };
+    ($rng:ident, $var:ident in $strat:expr $(,)?) => {
+        let $var = $crate::Strategy::generate(&$strat, &mut $rng);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategy arms (all arms must yield the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=4).generate(&mut rng);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::TestRng::for_test("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0u64..10).prop_map(|v| v as i64), (100u64..110).prop_map(|v| -(v as i64)),];
+        let mut rng = crate::TestRng::for_test("oneof");
+        let mut saw_pos = false;
+        let mut saw_neg = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            if v >= 0 {
+                assert!(v < 10);
+                saw_pos = true;
+            } else {
+                assert!((-109..=-100).contains(&v));
+                saw_neg = true;
+            }
+        }
+        assert!(saw_pos && saw_neg);
+    }
+
+    proptest! {
+        /// The macro itself: bindings, mut bindings, tuples, trailing comma.
+        #[test]
+        fn macro_smoke(a in 0u64..5, mut b in crate::collection::vec(any::<bool>(), 1..4),) {
+            prop_assert!(a < 5);
+            b.push(true);
+            prop_assert!(b.len() >= 2);
+        }
+    }
+}

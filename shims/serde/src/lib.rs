@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so this shim keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling
+//! without pulling the real crate. The derives are no-ops and the traits are
+//! empty markers: nothing in the workspace serializes through serde today.
+//! Deterministic JSON for run reports is produced by `rambda_metrics::json`
+//! instead. If the environment ever gains registry access, deleting the
+//! `shims/` entries from the workspace `Cargo.toml` restores the real serde
+//! with no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -4,11 +4,11 @@
 
 use rambda::Testbed;
 use rambda_accel::DataLocation;
+use rambda_des::SimRng;
 use rambda_kvs::designs::{run_cpu, run_rambda, run_smartnic};
 use rambda_kvs::store::{KvConfig, KvStore};
 use rambda_kvs::KvsParams;
 use rambda_workloads::{KeyDist, KvMix};
-use rambda_des::SimRng;
 
 #[test]
 fn all_designs_complete_the_full_workload() {

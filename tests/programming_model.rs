@@ -40,7 +40,11 @@ fn framework_chooses_layout_by_scale() {
 fn rpc_frames_survive_the_shared_connection() {
     let (mut rnic, mut cpoll, mut fw) = parts();
     let _app = fw
-        .register_app::<Frame, Frame>(AppRegistration::new("rpc", 1).with_rings(32, 256), &mut rnic, &mut cpoll)
+        .register_app::<Frame, Frame>(
+            AppRegistration::new("rpc", 1).with_rings(32, 256),
+            &mut rnic,
+            &mut cpoll,
+        )
         .unwrap();
 
     let (clients, mut dispatcher) = shared_connection::<Frame, Frame>(3);

@@ -16,10 +16,7 @@ fn multi_write_transactions_are_atomic_across_recovery() {
         // Each transaction writes the same tag to two keys.
         chain.execute(
             &[],
-            vec![
-                TxnWrite { key: 2 * i, value: value(i) },
-                TxnWrite { key: 2 * i + 1, value: value(i) },
-            ],
+            vec![TxnWrite { key: 2 * i, value: value(i) }, TxnWrite { key: 2 * i + 1, value: value(i) }],
         );
     }
     for r in 0..3 {
@@ -64,10 +61,7 @@ fn random_workload_keeps_replicas_identical() {
     for i in 0..1_000u64 {
         let keys = spec.sample_keys(&dist, &mut rng);
         let (reads, writes) = keys.split_at(spec.reads);
-        let writes = writes
-            .iter()
-            .map(|&key| TxnWrite { key, value: value(i) })
-            .collect();
+        let writes = writes.iter().map(|&key| TxnWrite { key, value: value(i) }).collect();
         chain.execute(reads, writes);
         if i % 250 == 0 {
             chain.check_consistency().unwrap();
@@ -78,7 +72,11 @@ fn random_workload_keeps_replicas_identical() {
     for key in 0..500u64 {
         let head = chain.replica(0).get(key).map(<[u8]>::to_vec);
         for r in 1..4 {
-            assert_eq!(chain.replica(r).get(key).map(<[u8]>::to_vec), head, "key {key} diverges at replica {r}");
+            assert_eq!(
+                chain.replica(r).get(key).map(<[u8]>::to_vec),
+                head,
+                "key {key} diverges at replica {r}"
+            );
         }
     }
 }
