@@ -6,7 +6,7 @@
 //! walk through host memory. Functional (real translations) and timed
 //! (hit/miss accounting for the engine).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -39,8 +39,10 @@ impl TlbStats {
 pub struct Tlb {
     capacity: usize,
     page_bytes: u64,
-    /// vpn -> (pfn, last-use stamp)
-    entries: HashMap<u64, (u64, u64)>,
+    /// vpn -> (pfn, last-use stamp). Ordered map: the LRU victim scan
+    /// iterates, so the container must iterate deterministically (ties on
+    /// the stamp break toward the smallest vpn).
+    entries: BTreeMap<u64, (u64, u64)>,
     clock: u64,
     stats: TlbStats,
 }
@@ -54,7 +56,7 @@ impl Tlb {
     pub fn new(capacity: usize, page_bytes: u64) -> Self {
         assert!(capacity > 0, "TLB needs at least one entry");
         assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
-        Tlb { capacity, page_bytes, entries: HashMap::new(), clock: 0, stats: TlbStats::default() }
+        Tlb { capacity, page_bytes, entries: BTreeMap::new(), clock: 0, stats: TlbStats::default() }
     }
 
     /// A 32-entry 2 MB-page TLB (the prototype's soft block).

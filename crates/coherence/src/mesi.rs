@@ -6,7 +6,7 @@
 //! line the accelerator holds Modified/Exclusive produces exactly the
 //! "Modified → Invalid" signal Sec. III-B describes).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -84,7 +84,9 @@ pub enum CoherenceEvent {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    lines: HashMap<LineAddr, Vec<(AgentId, LineState)>>,
+    // Ordered map so any whole-directory walk is address-ordered and the
+    // event streams it produces are reproducible across runs.
+    lines: BTreeMap<LineAddr, Vec<(AgentId, LineState)>>,
     invalidations: u64,
     downgrades: u64,
 }

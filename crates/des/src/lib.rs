@@ -14,6 +14,8 @@
 //! * [`Histogram`] — log-binned latency histogram producing mean/p50/p99.
 //! * [`EventQueue`] — a time-ordered queue used by closed-loop drivers.
 //! * [`SimRng`] — a seeded RNG so every experiment is reproducible.
+//! * [`DetHashMap`] / [`DetHashSet`] — hash containers whose iteration is
+//!   always key-sorted (rule R1's escape hatch for O(1)-lookup hot paths).
 //!
 //! Queueing delay — and therefore tail latency — *emerges* from contention on
 //! `Server`/`Link` resources rather than being assumed.
@@ -36,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod detmap;
 mod hist;
 mod queue;
 mod resource;
 mod rng;
 mod time;
 
+pub use detmap::{DetHashMap, DetHashSet};
 pub use hist::Histogram;
 pub use queue::EventQueue;
 pub use resource::{Link, Server, Throttle, Transfer};

@@ -1,6 +1,6 @@
 //! The 25 GbE RoCEv2 fabric between machines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rambda_des::{Link, SimTime, Span};
 use serde::{Deserialize, Serialize};
@@ -45,15 +45,15 @@ impl Default for NetConfig {
 #[derive(Debug, Clone)]
 pub struct Network {
     cfg: NetConfig,
-    egress: HashMap<NodeId, Link>,
-    ingress: HashMap<NodeId, Link>,
+    egress: BTreeMap<NodeId, Link>,
+    ingress: BTreeMap<NodeId, Link>,
     messages: u64,
 }
 
 impl Network {
     /// Creates an empty network; ports materialize on first use.
     pub fn new(cfg: NetConfig) -> Self {
-        Network { cfg, egress: HashMap::new(), ingress: HashMap::new(), messages: 0 }
+        Network { cfg, egress: BTreeMap::new(), ingress: BTreeMap::new(), messages: 0 }
     }
 
     /// The active configuration.
@@ -61,7 +61,7 @@ impl Network {
         &self.cfg
     }
 
-    fn port<'a>(map: &'a mut HashMap<NodeId, Link>, cfg: &NetConfig, node: NodeId) -> &'a mut Link {
+    fn port<'a>(map: &'a mut BTreeMap<NodeId, Link>, cfg: &NetConfig, node: NodeId) -> &'a mut Link {
         map.entry(node).or_insert_with(|| Link::new(cfg.port_bandwidth, Span::ZERO))
     }
 
@@ -99,19 +99,15 @@ impl Network {
     }
 
     /// Publishes the network's counters under `prefix`: the message count
-    /// and each active port's link counters, keyed by node id (sorted, so
-    /// the output order is deterministic despite the hash maps).
+    /// and each active port's link counters, keyed by node id (the port
+    /// maps are ordered, so the output order is deterministic).
     pub fn publish_metrics(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
         m.set(&format!("{prefix}.messages"), self.messages);
-        let mut nodes: Vec<NodeId> = self.egress.keys().copied().collect();
-        nodes.sort();
-        for node in nodes {
-            m.observe_link(&format!("{prefix}.egress.{}", node.0), &self.egress[&node]);
+        for (node, link) in &self.egress {
+            m.observe_link(&format!("{prefix}.egress.{}", node.0), link);
         }
-        let mut nodes: Vec<NodeId> = self.ingress.keys().copied().collect();
-        nodes.sort();
-        for node in nodes {
-            m.observe_link(&format!("{prefix}.ingress.{}", node.0), &self.ingress[&node]);
+        for (node, link) in &self.ingress {
+            m.observe_link(&format!("{prefix}.ingress.{}", node.0), link);
         }
     }
 

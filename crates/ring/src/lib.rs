@@ -22,9 +22,15 @@
 //!   threads through a dedicated dispatch thread.
 //! * [`rpc`] — the HERD-style RPC frame format with torn-write detection.
 
+// `unsafe` in this crate is confined to `spsc` and audited by
+// `cargo xtask analyze` (rule R3): every unsafe block carries a SAFETY
+// comment, and the interleaving model in [`model`] exhaustively checks the
+// slot protocol those comments rely on.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod dispatch;
+pub mod model;
 pub mod rpc;
 pub mod spsc;
 

@@ -56,11 +56,17 @@ struct Shared<T> {
     tail: CachePadded<AtomicUsize>, // next push index (producer-owned)
 }
 
-// SAFETY: the slot protocol hands each `value` cell to exactly one side at a
-// time (producer when seq == index, consumer when seq == index + 1), with
-// Acquire/Release ordering on `seq` establishing happens-before for the cell
-// contents.
+// SAFETY: `Shared<T>` can move to another thread when `T` can: the only
+// non-Send-hostile state is the `UnsafeCell<MaybeUninit<T>>` slots, and the
+// slot protocol hands each cell to exactly one side at a time (producer when
+// seq == index, consumer when seq == index + 1).
 unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: `&Shared<T>` may be used from both endpoint threads concurrently:
+// all shared-index accesses are atomic, and Acquire/Release ordering on each
+// slot's `seq` establishes happens-before for the cell contents, so the two
+// sides never touch a `value` cell at the same time. Only `T: Send` is
+// required (not `T: Sync`) because a value is only ever accessed by the one
+// side that currently owns its slot.
 unsafe impl<T: Send> Sync for Shared<T> {}
 
 /// The producing half of an SPSC ring. Not clonable: single producer.
@@ -184,9 +190,15 @@ impl<T> Consumer<T> {
         out
     }
 
-    /// Number of elements currently readable.
+    /// Number of elements currently readable (approximate under
+    /// concurrency, exact when quiescent).
+    ///
+    /// Saturating: the producer publishes a slot's `seq` *before* storing
+    /// the shared tail, so this consumer can pop that slot and advance past
+    /// a stale shared tail for a moment — the interleaving checker's
+    /// `spsc_memory_level_exhaustive` model exhibits the window.
     pub fn len(&self) -> usize {
-        self.shared.tail.load(Ordering::Acquire) - self.head
+        self.shared.tail.load(Ordering::Acquire).saturating_sub(self.head)
     }
 
     /// Whether the ring appears empty.

@@ -6,7 +6,7 @@
 //! a small hash table indexed by key — admits at most one outstanding
 //! transaction per key; conflicting transactions queue in arrival order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -35,7 +35,7 @@ pub struct TxnOutcome {
 /// The concurrency-control unit: per-key FIFO admission.
 #[derive(Debug, Clone, Default)]
 pub struct ConcurrencyControl {
-    queues: HashMap<u64, VecDeque<u64>>,
+    queues: BTreeMap<u64, VecDeque<u64>>,
 }
 
 impl ConcurrencyControl {

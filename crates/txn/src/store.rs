@@ -6,7 +6,7 @@
 //! are addressed by key and stored with the offset-in-NVM discipline
 //! HyperLoop uses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +30,7 @@ impl WalRecord {
 /// The persistent store: memtable + durable redo log.
 #[derive(Debug, Clone, Default)]
 pub struct PersistentStore {
-    memtable: HashMap<u64, Vec<u8>>,
+    memtable: BTreeMap<u64, Vec<u8>>,
     /// The simulated NVM contents: records up to `durable` survive a crash.
     wal: Vec<WalRecord>,
     durable: usize,

@@ -1,13 +1,14 @@
 //! Reproducibility: every experiment is a deterministic function of its
 //! seed — identical runs, bit-for-bit identical statistics.
 
-use rambda::micro::{run_cpu, run_rambda, MicroParams};
+use rambda::micro::{self, run_cpu, run_rambda, MicroParams};
 use rambda::Testbed;
 use rambda_accel::DataLocation;
 use rambda_kvs::designs as kvs;
 use rambda_kvs::KvsParams;
+use rambda_metrics::RunReport;
 use rambda_txn::{run_rambda_tx, TxnParams};
-use rambda_workloads::TxnSpec;
+use rambda_workloads::{DlrmProfile, TxnSpec};
 
 fn same(a: &rambda::RunStats, b: &rambda::RunStats) -> bool {
     a.completed == b.completed
@@ -44,6 +45,59 @@ fn kvs_runs_are_reproducible_and_seed_sensitive() {
     let d = kvs::run_cpu(&tb, &p2);
     // A different seed produces a (slightly) different run.
     assert!(c.latency.mean() != d.latency.mean() || c.throughput_ops != d.throughput_ops);
+}
+
+#[test]
+fn every_runner_report_is_byte_identical_across_runs() {
+    // Stronger than `same()`: each runner is executed twice in fresh worlds
+    // and must render byte-identical RunReport JSON — the exact property the
+    // golden snapshots and CI gate rely on (DESIGN.md §8). This covers every
+    // design, including the runners the golden files do not snapshot, so a
+    // nondeterministic container sneaking into any simulator state (the
+    // analyzer's rule R1 territory) fails here at runtime too.
+    type Runner = fn() -> RunReport;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("micro.cpu", || micro::run_cpu_report(&Testbed::default(), MicroParams::quick(), 8, 16)),
+        ("micro.rambda", || {
+            micro::run_rambda_report(
+                &Testbed::default(),
+                MicroParams::quick(),
+                DataLocation::HostDram,
+                true,
+                1,
+            )
+        }),
+        ("kvs.cpu", || kvs::run_cpu_report(&Testbed::default(), &KvsParams::quick())),
+        ("kvs.rambda", || {
+            kvs::run_rambda_report(&Testbed::default(), &KvsParams::quick(), DataLocation::HostDram)
+        }),
+        ("kvs.smartnic", || kvs::run_smartnic_report(&Testbed::default(), &KvsParams::quick())),
+        ("txn.hyperloop", || {
+            rambda_txn::run_hyperloop_report(&Testbed::default(), &TxnParams::quick(TxnSpec::read_write(64)))
+        }),
+        ("txn.rambda_tx", || {
+            rambda_txn::run_rambda_tx_report(&Testbed::default(), &TxnParams::quick(TxnSpec::read_write(64)))
+        }),
+        ("dlrm.cpu", || {
+            rambda_dlrm::run_cpu_report(
+                &Testbed::default(),
+                &rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
+                8,
+            )
+        }),
+        ("dlrm.rambda", || {
+            rambda_dlrm::run_rambda_report(
+                &Testbed::default(),
+                &rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
+                DataLocation::HostDram,
+            )
+        }),
+    ];
+    for (name, run) in runners {
+        let first = run().to_json_string();
+        let second = run().to_json_string();
+        assert_eq!(first, second, "{name}: report JSON differs between identical runs");
+    }
 }
 
 #[test]

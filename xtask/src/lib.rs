@@ -1,0 +1,14 @@
+//! Workspace automation tasks (`cargo xtask ...`).
+//!
+//! The only task today is `analyze`: a dependency-free static analyzer that
+//! enforces the workspace's determinism and unsafety invariants (DESIGN.md
+//! §8). It is deliberately a library so the negative-fixture tests under
+//! `xtask/tests/` can drive the rule engine directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze, Analysis, Config, Violation};

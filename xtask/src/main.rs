@@ -1,0 +1,107 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! ```text
+//! cargo xtask analyze [--root PATH] [--verbose]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations (or stale allowlist entries),
+//! 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::rules::{analyze, Config};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  analyze [--root PATH] [--verbose]
+      Enforce the workspace determinism & unsafety invariants (DESIGN.md §8):
+        R1  no HashMap/HashSet in simulation crates
+        R2  no wall-clock / thread::spawn / env-dependent I/O in simulation crates
+        R3  unsafe confined to crates/ring, each use documented with // SAFETY:
+        R4  every pub item in rambda-des and rambda-metrics documented
+      Violations can be allowlisted in xtask/analyze.allow (one per line:
+      `RULE path token  # reason`); stale entries are errors.
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => {
+            let mut root: Option<PathBuf> = None;
+            let mut verbose = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => match args.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => return usage_error("--root requires a path"),
+                    },
+                    "--verbose" => verbose = true,
+                    other => return usage_error(&format!("unknown flag `{other}`")),
+                }
+            }
+            run_analyze(root, verbose)
+        }
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root: `--root`, or the parent of this crate's manifest dir
+/// (so `cargo xtask analyze` works from any cwd inside the workspace).
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    explicit.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent dir").to_path_buf()
+    })
+}
+
+fn run_analyze(root: Option<PathBuf>, verbose: bool) -> ExitCode {
+    let cfg = Config::rambda(workspace_root(root));
+    let analysis = match analyze(&cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if verbose {
+        for v in &analysis.allowed {
+            println!("allowed: {v}");
+        }
+    }
+    for v in &analysis.violations {
+        println!("{v}");
+    }
+    for stale in &analysis.stale_allows {
+        println!("xtask/analyze.allow: stale entry matches nothing, delete it: `{stale}`");
+    }
+
+    let n = analysis.violations.len();
+    let s = analysis.stale_allows.len();
+    println!(
+        "analyze: {} files scanned, {n} violation{}, {} allowlisted, {s} stale allowlist entr{}",
+        analysis.files_scanned,
+        if n == 1 { "" } else { "s" },
+        analysis.allowed.len(),
+        if s == 1 { "y" } else { "ies" },
+    );
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,714 @@
+//! The analyzer's rule engine.
+//!
+//! Four rules, each enforcing one repo invariant (DESIGN.md §8):
+//!
+//! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
+//!   order is randomized per process and can leak into event ordering and
+//!   run reports. Use `BTreeMap`/`BTreeSet` or the sorted-iteration
+//!   [`rambda_des::DetHashMap`] wrapper.
+//! * **R2** — no wall-clock (`std::time::Instant` / `SystemTime`), no
+//!   `thread::spawn`, no `std::env` / `std::fs` access in simulation crates:
+//!   a simulation is a pure function of its config and seed.
+//! * **R3** — `unsafe` is confined to the ring crate; every `unsafe` there
+//!   is preceded by a `// SAFETY:` comment; every other crate's `lib.rs`
+//!   carries `#![forbid(unsafe_code)]`; the ring crate's `lib.rs` carries
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! * **R4** — every `pub` item in the foundation crates (`des`, `metrics`)
+//!   has a doc comment.
+//!
+//! R1, R2 and R4 skip `#[cfg(test)]` modules: a test may model against a
+//! `HashMap` or spawn threads without affecting simulation output. R3 is
+//! enforced everywhere — undocumented `unsafe` in a test is still a bug.
+//!
+//! Violations can be allowlisted in `xtask/analyze.allow`; stale entries
+//! (matching nothing) are themselves errors so the file stays honest.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What the analyzer looks at and which crates each rule applies to.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory containing `crates/`).
+    pub root: PathBuf,
+    /// Crate directory names (under `crates/`) holding simulation state;
+    /// R1 and R2 apply here.
+    pub sim_crates: Vec<String>,
+    /// The single crate directory allowed to contain `unsafe` (R3).
+    pub unsafe_crate: String,
+    /// Crate directory names whose whole `pub` surface must be documented
+    /// (R4).
+    pub doc_crates: Vec<String>,
+    /// Path to the allowlist file, relative to `root`.
+    pub allowlist: PathBuf,
+}
+
+impl Config {
+    /// The Rambda workspace configuration: every crate is a simulation
+    /// crate except `ring` (real atomics, verified by the interleaving
+    /// model in `crates/ring/src/model.rs` instead).
+    pub fn rambda(root: PathBuf) -> Self {
+        let sim = [
+            "accel",
+            "bench",
+            "coherence",
+            "core",
+            "des",
+            "dlrm",
+            "fabric",
+            "kvs",
+            "mem",
+            "metrics",
+            "power",
+            "rnic",
+            "smartnic",
+            "txn",
+            "workloads",
+        ];
+        Config {
+            root,
+            sim_crates: sim.iter().map(|s| s.to_string()).collect(),
+            unsafe_crate: "ring".to_string(),
+            doc_crates: vec!["des".to_string(), "metrics".to_string()],
+            allowlist: PathBuf::from("xtask/analyze.allow"),
+        }
+    }
+}
+
+/// One rule violation, pointing at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`R1`..`R4`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root, with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending token or construct (what allowlist entries match on).
+    pub token: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {} — {}", self.path, self.line, self.rule, self.token, self.hint)
+    }
+}
+
+/// The outcome of one analyzer run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations covered by the allowlist (reported for transparency).
+    pub allowed: Vec<Violation>,
+    /// Allowlist entries that matched nothing (errors: delete them).
+    pub stale_allows: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Whether the workspace is clean (no violations, no stale entries).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+/// One parsed allowlist line: `rule path token-substring`.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    token: String,
+    raw: String,
+    used: bool,
+}
+
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(token), None) => entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                token: token.to_string(),
+                raw: raw_line.trim().to_string(),
+                used: false,
+            }),
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `RULE path token  # reason`, got `{raw_line}`",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Runs every rule over `crates/*/src/**/*.rs` under `cfg.root` and applies
+/// the allowlist.
+///
+/// # Errors
+///
+/// Returns an error if the workspace layout or the allowlist cannot be read.
+pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+
+    let crates_dir = cfg.root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> =
+        fs::read_dir(&crates_dir)?.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir.file_name().unwrap().to_string_lossy().to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        let mut saw_lib_rs = false;
+        for file in &files {
+            files_scanned += 1;
+            let rel = rel_path(&cfg.root, file);
+            let source = fs::read_to_string(file)?;
+            let tokens = lex(&source);
+            let test_mask = mask_test_mods(&tokens);
+            let is_lib_rs =
+                file.file_name().is_some_and(|n| n == "lib.rs") && file.parent().is_some_and(|p| p == src);
+            saw_lib_rs |= is_lib_rs;
+
+            if cfg.sim_crates.contains(&crate_name) {
+                rule_r1(&rel, &tokens, &test_mask, &mut violations);
+                rule_r2(&rel, &tokens, &test_mask, &mut violations);
+            }
+            rule_r3_file(cfg, &crate_name, &rel, is_lib_rs, &tokens, &mut violations);
+            if cfg.doc_crates.contains(&crate_name) {
+                rule_r4(&rel, &tokens, &test_mask, &mut violations);
+            }
+        }
+        if !saw_lib_rs && !files.is_empty() {
+            violations.push(Violation {
+                rule: "R3",
+                path: rel_path(&cfg.root, &src.join("lib.rs")),
+                line: 1,
+                token: "lib.rs".to_string(),
+                hint: "crate has no src/lib.rs to carry its unsafe-code lint attribute".to_string(),
+            });
+        }
+    }
+
+    // Apply the allowlist.
+    let allow_path = cfg.root.join(&cfg.allowlist);
+    let mut entries = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text).map_err(io::Error::other)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut kept = Vec::new();
+    let mut allowed = Vec::new();
+    for v in violations {
+        let entry =
+            entries.iter_mut().find(|a| a.rule == v.rule && a.path == v.path && v.token.contains(&a.token));
+        match entry {
+            Some(a) => {
+                a.used = true;
+                allowed.push(v);
+            }
+            None => kept.push(v),
+        }
+    }
+    let stale_allows = entries.iter().filter(|a| !a.used).map(|a| a.raw.clone()).collect();
+    Ok(Analysis { violations: kept, allowed, stale_allows, files_scanned })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Marks every token inside an item annotated `#[cfg(test)]` (almost always
+/// a `mod tests { ... }` block).
+fn mask_test_mods(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = cfg_test_attr_end(tokens, i) {
+            // Mask the attribute and the item that follows: through the
+            // matching close brace of its body, or a top-level `;`.
+            let mut j = attr_end + 1;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = j.min(tokens.len().saturating_sub(1));
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `tokens[i]` starts a `#[cfg(test)]`-containing attribute, returns the
+/// index of its closing `]`.
+fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct('#') {
+        return None;
+    }
+    let open = next_significant(tokens, i + 1)?;
+    if !tokens[open].is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (saw_cfg && saw_test).then_some(j);
+                }
+            }
+            TokenKind::Ident(s) if s == "cfg" => saw_cfg = true,
+            TokenKind::Ident(s) if s == "test" => saw_test = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn next_significant(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if !tokens[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// R1: banned hash collections in simulation crates.
+fn rule_r1(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+            out.push(Violation {
+                rule: "R1",
+                path: path.to_string(),
+                line: t.line,
+                token: name.to_string(),
+                hint: format!(
+                    "iteration order can leak into simulation state; use {} or rambda_des::{}",
+                    if name == "HashMap" { "BTreeMap" } else { "BTreeSet" },
+                    if name == "HashMap" { "DetHashMap" } else { "DetHashSet" },
+                ),
+            });
+        }
+    }
+}
+
+/// R2: wall-clock, threads and environment-dependent I/O in sim crates.
+fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    // Single banned identifiers.
+    for (i, t) in tokens.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        if let Some(name @ ("Instant" | "SystemTime")) = t.ident() {
+            out.push(Violation {
+                rule: "R2",
+                path: path.to_string(),
+                line: t.line,
+                token: name.to_string(),
+                hint: "wall-clock breaks seeded reproducibility; model time with rambda_des::SimTime"
+                    .to_string(),
+            });
+        }
+    }
+    // Banned `a::b` paths (matched on significant tokens so whitespace and
+    // comments between segments cannot hide them).
+    let sig: Vec<(usize, &Token)> = tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+    let banned_paths: [(&str, &str, &str); 3] = [
+        ("thread", "spawn", "real threads have no place inside a deterministic simulation"),
+        ("std", "env", "environment access makes runs machine-dependent; pass configuration explicitly"),
+        ("std", "fs", "filesystem access inside a simulation breaks reproducibility; do I/O in the driver"),
+    ];
+    for w in sig.windows(4) {
+        let [(i0, a), (_, c1), (_, c2), (_, b)] = w else { continue };
+        if test_mask[*i0] || !c1.is_punct(':') || !c2.is_punct(':') {
+            continue;
+        }
+        for (first, second, why) in &banned_paths {
+            if a.ident() == Some(first) && b.ident() == Some(second) {
+                out.push(Violation {
+                    rule: "R2",
+                    path: path.to_string(),
+                    line: a.line,
+                    token: format!("{first}::{second}"),
+                    hint: (*why).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// R3, per file: unsafe confinement, SAFETY comments, lint attributes.
+fn rule_r3_file(
+    cfg: &Config,
+    crate_name: &str,
+    path: &str,
+    is_lib_rs: bool,
+    tokens: &[Token],
+    out: &mut Vec<Violation>,
+) {
+    let is_unsafe_crate = crate_name == cfg.unsafe_crate;
+
+    if !is_unsafe_crate {
+        for t in tokens {
+            if t.ident() == Some("unsafe") {
+                out.push(Violation {
+                    rule: "R3",
+                    path: path.to_string(),
+                    line: t.line,
+                    token: "unsafe".to_string(),
+                    hint: format!(
+                        "unsafe is confined to crates/{}; move the code there or find a safe formulation",
+                        cfg.unsafe_crate
+                    ),
+                });
+            }
+        }
+        if is_lib_rs && !has_ident_pair(tokens, "forbid", "unsafe_code") {
+            out.push(Violation {
+                rule: "R3",
+                path: path.to_string(),
+                line: 1,
+                token: "forbid(unsafe_code)".to_string(),
+                hint: "add #![forbid(unsafe_code)] at the top of lib.rs".to_string(),
+            });
+        }
+    } else {
+        if is_lib_rs && !has_ident_pair(tokens, "deny", "unsafe_op_in_unsafe_fn") {
+            out.push(Violation {
+                rule: "R3",
+                path: path.to_string(),
+                line: 1,
+                token: "deny(unsafe_op_in_unsafe_fn)".to_string(),
+                hint: "add #![deny(unsafe_op_in_unsafe_fn)] at the top of lib.rs".to_string(),
+            });
+        }
+        // Every `unsafe` needs a `// SAFETY:` comment directly above it.
+        for (i, t) in tokens.iter().enumerate() {
+            if t.ident() != Some("unsafe") {
+                continue;
+            }
+            // Walk back through the comment block above the `unsafe`: each
+            // comment must sit within 5 lines of the code below it, but a
+            // contiguous run of comment lines counts as one block, so a long
+            // multi-line SAFETY justification is credited in full.
+            let mut window_line = t.line;
+            let mut documented = false;
+            for p in tokens[..i].iter().rev() {
+                // Stop at the previous `unsafe`: one comment cannot cover two.
+                if p.ident() == Some("unsafe") {
+                    break;
+                }
+                if !p.is_comment() {
+                    continue;
+                }
+                if window_line.saturating_sub(p.end_line) > 5 {
+                    break;
+                }
+                if p.comment_text().is_some_and(|c| c.contains("SAFETY:")) {
+                    documented = true;
+                    break;
+                }
+                window_line = p.line;
+            }
+            if !documented {
+                out.push(Violation {
+                    rule: "R3",
+                    path: path.to_string(),
+                    line: t.line,
+                    token: "unsafe".to_string(),
+                    hint: "precede every unsafe with a // SAFETY: comment justifying it".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `first` followed (within the next few significant tokens) by `second` —
+/// matches `#![forbid(unsafe_code)]` without caring about exact punctuation.
+fn has_ident_pair(tokens: &[Token], first: &str, second: &str) -> bool {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    sig.iter().enumerate().any(|(i, t)| {
+        t.ident() == Some(first) && sig[i + 1..].iter().take(4).any(|u| u.ident() == Some(second))
+    })
+}
+
+const ITEM_KEYWORDS: [&str; 9] = ["fn", "struct", "enum", "trait", "union", "const", "static", "type", "mod"];
+
+/// R4: every `pub` item carries a doc comment.
+fn rule_r4(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let mut has_doc = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        if test_mask[i] {
+            has_doc = false;
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::DocComment { inner: false, .. } => {
+                has_doc = true;
+                i += 1;
+            }
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_) | TokenKind::DocComment { .. } => {
+                i += 1;
+            }
+            TokenKind::Punct('#') => {
+                // Skip an attribute without clearing pending doc state;
+                // `#[doc = "..."]` counts as documentation.
+                let Some(open) = next_significant(tokens, i + 1) else { break };
+                if tokens[open].is_punct('[') {
+                    let mut depth = 0i32;
+                    let mut j = open;
+                    let mut saw_doc_attr = false;
+                    while j < tokens.len() {
+                        match &tokens[j].kind {
+                            TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokenKind::Ident(s) if s == "doc" => saw_doc_attr = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    has_doc |= saw_doc_attr;
+                    i = j + 1;
+                } else {
+                    has_doc = false;
+                    i += 1;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "pub" => {
+                if let Some((line, item)) = pub_item(tokens, i) {
+                    if !has_doc {
+                        out.push(Violation {
+                            rule: "R4",
+                            path: path.to_string(),
+                            line,
+                            token: item,
+                            hint: "document every public item in the foundation crates (/// ...)".to_string(),
+                        });
+                    }
+                }
+                has_doc = false;
+                i += 1;
+            }
+            _ => {
+                has_doc = false;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// If `tokens[i]` (known to be `pub`) heads a documentable public item,
+/// returns its line and a `pub <kind> <name>` description. `pub(crate)`,
+/// `pub use` and struct fields return `None`.
+fn pub_item(tokens: &[Token], i: usize) -> Option<(u32, String)> {
+    let mut j = next_significant(tokens, i + 1)?;
+    if tokens[j].is_punct('(') {
+        return None; // pub(crate) / pub(super): not public API
+    }
+    // Skip qualifiers (`const fn`, `unsafe fn`, `async fn`, `extern "C" fn`).
+    let mut kind: Option<&str> = None;
+    for _ in 0..4 {
+        match tokens[j].ident() {
+            Some("use") => return None,
+            Some(w @ ("const" | "static")) => {
+                kind = Some(w);
+                j = next_significant(tokens, j + 1)?;
+                // `pub const fn` / `pub const unsafe fn`: keep scanning.
+                if !matches!(tokens[j].ident(), Some("fn" | "unsafe" | "async" | "extern")) {
+                    break;
+                }
+            }
+            Some(w) if ITEM_KEYWORDS.contains(&w) => {
+                kind = Some(w);
+                j = next_significant(tokens, j + 1)?;
+                break;
+            }
+            Some("unsafe" | "async" | "extern") => {
+                j = next_significant(tokens, j + 1)?;
+            }
+            _ => break,
+        }
+    }
+    let kind = kind?;
+    if kind == "mod" {
+        return None; // module docs live as //! inside the module file
+    }
+    // The item's name: the next identifier (skip `extern "C"` strings).
+    let name = tokens[j..].iter().take(4).find_map(|t| t.ident()).unwrap_or("?");
+    Some((tokens[i].line, format!("pub {kind} {name}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rule<F>(src: &str, f: F) -> Vec<Violation>
+    where
+        F: Fn(&str, &[Token], &[bool], &mut Vec<Violation>),
+    {
+        let tokens = lex(src);
+        let mask = mask_test_mods(&tokens);
+        let mut out = Vec::new();
+        f("test.rs", &tokens, &mask, &mut out);
+        out
+    }
+
+    #[test]
+    fn r1_flags_hash_collections_but_not_in_tests_or_strings() {
+        let v = run_rule("use std::collections::HashMap;\nlet s: HashSet<u8>;", rule_r1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].token, "HashMap");
+        assert_eq!(v[1].line, 2);
+        assert!(run_rule("let s = \"HashMap\"; // HashMap", rule_r1).is_empty());
+        assert!(run_rule("#[cfg(test)]\nmod tests { use std::collections::HashMap; }", rule_r1).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_wallclock_threads_and_env() {
+        let v = run_rule(
+            "use std::time::Instant;\nstd::thread::spawn(f);\nlet h = std::env::var(\"HOME\");",
+            rule_r2,
+        );
+        let tokens: Vec<&str> = v.iter().map(|v| v.token.as_str()).collect();
+        assert!(tokens.contains(&"Instant"));
+        assert!(tokens.contains(&"thread::spawn"));
+        assert!(tokens.contains(&"std::env"));
+        assert!(run_rule("#[cfg(test)]\nmod tests { fn f() { std::thread::spawn(g); } }", rule_r2).is_empty());
+    }
+
+    fn run_r3(src: &str, crate_name: &str, is_lib: bool) -> Vec<Violation> {
+        let cfg = Config::rambda(PathBuf::from("."));
+        let tokens = lex(src);
+        let mut out = Vec::new();
+        rule_r3_file(&cfg, crate_name, "test.rs", is_lib, &tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn r3_unsafe_outside_ring_is_flagged() {
+        let v = run_r3("fn f() { unsafe { g() } }", "kvs", false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].token, "unsafe");
+    }
+
+    #[test]
+    fn r3_lib_rs_lint_attributes() {
+        assert_eq!(run_r3("#![forbid(unsafe_code)]", "kvs", true).len(), 0);
+        assert_eq!(run_r3("//! docs only", "kvs", true).len(), 1);
+        assert_eq!(run_r3("#![deny(unsafe_op_in_unsafe_fn)]", "ring", true).len(), 0);
+        assert_eq!(run_r3("//! docs only", "ring", true).len(), 1);
+    }
+
+    #[test]
+    fn r3_safety_comments_in_ring() {
+        let ok = "// SAFETY: exclusive owner.\nunsafe { g() }";
+        assert!(run_r3(ok, "ring", false).is_empty());
+        let missing = "unsafe { g() }";
+        assert_eq!(run_r3(missing, "ring", false).len(), 1);
+        // One comment cannot cover two unsafe sites.
+        let shared =
+            "// SAFETY: covers only the first.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}";
+        assert_eq!(run_r3(shared, "ring", false).len(), 1);
+        // A comment more than five lines up does not count.
+        let far = "// SAFETY: too far away.\n\n\n\n\n\n\nunsafe { g() }";
+        assert_eq!(run_r3(far, "ring", false).len(), 1);
+    }
+
+    #[test]
+    fn r4_requires_docs_on_pub_items() {
+        let v = run_rule("pub fn f() {}\n/// documented\npub struct S;", rule_r4);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].token, "pub fn f");
+        // Attributes between the doc comment and the item are fine.
+        assert!(run_rule("/// doc\n#[derive(Debug)]\npub struct S;", rule_r4).is_empty());
+        // pub(crate), pub use and #[doc] attributes are exempt/satisfied.
+        assert!(run_rule("pub(crate) fn f() {}\npub use foo::Bar;", rule_r4).is_empty());
+        assert!(run_rule("#[doc = \"x\"]\npub fn f() {}", rule_r4).is_empty());
+        // `pub const NAME` is an item; `pub const fn` reports as fn.
+        let v = run_rule("pub const X: u8 = 0;\npub const fn f() {}", rule_r4);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].token, "pub const X");
+        assert_eq!(v[1].token, "pub fn f");
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let entries =
+            parse_allowlist("# comment\n\nR1 crates/des/src/detmap.rs HashMap  # backing store\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "R1");
+        assert!(parse_allowlist("R1 only-two").is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests for `cargo xtask analyze`: the negative fixtures under
+//! `tests/fixtures/` must trip every rule (through the library *and* through
+//! the binary's exit code), and the real workspace must analyze clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::rules::{analyze, Config};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent").to_path_buf()
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let analysis = analyze(&Config::rambda(fixture_root("bad"))).expect("fixture scans");
+    let hits: Vec<(&str, &str, &str)> =
+        analysis.violations.iter().map(|v| (v.rule, v.path.as_str(), v.token.as_str())).collect();
+
+    let kvs = "crates/kvs/src/lib.rs";
+    let ring = "crates/ring/src/lib.rs";
+    let des = "crates/des/src/lib.rs";
+    for expected in [
+        ("R1", kvs, "HashMap"),
+        ("R1", kvs, "HashSet"),
+        ("R2", kvs, "Instant"),
+        ("R2", kvs, "thread::spawn"),
+        ("R2", kvs, "std::env"),
+        ("R3", kvs, "forbid(unsafe_code)"),
+        ("R3", ring, "deny(unsafe_op_in_unsafe_fn)"),
+        ("R3", ring, "unsafe"),
+        ("R4", des, "pub fn frobnicate"),
+    ] {
+        assert!(hits.contains(&expected), "missing expected violation {expected:?} in {hits:#?}");
+    }
+
+    // The documented `unsafe` in the ring fixture and the HashMap inside the
+    // kvs fixture's #[cfg(test)] module must NOT be flagged: exactly one R3
+    // unsafe-token violation, and every R1 hit sits outside the test module.
+    let undocumented: Vec<_> =
+        hits.iter().filter(|(r, p, t)| *r == "R3" && *p == ring && *t == "unsafe").collect();
+    assert_eq!(undocumented.len(), 1, "only the uncommented unsafe should fire: {hits:#?}");
+    let r1_lines: Vec<u32> =
+        analysis.violations.iter().filter(|v| v.rule == "R1" && v.path == kvs).map(|v| v.line).collect();
+    assert!(
+        r1_lines.iter().all(|&l| l < 21),
+        "R1 must skip the #[cfg(test)] module (lines >= 21): {r1_lines:?}"
+    );
+}
+
+#[test]
+fn bad_fixture_fails_through_the_binary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--root"])
+        .arg(fixture_root("bad"))
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[R1] HashMap"), "diagnostic names the token:\n{stdout}");
+    assert!(stdout.contains("crates/kvs/src/lib.rs:"), "diagnostic is file:line:\n{stdout}");
+}
+
+#[test]
+fn stale_allowlist_entry_is_an_error() {
+    let analysis = analyze(&Config::rambda(fixture_root("stale"))).expect("fixture scans");
+    assert!(analysis.violations.is_empty(), "fixture itself is clean: {:#?}", analysis.violations);
+    assert_eq!(analysis.stale_allows.len(), 1, "the unused entry must be reported");
+    assert!(!analysis.is_clean(), "stale entries alone must fail the run");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--root"])
+        .arg(fixture_root("stale"))
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(1), "stale allowlist entries must exit 1");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("xtask binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "workspace must analyze clean:\n{stdout}\n{stderr}");
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--frobnicate"])
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}

@@ -1,0 +1,13 @@
+//! Negative fixture for `cargo xtask analyze`: a documentation-mandatory
+//! crate breaking R4 — an undocumented `pub` item. Never compiled.
+
+#![forbid(unsafe_code)]
+
+/// Documented: fine.
+pub fn documented() -> u32 {
+    1
+}
+
+pub fn frobnicate() -> u32 {
+    2
+}
