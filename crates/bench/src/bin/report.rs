@@ -1,6 +1,17 @@
 //! `report` — runs a reduced version of every experiment and prints the
 //! paper's headline claims next to the measured values. The per-figure
 //! benches (`cargo bench -p rambda-bench`) print the full tables.
+//!
+//! With `--trace <dir>` (or `RAMBDA_TRACE=<dir>`) it instead runs one
+//! quick-mode runner (`--trace-runner <name|all>`, default `kvs.rambda`)
+//! with the flight recorder attached and writes three artifacts per runner:
+//! `<name>.trace.json` (Chrome trace-event JSON — open in
+//! `ui.perfetto.dev`), `<name>.trace.bin` (compact deterministic binary),
+//! and `<name>.tail.json` (tail-latency attribution for the `--worst <n>`
+//! slowest requests, default 10).
+
+use std::fs;
+use std::process::exit;
 
 use rambda::micro::{run_rambda as micro_rambda, run_rambda_always_ddio, MicroParams};
 use rambda::Testbed;
@@ -10,13 +21,61 @@ use rambda_dlrm::serving as dlrm;
 use rambda_dlrm::DlrmParams;
 use rambda_kvs::designs as kvs;
 use rambda_kvs::KvsParams;
-use rambda_metrics::RunReport;
+use rambda_metrics::{Json, RunReport};
 use rambda_power::{kop_per_watt, Design, PowerConfig};
+use rambda_trace::Tracer;
 use rambda_txn::{run_hyperloop, run_rambda_tx, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
+/// The nine named runners, in report order.
+const RUNNERS: [&str; 9] = [
+    "micro.cpu",
+    "micro.rambda",
+    "kvs.cpu",
+    "kvs.rambda",
+    "kvs.smartnic",
+    "txn.hyperloop",
+    "txn.rambda_tx",
+    "dlrm.cpu",
+    "dlrm.rambda",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: report [--trace <dir>] [--trace-runner <name|all>] [--worst <n>]");
+    eprintln!("runners: {}", RUNNERS.join(", "));
+    exit(2);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_dir = std::env::var("RAMBDA_TRACE").ok();
+    let mut runner = "kvs.rambda".to_string();
+    let mut worst = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--trace" => {
+                trace_dir = Some(value(i));
+                i += 2;
+            }
+            "--trace-runner" => {
+                runner = value(i);
+                i += 2;
+            }
+            "--worst" => {
+                worst = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
     let tb = Testbed::default();
+    if let Some(dir) = trace_dir {
+        trace_exports(&tb, &dir, &runner, worst);
+        return;
+    }
     let mut t = Table::new(
         "Rambda reproduction — headline claims (paper vs measured)",
         &["claim", "paper", "measured"],
@@ -102,6 +161,99 @@ fn main() {
 
     println!("\nFull tables: cargo bench -p rambda-bench");
     println!("Machine-readable run reports: RunReport::to_json_string() (see tests/goldens/)");
+    println!("Flight-recorder traces: report --trace <dir> [--trace-runner <name|all>]");
+}
+
+/// Runs the named runner in quick mode with the flight recorder attached.
+fn run_traced(tb: &Testbed, name: &str, tracer: &mut Tracer) -> RunReport {
+    match name {
+        "micro.cpu" => rambda::micro::run_cpu_report_traced(tb, MicroParams::quick(), 8, 16, tracer),
+        "micro.rambda" => rambda::micro::run_rambda_report_traced(
+            tb,
+            MicroParams::quick(),
+            DataLocation::HostDram,
+            true,
+            1,
+            tracer,
+        ),
+        "kvs.cpu" => kvs::run_cpu_report_traced(tb, &KvsParams::quick(), tracer),
+        "kvs.rambda" => {
+            kvs::run_rambda_report_traced(tb, &KvsParams::quick(), DataLocation::HostDram, tracer)
+        }
+        "kvs.smartnic" => kvs::run_smartnic_report_traced(tb, &KvsParams::quick(), tracer),
+        "txn.hyperloop" => {
+            rambda_txn::run_hyperloop_report_traced(tb, &TxnParams::quick(TxnSpec::read_write(64)), tracer)
+        }
+        "txn.rambda_tx" => {
+            rambda_txn::run_rambda_tx_report_traced(tb, &TxnParams::quick(TxnSpec::read_write(64)), tracer)
+        }
+        "dlrm.cpu" => {
+            let p = DlrmParams::quick(DlrmProfile::by_name("Books").unwrap());
+            dlrm::run_cpu_report_traced(tb, &p, 8, tracer)
+        }
+        "dlrm.rambda" => {
+            let p = DlrmParams::quick(DlrmProfile::by_name("Books").unwrap());
+            dlrm::run_rambda_report_traced(tb, &p, DataLocation::HostDram, tracer)
+        }
+        other => {
+            eprintln!("unknown runner {other}");
+            usage()
+        }
+    }
+}
+
+/// Runs the selected runner(s) with tracing, self-validates the trace
+/// against the run report, writes the three artifacts per runner, and
+/// prints each runner's tail attribution.
+fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize) {
+    fs::create_dir_all(dir).expect("create trace output dir");
+    let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
+    for name in names {
+        let mut tracer = Tracer::flight_recorder();
+        let report = run_traced(tb, name, &mut tracer);
+        report.validate().expect("inconsistent run report");
+        if let Err(e) = tracer.cross_validate(&report) {
+            eprintln!("{name}: trace/report cross-validation failed: {e}");
+            exit(1);
+        }
+
+        // Self-check the Chrome export before writing it: it must parse and
+        // carry a non-empty traceEvents array.
+        let chrome = tracer.export_chrome_json();
+        let parsed = Json::parse(&chrome).expect("chrome trace export must be valid JSON");
+        match parsed.get("traceEvents") {
+            Some(Json::Arr(events)) if !events.is_empty() => {}
+            _ => {
+                eprintln!("{name}: chrome trace export has no events");
+                exit(1);
+            }
+        }
+        let tail = tracer.tail_report(worst);
+        fs::write(format!("{dir}/{name}.trace.json"), &chrome).expect("write chrome trace");
+        fs::write(format!("{dir}/{name}.trace.bin"), tracer.export_binary()).expect("write binary trace");
+        fs::write(format!("{dir}/{name}.tail.json"), tail.to_json().render()).expect("write tail report");
+
+        let mut t = Table::new(
+            &format!(
+                "{name} — tail attribution (exact p99 {:.2} us / p99.9 {:.2} us; tail dominated by {} on {})",
+                tail.p99_ps as f64 / 1.0e6,
+                tail.p999_ps as f64 / 1.0e6,
+                tail.dominant_tail_stage,
+                tail.dominant_tail_track
+            ),
+            &["worst req", "total us", "dominant stage", "track"],
+        );
+        for w in &tail.worst {
+            t.row(vec![
+                w.req.to_string(),
+                format!("{:.2}", w.total_ps as f64 / 1.0e6),
+                w.dominant_stage.clone(),
+                w.dominant_track.clone(),
+            ]);
+        }
+        t.print();
+        println!("{name}: {} -> {dir}/{name}.trace.json (+ .trace.bin, .tail.json)", tracer.summary());
+    }
 }
 
 /// Renders a run report's critical-path stage breakdown as a table.

@@ -9,9 +9,10 @@
 
 use rambda_accel::{AccelConfig, AccelEngine, DataLocation};
 use rambda_coherence::Notifier;
-use rambda_des::{SimRng, Span};
+use rambda_des::{SimRng, SimTime, Span};
 use rambda_mem::{MemKind, MemorySystem};
 use rambda_metrics::{MetricSet, RunReport, StageRecorder};
+use rambda_trace::Tracer;
 
 use crate::config::Testbed;
 use crate::cpu::CpuServer;
@@ -103,15 +104,35 @@ impl MicroParams {
 
 /// Runs the CPU baseline on `cores` cores with request batches of `batch`.
 pub fn run_cpu(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunStats {
-    run_cpu_inner(testbed, params, cores, batch, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_cpu_inner(
+        testbed,
+        params,
+        cores,
+        batch,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_cpu`] with full observability: per-stage latency breakdown and
 /// resource counters.
 pub fn run_cpu_report(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunReport {
+    run_cpu_report_traced(testbed, params, cores, batch, &mut Tracer::disabled())
+}
+
+/// [`run_cpu_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_cpu_report_traced(
+    testbed: &Testbed,
+    params: MicroParams,
+    cores: usize,
+    batch: usize,
+    tracer: &mut Tracer,
+) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, cores, batch, &mut rec, &mut resources);
+    let stats = run_cpu_inner(testbed, params, cores, batch, &mut rec, &mut resources, tracer);
     build_report("micro.cpu", 0, &stats, &rec, resources)
 }
 
@@ -122,21 +143,27 @@ fn run_cpu_inner(
     batch: usize,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
     let record = params.record_bytes();
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let done = cpu.serve_request(at, params.chase, record, kind, &mut mem);
         tr.leg("cpu_serve", done);
         tr.finish(done);
+        tracer.maybe_sample(at, |s| {
+            cpu.publish_metrics(s, "cpu");
+            mem.publish_metrics(s, "mem");
+        });
         done
     });
     if rec.is_active() {
         cpu.publish_metrics(resources, "cpu");
         mem.publish_metrics(resources, "mem");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }
@@ -164,6 +191,7 @@ pub fn run_rambda(
         seed,
         &mut StageRecorder::disabled(),
         &mut MetricSet::new(),
+        &mut Tracer::disabled(),
     )
 }
 
@@ -177,9 +205,23 @@ pub fn run_rambda_report(
     cpoll: bool,
     seed: u64,
 ) -> RunReport {
+    run_rambda_report_traced(testbed, params, location, cpoll, seed, &mut Tracer::disabled())
+}
+
+/// [`run_rambda_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_rambda_report_traced(
+    testbed: &Testbed,
+    params: MicroParams,
+    location: DataLocation,
+    cpoll: bool,
+    seed: u64,
+    tracer: &mut Tracer,
+) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_rambda_inner(testbed, params, location, cpoll, true, seed, &mut rec, &mut resources);
+    let stats =
+        run_rambda_inner(testbed, params, location, cpoll, true, seed, &mut rec, &mut resources, tracer);
     build_report("micro.rambda", seed, &stats, &rec, resources)
 }
 
@@ -197,6 +239,7 @@ pub fn run_rambda_always_ddio(testbed: &Testbed, params: MicroParams, cpoll: boo
         seed,
         &mut StageRecorder::disabled(),
         &mut MetricSet::new(),
+        &mut Tracer::disabled(),
     )
 }
 
@@ -210,6 +253,7 @@ fn run_rambda_inner(
     seed: u64,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
@@ -222,7 +266,7 @@ fn run_rambda_inner(
     let record = params.record_bytes();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut trace = rec.trace(at);
+        let mut trace = tracer.observe(rec, at);
         // Request written into the ring at `at`; discovery via cpoll (or the
         // slower spin-poll cycle).
         let mut t = engine.discover(at, connections, &mut rng);
@@ -269,11 +313,16 @@ fn run_rambda_inner(
         }
         engine.release_slot(t, now);
         trace.finish(now);
+        tracer.maybe_sample(at, |s| {
+            engine.publish_metrics(s, "accel");
+            mem.publish_metrics(s, "mem");
+        });
         now
     });
     if rec.is_active() {
         engine.publish_metrics(resources, "accel");
         mem.publish_metrics(resources, "mem");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }

@@ -13,6 +13,8 @@
 //!   every few cycles).
 //! * [`Histogram`] — log-binned latency histogram producing mean/p50/p99.
 //! * [`EventQueue`] — a time-ordered queue used by closed-loop drivers.
+//! * [`SampleClock`] — a deterministic periodic grid for time-series
+//!   sampling (the flight recorder's counter samplers tick on it).
 //! * [`SimRng`] — a seeded RNG so every experiment is reproducible.
 //! * [`DetHashMap`] / [`DetHashSet`] — hash containers whose iteration is
 //!   always key-sorted (rule R1's escape hatch for O(1)-lookup hot paths).
@@ -43,6 +45,7 @@ mod hist;
 mod queue;
 mod resource;
 mod rng;
+mod sampler;
 mod time;
 
 pub use detmap::{DetHashMap, DetHashSet};
@@ -50,4 +53,5 @@ pub use hist::Histogram;
 pub use queue::EventQueue;
 pub use resource::{Link, Server, Throttle, Transfer};
 pub use rng::SimRng;
+pub use sampler::SampleClock;
 pub use time::{SimTime, Span};

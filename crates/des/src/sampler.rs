@@ -1,0 +1,107 @@
+//! A deterministic periodic sampling clock.
+//!
+//! Time-series observability (queue depths, link utilization, outstanding
+//! requests) needs samples on a grid that is a pure function of simulated
+//! time — never of host wall-clock or event arrival jitter — so repeated
+//! seeded runs produce byte-identical traces. [`SampleClock`] anchors that
+//! grid at the epoch: the `k`-th tick falls exactly at `k * interval`.
+
+use crate::time::{SimTime, Span};
+
+/// Fires at most once per `interval`, on instants that are exact multiples
+/// of the interval.
+///
+/// The clock is driven by the (non-decreasing) event times a simulation
+/// already visits: call [`SampleClock::due`] with the current time and
+/// sample when it returns a tick. If the simulation skips several grid
+/// points between events, only the latest one fires — flight-recorder
+/// semantics; missed ticks are not backfilled.
+///
+/// ```
+/// use rambda_des::{SampleClock, SimTime, Span};
+/// let mut clock = SampleClock::new(Span::from_us(10));
+/// assert_eq!(clock.due(SimTime::from_us(3)), None);
+/// assert_eq!(clock.due(SimTime::from_us(12)), Some(SimTime::from_us(10)));
+/// assert_eq!(clock.due(SimTime::from_us(14)), None);
+/// // A long gap fires once, at the latest elapsed grid point.
+/// assert_eq!(clock.due(SimTime::from_us(57)), Some(SimTime::from_us(50)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleClock {
+    interval: Span,
+    next: SimTime,
+}
+
+impl SampleClock {
+    /// Creates a clock ticking every `interval`, first due at `interval`
+    /// (the epoch itself is skipped: every cumulative counter is zero there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Span) -> Self {
+        assert!(interval > Span::ZERO, "sample interval must be positive");
+        SampleClock { interval, next: SimTime::ZERO + interval }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Span {
+        self.interval
+    }
+
+    /// If at least one grid point has elapsed by `now`, returns the latest
+    /// one and arms the clock for the following interval.
+    pub fn due(&mut self, now: SimTime) -> Option<SimTime> {
+        if now < self.next {
+            return None;
+        }
+        let step = self.interval.as_ps();
+        let tick = SimTime::from_ps(now.as_ps() / step * step);
+        self.next = tick + self.interval;
+        Some(tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_never_fires() {
+        let mut c = SampleClock::new(Span::from_us(5));
+        assert_eq!(c.due(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn ticks_land_on_the_grid() {
+        let mut c = SampleClock::new(Span::from_us(5));
+        let mut ticks = Vec::new();
+        for us in 0..40 {
+            if let Some(t) = c.due(SimTime::from_us(us)) {
+                ticks.push(t.as_ps());
+            }
+        }
+        let expect: Vec<u64> = (1..8).map(|k| SimTime::from_us(5 * k).as_ps()).collect();
+        assert_eq!(ticks, expect);
+    }
+
+    #[test]
+    fn gaps_fire_once_at_the_latest_grid_point() {
+        let mut c = SampleClock::new(Span::from_us(10));
+        assert_eq!(c.due(SimTime::from_us(95)), Some(SimTime::from_us(90)));
+        assert_eq!(c.due(SimTime::from_us(99)), None);
+        assert_eq!(c.due(SimTime::from_us(100)), Some(SimTime::from_us(100)));
+    }
+
+    #[test]
+    fn exact_boundary_fires() {
+        let mut c = SampleClock::new(Span::from_us(10));
+        assert_eq!(c.due(SimTime::from_us(10)), Some(SimTime::from_us(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        SampleClock::new(Span::ZERO);
+    }
+}

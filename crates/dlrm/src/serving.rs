@@ -11,11 +11,12 @@
 use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::Link;
-use rambda_des::{Server, SimRng, Span};
+use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
 use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
+use rambda_trace::Tracer;
 use rambda_workloads::{DlrmProfile, Zipf};
 
 use crate::merci::{sample_correlated_query, MemoTable, ReductionPlan};
@@ -166,16 +167,34 @@ impl DlrmWorld {
 
 /// The CPU-only MERCI baseline on `cores` cores.
 pub fn run_cpu(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunStats {
-    run_cpu_inner(testbed, params, cores, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_cpu_inner(
+        testbed,
+        params,
+        cores,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_cpu`] with full observability: stage breakdown (fabric, core
 /// queueing, gather+MLP) plus machine, core-pool and gather-roofline
 /// counters.
 pub fn run_cpu_report(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunReport {
+    run_cpu_report_traced(testbed, params, cores, &mut Tracer::disabled())
+}
+
+/// [`run_cpu_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_cpu_report_traced(
+    testbed: &Testbed,
+    params: &DlrmParams,
+    cores: usize,
+    tracer: &mut Tracer,
+) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, cores, &mut rec, &mut resources);
+    let stats = run_cpu_inner(testbed, params, cores, &mut rec, &mut resources, tracer);
     build_report("dlrm.cpu", params.seed, &stats, &rec, resources)
 }
 
@@ -185,6 +204,7 @@ fn run_cpu_inner(
     cores: usize,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
@@ -200,7 +220,7 @@ fn run_cpu_inner(
     let costs = params.costs.clone();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
         let delivered = two_sided_send(
             at,
@@ -234,6 +254,11 @@ fn run_cpu_inner(
         );
         tr.leg("fabric_response", fin);
         tr.finish(fin);
+        tracer.maybe_sample(at, |s| {
+            s.observe_server("cores", &core_pool);
+            s.observe_link("gather", &gather);
+            net.publish_metrics(s, "net");
+        });
         fin
     });
     if rec.is_active() {
@@ -242,6 +267,7 @@ fn run_cpu_inner(
         resources.observe_server("cores", &core_pool);
         resources.observe_link("gather", &gather);
         net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }
@@ -250,16 +276,34 @@ fn run_cpu_inner(
 /// APU embedding reduction + FC. `location` selects prototype (HostDram) or
 /// the local-memory variants.
 pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunStats {
-    run_rambda_inner(testbed, params, location, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_rambda_inner(
+        testbed,
+        params,
+        location,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_rambda`] with full observability: stage breakdown (fabric,
 /// coherence, rings, CPU pre-processing hand-off, APU gather/FC) plus
 /// machine, accelerator and network counters.
 pub fn run_rambda_report(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunReport {
+    run_rambda_report_traced(testbed, params, location, &mut Tracer::disabled())
+}
+
+/// [`run_rambda_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_rambda_report_traced(
+    testbed: &Testbed,
+    params: &DlrmParams,
+    location: DataLocation,
+    tracer: &mut Tracer,
+) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources);
+    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
     build_report("dlrm.rambda", params.seed, &stats, &rec, resources)
 }
 
@@ -269,6 +313,7 @@ fn run_rambda_inner(
     location: DataLocation,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
@@ -292,7 +337,7 @@ fn run_rambda_inner(
     let local_row = (row as f64 * costs.local_gather_overhead) as u64;
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
         // Request into the accelerator's ring.
         let out = rdma_write(
@@ -350,6 +395,10 @@ fn run_rambda_inner(
         );
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
+        tracer.maybe_sample(at, |s| {
+            engine.publish_metrics(s, "accel");
+            net.publish_metrics(s, "net");
+        });
         resp.delivered_at
     });
     if rec.is_active() {
@@ -359,6 +408,7 @@ fn run_rambda_inner(
         preprocess_cores.publish_metrics(resources, "preprocess");
         resources.observe_server("apu_dispatch", &dispatch);
         net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }

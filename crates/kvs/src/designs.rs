@@ -8,12 +8,13 @@
 
 use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
 use rambda_accel::{AccelEngine, Apu, ApuCtx, DataLocation};
-use rambda_des::{Server, SimRng, Span};
+use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{MemKind, MemorySystem};
 use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
 use rambda_smartnic::SmartNic;
+use rambda_trace::Tracer;
 use rambda_workloads::{KeyDist, KvMix, KvOp};
 
 use crate::apu::{KvApu, KvRequest};
@@ -170,15 +171,27 @@ const CPU_JITTER_MEAN_US: f64 = 0.8;
 
 /// The CPU design: two-sided RDMA RPC over ten cores (HERD/MICA-style).
 pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
-    run_cpu_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_cpu_inner(
+        testbed,
+        params,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_cpu`] with full observability: stage breakdown (fabric, RNIC
 /// pipeline, core service) plus client/server machine and core-pool counters.
 pub fn run_cpu_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
+    run_cpu_report_traced(testbed, params, &mut Tracer::disabled())
+}
+
+/// [`run_cpu_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, &mut rec, &mut resources);
+    let stats = run_cpu_inner(testbed, params, &mut rec, &mut resources, tracer);
     build_report("kvs.cpu", params.seed, &stats, &rec, resources)
 }
 
@@ -187,6 +200,7 @@ fn run_cpu_inner(
     params: &KvsParams,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
@@ -201,7 +215,7 @@ fn run_cpu_inner(
     let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, signaled: false };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // Request: two-sided send into the server's posted RQ.
         let delivered = two_sided_send(
@@ -248,6 +262,10 @@ fn run_cpu_inner(
         );
         tr.leg("fabric_response", fin);
         tr.finish(fin);
+        tracer.maybe_sample(at, |s| {
+            cpu.publish_metrics(s, "cpu");
+            net.publish_metrics(s, "net");
+        });
         fin
     });
     if rec.is_active() {
@@ -255,22 +273,41 @@ fn run_cpu_inner(
         server.publish_metrics(resources, "server");
         cpu.publish_metrics(resources, "cpu");
         net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }
 
 /// The Rambda design (and its LD/LH variants via `location`).
 pub fn run_rambda(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunStats {
-    run_rambda_inner(testbed, params, location, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_rambda_inner(
+        testbed,
+        params,
+        location,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_rambda`] with full observability: stage breakdown (fabric,
 /// coherence discovery, dispatch, ring read, APU, SQ/doorbell) plus
 /// machine, accelerator and network counters.
 pub fn run_rambda_report(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunReport {
+    run_rambda_report_traced(testbed, params, location, &mut Tracer::disabled())
+}
+
+/// [`run_rambda_report`] with a flight recorder attached: per-request spans
+/// and periodic resource samples land in `tracer`.
+pub fn run_rambda_report_traced(
+    testbed: &Testbed,
+    params: &KvsParams,
+    location: DataLocation,
+    tracer: &mut Tracer,
+) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources);
+    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
     build_report("kvs.rambda", params.seed, &stats, &rec, resources)
 }
 
@@ -280,6 +317,7 @@ fn run_rambda_inner(
     location: DataLocation,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     // Adaptive DDIO: global DDIO off, TPH per region (all DRAM here).
@@ -306,7 +344,7 @@ fn run_rambda_inner(
     let sq_hold = Span::from_ns(165).mul_f64(1.0 / params.batch as f64) + Span::from_ns(5);
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // One-sided write into the request ring (cpoll region).
         let out = rdma_write(
@@ -359,6 +397,11 @@ fn run_rambda_inner(
         );
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
+        tracer.maybe_sample(at, |s| {
+            engine.publish_metrics(s, "accel");
+            s.observe_server("sq", &sq);
+            net.publish_metrics(s, "net");
+        });
         resp.delivered_at
     });
     if rec.is_active() {
@@ -367,6 +410,7 @@ fn run_rambda_inner(
         engine.publish_metrics(resources, "accel");
         resources.observe_server("sq", &sq);
         net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }
@@ -374,15 +418,27 @@ fn run_rambda_inner(
 /// The Smart NIC design: eight ARM cores, 512 MB on-board cache of the host
 /// data, synchronous one-sided reads to the host on misses.
 pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
-    run_smartnic_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_smartnic_inner(
+        testbed,
+        params,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_smartnic`] with full observability: stage breakdown (doorbell,
 /// fabric, ARM dispatch, memory walk) plus Smart NIC and machine counters.
 pub fn run_smartnic_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
+    run_smartnic_report_traced(testbed, params, &mut Tracer::disabled())
+}
+
+/// [`run_smartnic_report`] with a flight recorder attached: per-request
+/// spans and periodic resource samples land in `tracer`.
+pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_smartnic_inner(testbed, params, &mut rec, &mut resources);
+    let stats = run_smartnic_inner(testbed, params, &mut rec, &mut resources, tracer);
     build_report("kvs.smartnic", params.seed, &stats, &rec, resources)
 }
 
@@ -391,6 +447,7 @@ fn run_smartnic_inner(
     params: &KvsParams,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut net = Network::new(testbed.net.clone());
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
@@ -409,7 +466,7 @@ fn run_smartnic_inner(
     let wqe_gap = client.rnic.config().wqe_gap;
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut tr = rec.trace(at);
+        let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // Client posts; request terminates at the Smart NIC (no host PCIe).
         let posted = if params.batch == 1 {
@@ -444,6 +501,10 @@ fn run_smartnic_inner(
         let fin = net.send(t, SERVER, CLIENT, params.response_bytes(&op));
         tr.leg("fabric_response", fin);
         tr.finish(fin);
+        tracer.maybe_sample(at, |s| {
+            nic.publish_metrics(s, "smartnic");
+            net.publish_metrics(s, "net");
+        });
         fin
     });
     if rec.is_active() {
@@ -452,6 +513,7 @@ fn run_smartnic_inner(
         nic.publish_metrics(resources, "smartnic");
         nic_mem.publish_metrics(resources, "nic_mem");
         net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }

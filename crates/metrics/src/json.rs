@@ -113,6 +113,36 @@ impl Json {
         }
     }
 
+    /// Parses a JSON document (strict subset: no duplicate-key detection,
+    /// numbers become [`Json::U64`] when they are non-negative integers that
+    /// fit, [`Json::F64`] otherwise). Object key order is preserved.
+    ///
+    /// Exists so exporters can self-validate their output (the trace smoke
+    /// checks round-trip the Chrome trace through this) without external
+    /// dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `position: message` description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("{pos}: trailing data after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object, if `self` is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     fn pad(out: &mut String, indent: usize) {
         for _ in 0..indent {
             out.push_str("  ");
@@ -136,6 +166,156 @@ impl Json {
         }
         out.push('"');
     }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("{pos}: expected `{}`", b as char, pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(format!("{pos}: unexpected end of input", pos = *pos)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("{pos}: expected `,` or `]`", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("{pos}: expected `,` or `}}`", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("{pos}: expected `{lit}`", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("{pos}: unterminated string", pos = *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or_else(|| format!("{pos}: bad escape", pos = *pos))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("{pos}: bad \\u escape", pos = *pos))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed by our own output;
+                        // lone surrogates decode to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("{pos}: bad escape `\\{}`", *other as char, pos = *pos)),
+                }
+            }
+            Some(_) => {
+                // Consume the whole run of plain bytes up to the next quote
+                // or escape and validate it once: validating from `pos` to
+                // the end of input per character would make parsing
+                // quadratic in document size.
+                let run = *pos;
+                while bytes.get(*pos).is_some_and(|b| *b != b'"' && *b != b'\\') {
+                    *pos += 1;
+                }
+                let chunk =
+                    std::str::from_utf8(&bytes[run..*pos]).map_err(|_| format!("{run}: invalid UTF-8"))?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len() && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| format!("{start}: invalid number"))?;
+    if !text.contains(&['.', 'e', 'E', '-'][..]) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+    }
+    text.parse::<f64>().map(Json::F64).map_err(|_| format!("{start}: invalid number `{text}`"))
 }
 
 #[cfg(test)]
@@ -186,5 +366,42 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn push_on_scalar_panics() {
         Json::U64(1).push("k", Json::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let mut inner = Json::obj();
+        inner.push("k", Json::U64(1)).push("f", Json::F64(2.5)).push("s", Json::Str("a\"b\n".into()));
+        let mut outer = Json::obj();
+        outer.push("arr", Json::Arr(vec![Json::Null, Json::Bool(false), inner]));
+        let text = outer.render();
+        let back = Json::parse(&text).expect("round trip parses");
+        assert_eq!(back, outer);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("4.5").unwrap(), Json::F64(4.5));
+        assert_eq!(Json::parse("-3").unwrap(), Json::F64(-3.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let parsed = Json::parse("{\"a\": {\"b\": 7}}").unwrap();
+        assert_eq!(parsed.get("a").and_then(|a| a.get("b")), Some(&Json::U64(7)));
+        assert_eq!(parsed.get("missing"), None);
+        assert_eq!(Json::U64(1).get("a"), None);
     }
 }

@@ -32,6 +32,9 @@ pub struct HistSummary {
     pub p50_ps: u64,
     /// 99th percentile, to bucket resolution.
     pub p99_ps: u64,
+    /// 99.9th percentile, to bucket resolution (the paper's tail arguments
+    /// need more than p99).
+    pub p999_ps: u64,
 }
 
 impl HistSummary {
@@ -45,6 +48,7 @@ impl HistSummary {
             mean_ps: h.mean().as_ps(),
             p50_ps: h.percentile(0.5).as_ps(),
             p99_ps: h.percentile(0.99).as_ps(),
+            p999_ps: h.percentile(0.999).as_ps(),
         }
     }
 
@@ -64,6 +68,7 @@ impl HistSummary {
         o.push("mean_ps", Json::U64(self.mean_ps));
         o.push("p50_ps", Json::U64(self.p50_ps));
         o.push("p99_ps", Json::U64(self.p99_ps));
+        o.push("p999_ps", Json::U64(self.p999_ps));
         o
     }
 }
@@ -423,6 +428,21 @@ mod tests {
         assert!(a.contains("\"name\": \"test.run\""));
         assert!(a.contains("\"first\""));
         assert!(a.contains("cpu.utilization"));
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Span::from_ns(i));
+        }
+        let s = HistSummary::of(&h);
+        assert!(s.p50_ps <= s.p99_ps, "{s:?}");
+        assert!(s.p99_ps <= s.p999_ps, "{s:?}");
+        assert!(s.p999_ps <= s.max_ps, "{s:?}");
+        // p99.9 lands within bucket resolution of the exact 9990 ns.
+        let exact = 9_990_000.0;
+        assert!((s.p999_ps as f64 - exact).abs() / exact < 0.07, "{s:?}");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Typed trace events and the resource-track classification.
+
+/// The hardware resource lane a span is attributed to.
+///
+/// Tracks give the Perfetto view one row per resource class and let the
+/// tail-attribution report name "the dominating resource" rather than just
+/// a stage string. Classification is by stage name: the stage vocabulary is
+/// fixed by the runners (see `StageRecorder` call sites), so an explicit
+/// match keeps the mapping auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// RNIC pipeline work: WQE assembly, doorbells, RX processing.
+    Rnic,
+    /// Network fabric: wire time, chain hops, RDMA round trips.
+    Fabric,
+    /// Coherence-interconnect notification (cpoll discovery).
+    Coherence,
+    /// The accelerator: scheduler dispatch, APU compute, commit logic.
+    Accel,
+    /// Smart-NIC ARM cores.
+    SmartNic,
+    /// Memory-system work: ring reads/writes, pointer chases, persists.
+    Mem,
+    /// Host CPU cores: request serving, pre-processing, CQE polling.
+    Cpu,
+    /// Anything the classifier does not recognize.
+    Other,
+}
+
+impl Track {
+    /// Every track, in display order.
+    pub const ALL: [Track; 8] = [
+        Track::Rnic,
+        Track::Fabric,
+        Track::Coherence,
+        Track::Accel,
+        Track::SmartNic,
+        Track::Mem,
+        Track::Cpu,
+        Track::Other,
+    ];
+
+    /// Classifies a stage name from the runners' fixed vocabulary.
+    pub fn of_stage(stage: &str) -> Track {
+        match stage {
+            "rnic_pipeline" | "doorbell" | "sq_wqe" => Track::Rnic,
+            "coherence" => Track::Coherence,
+            "dispatch" | "commit" | "gather" => Track::Accel,
+            "mem_chase" | "nvm_persist" | "response_write" => Track::Mem,
+            "core_queue" | "gather_compute" | "cqe_poll" => Track::Cpu,
+            "read_rtts" => Track::Fabric,
+            s if s.starts_with("fabric") || s.starts_with("chain") => Track::Fabric,
+            s if s.starts_with("apu") => Track::Accel,
+            s if s.starts_with("arm") => Track::SmartNic,
+            s if s.starts_with("ring") => Track::Mem,
+            s if s.starts_with("cpu") => Track::Cpu,
+            _ => Track::Other,
+        }
+    }
+
+    /// A stable display name (Perfetto thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Rnic => "rnic",
+            Track::Fabric => "fabric",
+            Track::Coherence => "coherence",
+            Track::Accel => "accel",
+            Track::SmartNic => "smartnic",
+            Track::Mem => "mem",
+            Track::Cpu => "cpu",
+            Track::Other => "other",
+        }
+    }
+
+    /// A stable small integer id (Perfetto `tid`, binary-export tag).
+    pub fn id(self) -> u8 {
+        match self {
+            Track::Rnic => 1,
+            Track::Fabric => 2,
+            Track::Coherence => 3,
+            Track::Accel => 4,
+            Track::SmartNic => 5,
+            Track::Mem => 6,
+            Track::Cpu => 7,
+            Track::Other => 8,
+        }
+    }
+}
+
+/// One recorded event. Timestamps are raw simulation picoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// One critical-path leg of one request, causally parented to the
+    /// request span it belongs to.
+    Span {
+        /// Unique event id (allocation order).
+        id: u64,
+        /// Id of the enclosing request span ([`TraceEvent::Request`]).
+        parent: u64,
+        /// Request sequence number.
+        req: u64,
+        /// Resource track the leg runs on.
+        track: Track,
+        /// Stage name (the `StageRecorder` leg name).
+        stage: &'static str,
+        /// Leg start, picoseconds.
+        start_ps: u64,
+        /// Leg end, picoseconds.
+        end_ps: u64,
+    },
+    /// One request's issue → completion interval; its `id` is the parent
+    /// of all the request's leg spans.
+    Request {
+        /// Unique event id, allocated at issue (so legs can reference it).
+        id: u64,
+        /// Request sequence number.
+        req: u64,
+        /// Issue time, picoseconds.
+        start_ps: u64,
+        /// Completion time, picoseconds.
+        end_ps: u64,
+    },
+    /// One periodic sample of a cumulative resource counter.
+    Sample {
+        /// Counter name, e.g. `net.c2s.bytes` or `accel.slots.busy_ps`.
+        name: String,
+        /// Grid instant the sample was taken at, picoseconds.
+        at_ps: u64,
+        /// The counter's cumulative value at that instant.
+        value: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_runner_stage_classifies_off_other() {
+        // The full stage vocabulary across the nine runners.
+        let stages = [
+            "cpu_serve",
+            "coherence",
+            "dispatch",
+            "ring_read",
+            "ring_write",
+            "mem_chase",
+            "apu_compute",
+            "apu_dispatch",
+            "nvm_persist",
+            "response_write",
+            "fabric_request",
+            "fabric_response",
+            "rnic_pipeline",
+            "sq_wqe",
+            "doorbell",
+            "arm_dispatch",
+            "arm_mem_access",
+            "read_rtts",
+            "chain_writes",
+            "chain_round",
+            "commit",
+            "core_queue",
+            "gather",
+            "gather_compute",
+            "cqe_poll",
+            "cpu_preprocess",
+        ];
+        for s in stages {
+            assert_ne!(Track::of_stage(s), Track::Other, "stage {s} is unclassified");
+        }
+        assert_eq!(Track::of_stage("mystery_stage"), Track::Other);
+    }
+
+    #[test]
+    fn track_ids_and_names_are_distinct() {
+        let mut ids: Vec<u8> = Track::ALL.iter().map(|t| t.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Track::ALL.len());
+        let mut names: Vec<&str> = Track::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Track::ALL.len());
+    }
+}

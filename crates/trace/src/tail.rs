@@ -1,0 +1,289 @@
+//! Tail-latency attribution: which stage and resource own the p99.
+
+use std::collections::BTreeMap;
+
+use rambda_metrics::Json;
+
+use crate::event::TraceEvent;
+use crate::tracer::Tracer;
+
+/// One of the worst-N requests, with its per-stage time split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstRequest {
+    /// Request sequence number.
+    pub req: u64,
+    /// Issue time, picoseconds.
+    pub issued_ps: u64,
+    /// Issue→completion latency, picoseconds.
+    pub total_ps: u64,
+    /// The stage that consumed the most time in this request.
+    pub dominant_stage: String,
+    /// The resource track that consumed the most time in this request.
+    pub dominant_track: String,
+    /// Per-stage time, picoseconds, largest first (ties name-sorted).
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Where the tail of the latency distribution comes from.
+///
+/// Percentiles here are *exact* — computed from the sorted per-request
+/// totals in the trace, not from the histogram's log-bucketed summary — so
+/// the report can also serve as a resolution check on
+/// [`rambda_metrics::HistSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailAttribution {
+    /// Number of requests the trace holds complete data for.
+    pub requests: u64,
+    /// Exact median latency, picoseconds.
+    pub p50_ps: u64,
+    /// Exact 99th-percentile latency, picoseconds.
+    pub p99_ps: u64,
+    /// Exact 99.9th-percentile latency, picoseconds.
+    pub p999_ps: u64,
+    /// Worst request latency, picoseconds.
+    pub max_ps: u64,
+    /// The stage that dominates time spent by tail (≥ p99) requests.
+    pub dominant_tail_stage: String,
+    /// The resource track that dominates time spent by tail requests.
+    pub dominant_tail_track: String,
+    /// Each stage's share of total tail-request time, largest first.
+    pub tail_stage_share: Vec<(String, f64)>,
+    /// The worst-N requests, slowest first.
+    pub worst: Vec<WorstRequest>,
+}
+
+/// Exact percentile over sorted samples: the value at rank `ceil(n·q)`,
+/// matching the histogram's rank rule.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Picks the largest-value entry, breaking ties by name, from `(name, ps)`
+/// sums.
+fn dominant(sums: &BTreeMap<String, u64>) -> String {
+    sums.iter()
+        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(name, _)| name.clone())
+        .unwrap_or_default()
+}
+
+/// Sorts `(name, ps)` sums largest first, ties name-sorted.
+fn ranked(sums: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = sums.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+/// Per-request accumulator while walking the ring.
+#[derive(Debug, Default)]
+struct ReqAcc {
+    issued_ps: u64,
+    total_ps: u64,
+    complete: bool,
+    stages: BTreeMap<String, u64>,
+    tracks: BTreeMap<String, u64>,
+}
+
+impl Tracer {
+    /// Builds the tail-attribution report: exact percentiles over the
+    /// traced request totals, the dominating stage/resource over the p99
+    /// tail, and a per-stage split for the `worst_n` slowest requests.
+    ///
+    /// Only requests whose [`TraceEvent::Request`] record is still in the
+    /// ring are counted; if the ring overflowed ([`Tracer::dropped`] > 0),
+    /// the report covers the retained suffix of the run.
+    pub fn tail_report(&self, worst_n: usize) -> TailAttribution {
+        let mut reqs: BTreeMap<u64, ReqAcc> = BTreeMap::new();
+        for ev in self.events() {
+            match ev {
+                TraceEvent::Span { req, track, stage, start_ps, end_ps, .. } => {
+                    let acc = reqs.entry(*req).or_default();
+                    *acc.stages.entry(stage.to_string()).or_insert(0) += end_ps - start_ps;
+                    *acc.tracks.entry(track.name().to_string()).or_insert(0) += end_ps - start_ps;
+                }
+                TraceEvent::Request { req, start_ps, end_ps, .. } => {
+                    let acc = reqs.entry(*req).or_default();
+                    acc.issued_ps = *start_ps;
+                    acc.total_ps = end_ps - start_ps;
+                    acc.complete = true;
+                }
+                TraceEvent::Sample { .. } => {}
+            }
+        }
+        reqs.retain(|_, acc| acc.complete);
+
+        let mut totals: Vec<u64> = reqs.values().map(|a| a.total_ps).collect();
+        totals.sort_unstable();
+        let p50_ps = exact_percentile(&totals, 0.5);
+        let p99_ps = exact_percentile(&totals, 0.99);
+        let p999_ps = exact_percentile(&totals, 0.999);
+        let max_ps = totals.last().copied().unwrap_or(0);
+
+        let mut tail_stages: BTreeMap<String, u64> = BTreeMap::new();
+        let mut tail_tracks: BTreeMap<String, u64> = BTreeMap::new();
+        for acc in reqs.values().filter(|a| a.total_ps >= p99_ps) {
+            for (stage, ps) in &acc.stages {
+                *tail_stages.entry(stage.clone()).or_insert(0) += ps;
+            }
+            for (track, ps) in &acc.tracks {
+                *tail_tracks.entry(track.clone()).or_insert(0) += ps;
+            }
+        }
+        let tail_total: u64 = tail_stages.values().sum();
+        let tail_stage_share: Vec<(String, f64)> = ranked(&tail_stages)
+            .into_iter()
+            .map(|(name, ps)| (name, ps as f64 / tail_total.max(1) as f64))
+            .collect();
+
+        let mut by_latency: Vec<(&u64, &ReqAcc)> = reqs.iter().collect();
+        by_latency.sort_by(|a, b| b.1.total_ps.cmp(&a.1.total_ps).then_with(|| a.0.cmp(b.0)));
+        let worst = by_latency
+            .into_iter()
+            .take(worst_n)
+            .map(|(req, acc)| WorstRequest {
+                req: *req,
+                issued_ps: acc.issued_ps,
+                total_ps: acc.total_ps,
+                dominant_stage: dominant(&acc.stages),
+                dominant_track: dominant(&acc.tracks),
+                stages: ranked(&acc.stages),
+            })
+            .collect();
+
+        TailAttribution {
+            requests: reqs.len() as u64,
+            p50_ps,
+            p99_ps,
+            p999_ps,
+            max_ps,
+            dominant_tail_stage: dominant(&tail_stages),
+            dominant_tail_track: dominant(&tail_tracks),
+            tail_stage_share,
+            worst,
+        }
+    }
+}
+
+impl TailAttribution {
+    /// Renders the report as a deterministic JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut pct = Json::obj();
+        pct.push("p50_ps", Json::U64(self.p50_ps));
+        pct.push("p99_ps", Json::U64(self.p99_ps));
+        pct.push("p999_ps", Json::U64(self.p999_ps));
+        pct.push("max_ps", Json::U64(self.max_ps));
+        let mut shares = Json::obj();
+        for (stage, share) in &self.tail_stage_share {
+            shares.push(stage, Json::F64(*share));
+        }
+        let mut worst = Vec::new();
+        for w in &self.worst {
+            let mut stages = Json::obj();
+            for (stage, ps) in &w.stages {
+                stages.push(stage, Json::U64(*ps));
+            }
+            let mut o = Json::obj();
+            o.push("req", Json::U64(w.req));
+            o.push("issued_ps", Json::U64(w.issued_ps));
+            o.push("total_ps", Json::U64(w.total_ps));
+            o.push("dominant_stage", Json::Str(w.dominant_stage.clone()));
+            o.push("dominant_track", Json::Str(w.dominant_track.clone()));
+            o.push("stages", stages);
+            worst.push(o);
+        }
+        let mut out = Json::obj();
+        out.push("requests", Json::U64(self.requests));
+        out.push("exact_percentiles", pct);
+        out.push("dominant_tail_stage", Json::Str(self.dominant_tail_stage.clone()));
+        out.push("dominant_tail_track", Json::Str(self.dominant_tail_track.clone()));
+        out.push("tail_stage_share", shares);
+        out.push("worst", Json::Arr(worst));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambda_des::{SimTime, Span};
+    use rambda_metrics::StageRecorder;
+
+    /// 100 requests: all spend 100 ns in `fabric_request`; every tenth one
+    /// additionally stalls 900·k ns in `apu_compute`, so the slowest
+    /// requests are dominated by the accel track.
+    fn traced() -> Tracer {
+        let mut rec = StageRecorder::active();
+        let mut tracer = Tracer::flight_recorder();
+        for i in 0..100u64 {
+            let t0 = SimTime::from_us(i);
+            let mut obs = tracer.observe(&mut rec, t0);
+            obs.leg("fabric_request", t0 + Span::from_ns(100));
+            let stall = if i % 10 == 0 { 900 * (i / 10 + 1) } else { 50 };
+            obs.leg("apu_compute", obs.now() + Span::from_ns(stall));
+            let done = obs.now();
+            obs.finish(done);
+        }
+        tracer
+    }
+
+    #[test]
+    fn exact_percentiles_follow_the_rank_rule() {
+        assert_eq!(exact_percentile(&[], 0.5), 0);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&v, 0.5), 50);
+        assert_eq!(exact_percentile(&v, 0.99), 99);
+        assert_eq!(exact_percentile(&v, 0.999), 100);
+        assert_eq!(exact_percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn tail_is_attributed_to_the_stalling_stage() {
+        let report = traced().tail_report(10);
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.dominant_tail_stage, "apu_compute");
+        assert_eq!(report.dominant_tail_track, "accel");
+        // Exact percentiles: fast requests take 150 ns, the ten stallers
+        // 100 + 900·k ns (max k = 10).
+        assert_eq!(report.p50_ps, 150_000);
+        assert_eq!(report.max_ps, 9_100_000);
+        assert!(report.p99_ps > 150_000);
+        // Shares are a probability distribution, largest first.
+        let total: f64 = report.tail_stage_share.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        assert!(report.tail_stage_share[0].0 == "apu_compute");
+
+        assert_eq!(report.worst.len(), 10);
+        let worst = &report.worst[0];
+        assert_eq!(worst.req, 90, "request 90 has the largest stall");
+        assert_eq!(worst.total_ps, 9_100_000);
+        assert_eq!(worst.dominant_stage, "apu_compute");
+        assert_eq!(worst.dominant_track, "accel");
+        assert_eq!(worst.stages[0], ("apu_compute".to_string(), 9_000_000));
+        assert_eq!(worst.stages[1], ("fabric_request".to_string(), 100_000));
+        // Slowest first.
+        assert!(report.worst.windows(2).all(|w| w[0].total_ps >= w[1].total_ps));
+    }
+
+    #[test]
+    fn tail_json_is_deterministic_and_complete() {
+        let a = traced().tail_report(5).to_json().render();
+        let b = traced().tail_report(5).to_json().render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"dominant_tail_stage\": \"apu_compute\""));
+        assert!(a.contains("\"exact_percentiles\""));
+        assert!(a.contains("\"worst\""));
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let report = Tracer::disabled().tail_report(10);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.max_ps, 0);
+        assert!(report.worst.is_empty());
+        assert!(report.dominant_tail_stage.is_empty());
+    }
+}

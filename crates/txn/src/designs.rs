@@ -13,6 +13,7 @@ use rambda_fabric::{Network, NodeId};
 use rambda_mem::MemKind;
 use rambda_metrics::{MetricSet, RunReport, StageRecorder};
 use rambda_rnic::{MrInfo, PostPath, WriteOpts};
+use rambda_trace::Tracer;
 use rambda_workloads::{KeyDist, TxnSpec};
 
 use crate::chain::{Chain, TxnWrite};
@@ -113,15 +114,27 @@ impl TxnWorld {
 /// that traverses the whole chain — and multi-write transactions must issue
 /// them sequentially (the Sec. IV-B limitation Rambda removes).
 pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
-    run_hyperloop_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_hyperloop_inner(
+        testbed,
+        params,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_hyperloop`] with full observability: stage breakdown (read RTTs,
 /// sequential chain writes, CQE poll) plus machine and network counters.
 pub fn run_hyperloop_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
+    run_hyperloop_report_traced(testbed, params, &mut Tracer::disabled())
+}
+
+/// [`run_hyperloop_report`] with a flight recorder attached: per-request
+/// spans and periodic resource samples land in `tracer`.
+pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_hyperloop_inner(testbed, params, &mut rec, &mut resources);
+    let stats = run_hyperloop_inner(testbed, params, &mut rec, &mut resources, tracer);
     build_report("txn.hyperloop", params.seed, &stats, &rec, resources)
 }
 
@@ -130,6 +143,7 @@ fn run_hyperloop_inner(
     params: &TxnParams,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
@@ -139,7 +153,7 @@ fn run_hyperloop_inner(
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: true };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut trace = rec.trace(at);
+        let mut trace = tracer.observe(rec, at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
         let mut t = at;
 
@@ -192,6 +206,7 @@ fn run_hyperloop_inner(
         let fin = t + Span::from_ns(100);
         trace.leg("cqe_poll", fin);
         trace.finish(fin);
+        tracer.maybe_sample(at, |s| w.net.publish_metrics(s, "net"));
         fin
     });
     if rec.is_active() {
@@ -199,6 +214,7 @@ fn run_hyperloop_inner(
         w.port0.publish_metrics(resources, "port0");
         w.port1.publish_metrics(resources, "port1");
         w.net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }
@@ -208,16 +224,28 @@ fn run_hyperloop_inner(
 /// concurrency control, and forwards along the chain — one chain round per
 /// *transaction*.
 pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
-    run_rambda_tx_inner(testbed, params, &mut StageRecorder::disabled(), &mut MetricSet::new())
+    run_rambda_tx_inner(
+        testbed,
+        params,
+        &mut StageRecorder::disabled(),
+        &mut MetricSet::new(),
+        &mut Tracer::disabled(),
+    )
 }
 
 /// [`run_rambda_tx`] with full observability: stage breakdown (fabric,
 /// coherence discovery, dispatch, the overlapped chain round, commit) plus
 /// machine, accelerator and network counters.
 pub fn run_rambda_tx_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
+    run_rambda_tx_report_traced(testbed, params, &mut Tracer::disabled())
+}
+
+/// [`run_rambda_tx_report`] with a flight recorder attached: per-request
+/// spans and periodic resource samples land in `tracer`.
+pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
-    let stats = run_rambda_tx_inner(testbed, params, &mut rec, &mut resources);
+    let stats = run_rambda_tx_inner(testbed, params, &mut rec, &mut resources, tracer);
     build_report("txn.rambda_tx", params.seed, &stats, &rec, resources)
 }
 
@@ -226,6 +254,7 @@ fn run_rambda_tx_inner(
     params: &TxnParams,
     rec: &mut StageRecorder,
     resources: &mut MetricSet,
+    tracer: &mut Tracer,
 ) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
     // Request rings live in NVM and double as the redo log (Sec. IV-B).
@@ -239,7 +268,7 @@ fn run_rambda_tx_inner(
     let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, signaled: false };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
-        let mut trace = rec.trace(at);
+        let mut trace = tracer.observe(rec, at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
         let entry = spec.log_entry_bytes();
 
@@ -311,6 +340,10 @@ fn run_rambda_tx_inner(
         // Functional effect.
         let _ = w.chain.execute(&reads, writes);
         trace.finish(resp.delivered_at);
+        tracer.maybe_sample(at, |s| {
+            accel0.publish_metrics(s, "accel0");
+            w.net.publish_metrics(s, "net");
+        });
         resp.delivered_at
     });
     if rec.is_active() {
@@ -320,6 +353,7 @@ fn run_rambda_tx_inner(
         accel0.publish_metrics(resources, "accel0");
         accel1.publish_metrics(resources, "accel1");
         w.net.publish_metrics(resources, "net");
+        tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
 }

@@ -23,6 +23,7 @@ pub mod store;
 
 pub use chain::{Chain, ConcurrencyControl, TxnOutcome, TxnWrite};
 pub use designs::{
-    run_hyperloop, run_hyperloop_report, run_pure_reads, run_rambda_tx, run_rambda_tx_report, TxnParams,
+    run_hyperloop, run_hyperloop_report, run_hyperloop_report_traced, run_pure_reads, run_rambda_tx,
+    run_rambda_tx_report, run_rambda_tx_report_traced, TxnParams,
 };
 pub use store::{PersistentStore, WalRecord};

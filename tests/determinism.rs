@@ -7,6 +7,7 @@ use rambda_accel::DataLocation;
 use rambda_kvs::designs as kvs;
 use rambda_kvs::KvsParams;
 use rambda_metrics::RunReport;
+use rambda_trace::Tracer;
 use rambda_txn::{run_rambda_tx, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
@@ -107,4 +108,43 @@ fn txn_runs_are_reproducible() {
     let a = run_rambda_tx(&tb, &p);
     let b = run_rambda_tx(&tb, &p);
     assert!(same(&a, &b));
+}
+
+#[test]
+fn traced_runs_export_byte_identical_artifacts() {
+    // The flight recorder must not weaken the reproducibility guarantee:
+    // with tracing enabled, two runs of the same seed render byte-identical
+    // compact binaries and byte-identical Chrome JSON — the property the
+    // `.trace.bin` format exists to make checkable.
+    let tb = Testbed::default();
+
+    let micro_run = || {
+        let mut t = Tracer::flight_recorder();
+        let r = micro::run_rambda_report_traced(
+            &tb,
+            MicroParams::quick(),
+            DataLocation::HostDram,
+            true,
+            7,
+            &mut t,
+        );
+        (r, t)
+    };
+    let (ra, ta) = micro_run();
+    let (rb, tb_) = micro_run();
+    assert_eq!(ra.to_json_string(), rb.to_json_string());
+    assert_eq!(ta.export_binary(), tb_.export_binary(), "micro.rambda binary traces differ");
+    assert_eq!(ta.export_chrome_json(), tb_.export_chrome_json(), "micro.rambda chrome traces differ");
+
+    let p = KvsParams::quick();
+    let kvs_run = || {
+        let mut t = Tracer::flight_recorder();
+        let r = kvs::run_rambda_report_traced(&tb, &p, DataLocation::HostDram, &mut t);
+        (r, t)
+    };
+    let (ra, ta) = kvs_run();
+    let (rb, tb_) = kvs_run();
+    assert_eq!(ra.to_json_string(), rb.to_json_string());
+    assert_eq!(ta.export_binary(), tb_.export_binary(), "kvs.rambda binary traces differ");
+    assert_eq!(ta.export_chrome_json(), tb_.export_chrome_json(), "kvs.rambda chrome traces differ");
 }

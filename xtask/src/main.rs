@@ -23,7 +23,8 @@ Commands:
         R1  no HashMap/HashSet in simulation crates
         R2  no wall-clock / thread::spawn / env-dependent I/O in simulation crates
         R3  unsafe confined to crates/ring, each use documented with // SAFETY:
-        R4  every pub item in rambda-des and rambda-metrics documented
+        R4  every pub item in rambda-des, rambda-metrics and rambda-trace documented
+        R5  no println!/eprintln! outside src/bin drivers and the bench crate
       Violations can be allowlisted in xtask/analyze.allow (one per line:
       `RULE path token  # reason`); stale entries are errors.
 ";

@@ -1,6 +1,6 @@
 //! The analyzer's rule engine.
 //!
-//! Four rules, each enforcing one repo invariant (DESIGN.md §8):
+//! Five rules, each enforcing one repo invariant (DESIGN.md §8):
 //!
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
 //!   order is randomized per process and can leak into event ordering and
@@ -13,12 +13,18 @@
 //!   is preceded by a `// SAFETY:` comment; every other crate's `lib.rs`
 //!   carries `#![forbid(unsafe_code)]`; the ring crate's `lib.rs` carries
 //!   `#![deny(unsafe_op_in_unsafe_fn)]`.
-//! * **R4** — every `pub` item in the foundation crates (`des`, `metrics`)
-//!   has a doc comment.
+//! * **R4** — every `pub` item in the foundation crates (`des`, `metrics`,
+//!   `trace`) has a doc comment.
+//! * **R5** — no `println!` / `eprintln!` (nor `print!` / `eprint!`)
+//!   outside driver binaries: a simulation reports through `RunReport` and
+//!   the flight recorder, never by writing to the terminal mid-run.
 //!
-//! R1, R2 and R4 skip `#[cfg(test)]` modules: a test may model against a
-//! `HashMap` or spawn threads without affecting simulation output. R3 is
-//! enforced everywhere — undocumented `unsafe` in a test is still a bug.
+//! R1, R2, R4 and R5 skip `#[cfg(test)]` modules: a test may model against
+//! a `HashMap`, spawn threads, or print diagnostics without affecting
+//! simulation output. R1, R2 and R5 also skip `src/bin/` targets — a
+//! driver binary is ordinary host code that may read flags and write
+//! files. R3 is enforced everywhere — undocumented `unsafe` in a test is
+//! still a bug.
 //!
 //! Violations can be allowlisted in `xtask/analyze.allow`; stale entries
 //! (matching nothing) are themselves errors so the file stays honest.
@@ -43,6 +49,9 @@ pub struct Config {
     /// Crate directory names whose whole `pub` surface must be documented
     /// (R4).
     pub doc_crates: Vec<String>,
+    /// Crate directory names allowed to print outside `src/bin/` targets
+    /// (R5) — the table-rendering bench crate.
+    pub print_crates: Vec<String>,
     /// Path to the allowlist file, relative to `root`.
     pub allowlist: PathBuf,
 }
@@ -66,6 +75,7 @@ impl Config {
             "power",
             "rnic",
             "smartnic",
+            "trace",
             "txn",
             "workloads",
         ];
@@ -73,7 +83,8 @@ impl Config {
             root,
             sim_crates: sim.iter().map(|s| s.to_string()).collect(),
             unsafe_crate: "ring".to_string(),
-            doc_crates: vec!["des".to_string(), "metrics".to_string()],
+            doc_crates: vec!["des".to_string(), "metrics".to_string(), "trace".to_string()],
+            print_crates: vec!["bench".to_string()],
             allowlist: PathBuf::from("xtask/analyze.allow"),
         }
     }
@@ -82,7 +93,7 @@ impl Config {
 /// One rule violation, pointing at `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`R1`..`R4`).
+    /// Rule id (`R1`..`R5`).
     pub rule: &'static str,
     /// Path relative to the workspace root, with `/` separators.
     pub path: String,
@@ -192,13 +203,17 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
                 file.file_name().is_some_and(|n| n == "lib.rs") && file.parent().is_some_and(|p| p == src);
             saw_lib_rs |= is_lib_rs;
 
-            if cfg.sim_crates.contains(&crate_name) {
+            let is_bin = rel.contains("/src/bin/");
+            if cfg.sim_crates.contains(&crate_name) && !is_bin {
                 rule_r1(&rel, &tokens, &test_mask, &mut violations);
                 rule_r2(&rel, &tokens, &test_mask, &mut violations);
             }
             rule_r3_file(cfg, &crate_name, &rel, is_lib_rs, &tokens, &mut violations);
             if cfg.doc_crates.contains(&crate_name) {
                 rule_r4(&rel, &tokens, &test_mask, &mut violations);
+            }
+            if !cfg.print_crates.contains(&crate_name) && !is_bin {
+                rule_r5(&rel, &tokens, &test_mask, &mut violations);
             }
         }
         if !saw_lib_rs && !files.is_empty() {
@@ -397,6 +412,27 @@ fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
                     hint: (*why).to_string(),
                 });
             }
+        }
+    }
+}
+
+/// R5: print-family macros outside driver binaries and the bench crate.
+fn rule_r5(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let sig: Vec<(usize, &Token)> = tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+    for w in sig.windows(2) {
+        let [(i0, mac), (_, bang)] = w else { continue };
+        if test_mask[*i0] || !bang.is_punct('!') {
+            continue;
+        }
+        if let Some(name @ ("println" | "eprintln" | "print" | "eprint")) = mac.ident() {
+            out.push(Violation {
+                rule: "R5",
+                path: path.to_string(),
+                line: mac.line,
+                token: format!("{name}!"),
+                hint: "simulation crates stay silent; print from a src/bin driver or the bench tables"
+                    .to_string(),
+            });
         }
     }
 }
@@ -701,6 +737,19 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].token, "pub const X");
         assert_eq!(v[1].token, "pub fn f");
+    }
+
+    #[test]
+    fn r5_flags_print_macros_outside_tests() {
+        let v = run_rule("fn f() { println!(\"x\"); eprint!(\"y\"); }", rule_r5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].token, "println!");
+        assert_eq!(v[1].token, "eprint!");
+        // Test modules, strings and comments are exempt.
+        assert!(run_rule("#[cfg(test)]\nmod tests { fn f() { println!(\"x\"); } }", rule_r5).is_empty());
+        assert!(run_rule("let s = \"println!\"; // println!(no)", rule_r5).is_empty());
+        // A bare `print` identifier without `!` is not a macro call.
+        assert!(run_rule("fn print() {} fn g() { print(); }", rule_r5).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn bad_fixture_trips_every_rule() {
     let kvs = "crates/kvs/src/lib.rs";
     let ring = "crates/ring/src/lib.rs";
     let des = "crates/des/src/lib.rs";
+    let fabric = "crates/fabric/src/lib.rs";
     for expected in [
         ("R1", kvs, "HashMap"),
         ("R1", kvs, "HashSet"),
@@ -34,9 +35,22 @@ fn bad_fixture_trips_every_rule() {
         ("R3", ring, "deny(unsafe_op_in_unsafe_fn)"),
         ("R3", ring, "unsafe"),
         ("R4", des, "pub fn frobnicate"),
+        ("R5", fabric, "println!"),
+        ("R5", fabric, "eprintln!"),
     ] {
         assert!(hits.contains(&expected), "missing expected violation {expected:?} in {hits:#?}");
     }
+
+    // The driver binary under src/bin/ reads std::env and prints, yet must
+    // trip nothing: R1/R2/R5 exempt bin targets.
+    assert!(
+        hits.iter().all(|(_, p, _)| !p.contains("/src/bin/")),
+        "driver binaries are exempt from R1/R2/R5: {hits:#?}"
+    );
+    // The println! inside the fabric fixture's #[cfg(test)] module is
+    // masked: exactly the two library-code prints fire.
+    let r5_fabric = hits.iter().filter(|(r, p, _)| *r == "R5" && *p == fabric).count();
+    assert_eq!(r5_fabric, 2, "test-module prints must be masked: {hits:#?}");
 
     // The documented `unsafe` in the ring fixture and the HashMap inside the
     // kvs fixture's #[cfg(test)] module must NOT be flagged: exactly one R3

@@ -1,0 +1,7 @@
+//! Driver binary inside a simulation crate: R1, R2 and R5 must NOT fire
+//! here — a driver may read the environment and print its results.
+
+fn main() {
+    let dir = std::env::var("PROBE_OUT").unwrap_or_default();
+    println!("probe output -> {dir}");
+}

@@ -1,0 +1,15 @@
+//! Negative fixture for R5: print-family macros in a simulation crate.
+#![forbid(unsafe_code)]
+
+pub fn noisy_progress() {
+    println!("progress: 50%");
+    eprintln!("warning: queue running deep");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_inside_tests_are_fine() {
+        println!("diagnostics in a test module must not be flagged");
+    }
+}
