@@ -50,6 +50,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_dir = std::env::var("RAMBDA_TRACE").ok();
     let mut runner = "kvs.rambda".to_string();
+    let mut trace_flags_seen = false;
     let mut worst = 10usize;
     let mut i = 0;
     while i < args.len() {
@@ -61,14 +62,26 @@ fn main() {
             }
             "--trace-runner" => {
                 runner = value(i);
+                trace_flags_seen = true;
                 i += 2;
             }
             "--worst" => {
                 worst = value(i).parse().unwrap_or_else(|_| usage());
+                trace_flags_seen = true;
                 i += 2;
             }
             _ => usage(),
         }
+    }
+    // Fail fast on a bad or pointless selection, before any runner executes
+    // or any output directory is created.
+    if runner != "all" && !RUNNERS.contains(&runner.as_str()) {
+        eprintln!("unknown runner `{runner}` — valid runners: all, {}", RUNNERS.join(", "));
+        exit(2);
+    }
+    if trace_flags_seen && trace_dir.is_none() {
+        eprintln!("--trace-runner/--worst have no effect without --trace <dir> (or RAMBDA_TRACE=<dir>)");
+        exit(2);
     }
 
     let tb = Testbed::default();

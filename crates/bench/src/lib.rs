@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {

@@ -133,7 +133,7 @@ pub fn run_cpu_report_traced(
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_cpu_inner(testbed, params, cores, batch, &mut rec, &mut resources, tracer);
-    build_report("micro.cpu", 0, &stats, &rec, resources)
+    build_report("micro.cpu", 0, &stats, &mut rec, resources)
 }
 
 fn run_cpu_inner(
@@ -154,7 +154,7 @@ fn run_cpu_inner(
         let done = cpu.serve_request(at, params.chase, record, kind, &mut mem);
         tr.leg("cpu_serve", done);
         tr.finish(done);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
             cpu.publish_metrics(s, "cpu");
             mem.publish_metrics(s, "mem");
         });
@@ -222,7 +222,7 @@ pub fn run_rambda_report_traced(
     let mut resources = MetricSet::new();
     let stats =
         run_rambda_inner(testbed, params, location, cpoll, true, seed, &mut rec, &mut resources, tracer);
-    build_report("micro.rambda", seed, &stats, &rec, resources)
+    build_report("micro.rambda", seed, &stats, &mut rec, resources)
 }
 
 /// The "Rambda-DDIO" ablation of the NVM microbenchmark: global DDIO stays
@@ -313,7 +313,7 @@ fn run_rambda_inner(
         }
         engine.release_slot(t, now);
         trace.finish(now);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
             engine.publish_metrics(s, "accel");
             mem.publish_metrics(s, "mem");
         });

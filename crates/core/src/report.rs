@@ -7,15 +7,18 @@ use crate::driver::RunStats;
 
 /// Assembles a [`RunReport`] from a finished run: the driver's measured
 /// stats become the headline summary, the recorder supplies the per-stage
-/// breakdown, and `resources` carries whatever the runner's components
-/// published.
+/// breakdown and its windowed timeline (finalized here against the run
+/// makespan and the final resource counters, closing the busy-time
+/// identity exactly), and `resources` carries whatever the runner's
+/// components published.
 pub fn build_report(
     name: &str,
     seed: u64,
     stats: &RunStats,
-    rec: &StageRecorder,
+    rec: &mut StageRecorder,
     resources: MetricSet,
 ) -> RunReport {
+    rec.finalize_timeline(stats.makespan, &resources);
     RunReport::new(
         name,
         seed,
@@ -50,8 +53,12 @@ mod tests {
         });
         let mut resources = MetricSet::new();
         resources.observe_server("server", &server);
-        let report = build_report("driver.test", 0, &stats, &rec, resources);
+        let report = build_report("driver.test", 0, &stats, &mut rec, resources);
         report.validate().expect("consistent report");
+        let tl = report.timeline.as_ref().expect("active recorder carries a timeline");
+        assert_eq!(tl.merged, report.total);
+        let busy: u64 = tl.resources.iter().find(|r| r.name == "server").unwrap().busy_delta_ps.iter().sum();
+        assert_eq!(busy, report.resources.counter("server.busy_ps").unwrap());
         assert_eq!(report.completed, stats.completed);
         assert!(report.resources.counter("server.acquisitions").unwrap() >= 5_000);
         let util = report.resources.gauge_value("server.utilization").unwrap();

@@ -289,6 +289,40 @@ mod tests {
     }
 
     #[test]
+    fn windowed_merge_matches_direct_accumulation() {
+        // The timeline use case: a run's samples split into per-window
+        // histograms by completion time, then merged back into a whole-run
+        // histogram. Merge adds bucket counts, exact sums and min/max
+        // losslessly, so every summary statistic matches the directly
+        // accumulated histogram *exactly* — percentiles land in the same
+        // bucket, so not even the usual 1/17 bucket tolerance is needed.
+        let mut direct = Histogram::new();
+        let mut windows: Vec<Histogram> = (0..16).map(|_| Histogram::new()).collect();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for i in 0..50_000u64 {
+            // Cheap xorshift spread over ~4 decades of latency.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let sample = Span::from_ps(1 + x % 10_000_000);
+            direct.record(sample);
+            windows[(i % 16) as usize].record(sample);
+        }
+        let mut merged = Histogram::new();
+        for w in &windows {
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum_ps(), direct.sum_ps());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        assert_eq!(merged.mean(), direct.mean());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.percentile(q), direct.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn merge_into_empty_histogram_copies() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

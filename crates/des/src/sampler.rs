@@ -104,4 +104,40 @@ mod tests {
     fn zero_interval_panics() {
         SampleClock::new(Span::ZERO);
     }
+
+    #[test]
+    fn zero_duration_run_never_fires() {
+        // A run whose makespan is the epoch visits only t = 0: the clock
+        // must stay silent no matter how often it is polled there.
+        let mut c = SampleClock::new(Span::from_us(10));
+        for _ in 0..3 {
+            assert_eq!(c.due(SimTime::ZERO), None);
+        }
+    }
+
+    #[test]
+    fn tick_exactly_on_makespan_fires_once_and_only_once() {
+        // The last event of a run landing exactly on a grid point must
+        // yield that grid point — and re-polling the same instant (e.g. a
+        // final flush at the makespan) must not double-fire.
+        let mut c = SampleClock::new(Span::from_us(10));
+        let makespan = SimTime::from_us(30);
+        assert_eq!(c.due(SimTime::from_us(12)), Some(SimTime::from_us(10)));
+        assert_eq!(c.due(makespan), Some(makespan));
+        assert_eq!(c.due(makespan), None);
+    }
+
+    #[test]
+    fn interval_longer_than_the_whole_run_never_fires() {
+        // Short runs with a coarse grid produce zero ticks; windowed
+        // consumers must cope with an empty sample series (the timeline
+        // then attributes all activity to its single window).
+        let mut c = SampleClock::new(Span::from_ms(1));
+        for us in [0u64, 3, 250, 999] {
+            assert_eq!(c.due(SimTime::from_us(us)), None, "at {us} µs");
+        }
+        // At the next grid point it would have fired — showing the silence
+        // above was the grid, not a stuck clock.
+        assert_eq!(c.due(SimTime::from_us(1_000)), Some(SimTime::from_us(1_000)));
+    }
 }

@@ -195,7 +195,7 @@ pub fn run_cpu_report_traced(
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_cpu_inner(testbed, params, cores, &mut rec, &mut resources, tracer);
-    build_report("dlrm.cpu", params.seed, &stats, &rec, resources)
+    build_report("dlrm.cpu", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_cpu_inner(
@@ -254,7 +254,9 @@ fn run_cpu_inner(
         );
         tr.leg("fabric_response", fin);
         tr.finish(fin);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            client.publish_metrics(s, "client");
+            server.publish_metrics(s, "server");
             s.observe_server("cores", &core_pool);
             s.observe_link("gather", &gather);
             net.publish_metrics(s, "net");
@@ -304,7 +306,7 @@ pub fn run_rambda_report_traced(
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
-    build_report("dlrm.rambda", params.seed, &stats, &rec, resources)
+    build_report("dlrm.rambda", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_rambda_inner(
@@ -395,8 +397,12 @@ fn run_rambda_inner(
         );
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            client.publish_metrics(s, "client");
+            server.publish_metrics(s, "server");
             engine.publish_metrics(s, "accel");
+            preprocess_cores.publish_metrics(s, "preprocess");
+            s.observe_server("apu_dispatch", &dispatch);
             net.publish_metrics(s, "net");
         });
         resp.delivered_at

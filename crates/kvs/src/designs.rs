@@ -192,7 +192,7 @@ pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_cpu_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("kvs.cpu", params.seed, &stats, &rec, resources)
+    build_report("kvs.cpu", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_cpu_inner(
@@ -262,7 +262,9 @@ fn run_cpu_inner(
         );
         tr.leg("fabric_response", fin);
         tr.finish(fin);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            client.publish_metrics(s, "client");
+            server.publish_metrics(s, "server");
             cpu.publish_metrics(s, "cpu");
             net.publish_metrics(s, "net");
         });
@@ -308,7 +310,7 @@ pub fn run_rambda_report_traced(
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
-    build_report("kvs.rambda", params.seed, &stats, &rec, resources)
+    build_report("kvs.rambda", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_rambda_inner(
@@ -397,7 +399,9 @@ fn run_rambda_inner(
         );
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            client.publish_metrics(s, "client");
+            server.publish_metrics(s, "server");
             engine.publish_metrics(s, "accel");
             s.observe_server("sq", &sq);
             net.publish_metrics(s, "net");
@@ -439,7 +443,7 @@ pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer:
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_smartnic_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("kvs.smartnic", params.seed, &stats, &rec, resources)
+    build_report("kvs.smartnic", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_smartnic_inner(
@@ -501,8 +505,11 @@ fn run_smartnic_inner(
         let fin = net.send(t, SERVER, CLIENT, params.response_bytes(&op));
         tr.leg("fabric_response", fin);
         tr.finish(fin);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            client.publish_metrics(s, "client");
+            server.publish_metrics(s, "server");
             nic.publish_metrics(s, "smartnic");
+            nic_mem.publish_metrics(s, "nic_mem");
             net.publish_metrics(s, "net");
         });
         fin

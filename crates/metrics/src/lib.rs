@@ -22,6 +22,10 @@
 //!   [`json::Json`] encoder — the workspace's vendored `serde` shim has
 //!   no runtime serializer) that is byte-identical across runs, which the
 //!   golden-report tests in `tests/` gate on.
+//! - [`Timeline`] / [`TimelineSummary`] — windowed time-series telemetry:
+//!   per-window latency histograms and per-resource busy/wait deltas on a
+//!   deterministic sim-time grid, cross-checked against the whole-run
+//!   totals by exact merge and busy-time identities (DESIGN.md §10).
 //!
 //! Determinism is the design constraint throughout: `BTreeMap` storage,
 //! insertion-ordered JSON objects, shortest-round-trip float formatting,
@@ -33,7 +37,9 @@
 pub mod json;
 mod report;
 mod set;
+mod timeline;
 
 pub use json::Json;
 pub use report::{HistSummary, ReqTrace, RunReport, StageRecorder};
 pub use set::MetricSet;
+pub use timeline::{ResourceSeries, Timeline, TimelineSummary};

@@ -14,6 +14,7 @@ use rambda_des::{Histogram, SimTime, Span};
 
 use crate::json::Json;
 use crate::set::MetricSet;
+use crate::timeline::{wait_counter, Timeline, TimelineSummary};
 
 /// Compact, exact summary of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +58,7 @@ impl HistSummary {
         self.mean_ps as f64 / 1.0e6
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         let mut o = Json::obj();
         o.push("count", Json::U64(self.count));
         // Report sums saturate at u64::MAX in JSON; quick-mode runs are
@@ -80,18 +81,33 @@ pub struct StageRecorder {
     active: bool,
     stages: BTreeMap<&'static str, Histogram>,
     total: Histogram,
+    timeline: Option<Timeline>,
+    timeline_summary: Option<TimelineSummary>,
 }
 
 impl StageRecorder {
-    /// A recorder that records.
+    /// A recorder that records, including a windowed [`Timeline`] fed by
+    /// every [`StageRecorder::request`] completion.
     pub fn active() -> Self {
-        StageRecorder { active: true, stages: BTreeMap::new(), total: Histogram::new() }
+        StageRecorder {
+            active: true,
+            stages: BTreeMap::new(),
+            total: Histogram::new(),
+            timeline: Some(Timeline::default()),
+            timeline_summary: None,
+        }
     }
 
     /// A no-op recorder for uninstrumented runs (every call is a cheap
     /// branch, so the plain `run_*` entry points share the serve code).
     pub fn disabled() -> Self {
-        StageRecorder { active: false, stages: BTreeMap::new(), total: Histogram::new() }
+        StageRecorder {
+            active: false,
+            stages: BTreeMap::new(),
+            total: Histogram::new(),
+            timeline: None,
+            timeline_summary: None,
+        }
     }
 
     /// Whether this recorder records.
@@ -107,12 +123,16 @@ impl StageRecorder {
         self.stages.entry(stage).or_default().record(to.saturating_since(from));
     }
 
-    /// Records one request's issue→completion total.
+    /// Records one request's issue→completion total (and buckets it into
+    /// the timeline window its completion falls in).
     pub fn request(&mut self, issued: SimTime, done: SimTime) {
         if !self.active {
             return;
         }
         self.total.record(done.saturating_since(issued));
+        if let Some(tl) = &mut self.timeline {
+            tl.record(issued, done);
+        }
     }
 
     /// Opens a per-request trace cursor at `issued`.
@@ -133,6 +153,33 @@ impl StageRecorder {
     /// Iterates stages in name order.
     pub fn stages(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
         self.stages.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// If the timeline's snapshot grid is due at `now`, returns the tick to
+    /// stamp a counter snapshot with (see [`StageRecorder::timeline_snapshot`]).
+    pub fn timeline_due(&mut self, now: SimTime) -> Option<SimTime> {
+        self.timeline.as_mut()?.due(now)
+    }
+
+    /// Stores `set`'s cumulative counters as the timeline snapshot at `tick`.
+    pub fn timeline_snapshot(&mut self, tick: SimTime, set: &MetricSet) {
+        if let Some(tl) = &mut self.timeline {
+            tl.snapshot(tick, set);
+        }
+    }
+
+    /// Folds the live timeline into its bounded summary; called once by the
+    /// report assembly glue with the run makespan and the final resource
+    /// counters. A second call overwrites the first.
+    pub fn finalize_timeline(&mut self, makespan: Span, finals: &MetricSet) {
+        if let Some(tl) = &self.timeline {
+            self.timeline_summary = Some(tl.finalize(makespan, finals));
+        }
+    }
+
+    /// The finalized timeline, if [`StageRecorder::finalize_timeline`] ran.
+    pub fn timeline_summary(&self) -> Option<&TimelineSummary> {
+        self.timeline_summary.as_ref()
     }
 }
 
@@ -198,6 +245,9 @@ pub struct RunReport {
     pub stages: Vec<(String, HistSummary)>,
     /// Per-resource counters and utilization gauges.
     pub resources: MetricSet,
+    /// Windowed time series (per-window latency + per-resource busy/wait
+    /// deltas), when the recorder's timeline was finalized.
+    pub timeline: Option<TimelineSummary>,
 }
 
 impl RunReport {
@@ -223,6 +273,7 @@ impl RunReport {
             total: HistSummary::of(rec.total()),
             stages: rec.stages().map(|(n, h)| (n.to_string(), HistSummary::of(h))).collect(),
             resources,
+            timeline: rec.timeline_summary().cloned(),
         };
         report.publish_utilization();
         report
@@ -301,6 +352,83 @@ impl RunReport {
                 ));
             }
         }
+        self.validate_timeline()
+    }
+
+    /// Checks the windowed timeline (when present) against the whole-run
+    /// totals:
+    ///
+    /// - merging the per-window histograms reproduces the traced total
+    ///   exactly (same samples, exact merge) — the throughput side of the
+    ///   Little's-law cross-check (`Σ window counts == total count` and
+    ///   `Σ window sums == total time in system`);
+    /// - the windows tile the makespan: minimal in number, covering it;
+    /// - every resource with a `*.busy_ps` counter has a delta series, and
+    ///   each series telescopes to its final busy/wait counter to the
+    ///   picosecond — the busy-time side of the utilization law.
+    fn validate_timeline(&self) -> Result<(), String> {
+        let Some(tl) = &self.timeline else { return Ok(()) };
+        if tl.merged != self.total {
+            return Err(format!("timeline merged summary {:?} != traced total {:?}", tl.merged, self.total));
+        }
+        let window_count: u64 = tl.windows.iter().map(|w| w.count).sum();
+        if window_count != self.total.count {
+            return Err(format!(
+                "timeline windows hold {} samples, total {}",
+                window_count, self.total.count
+            ));
+        }
+        let window_sum: u128 = tl.windows.iter().map(|w| w.sum_ps).sum();
+        if window_sum != self.total.sum_ps {
+            return Err(format!("timeline window sums {} ps, total {} ps", window_sum, self.total.sum_ps));
+        }
+        let n = tl.windows.len() as u64;
+        if n == 0 || tl.window_ps == 0 {
+            return Err("timeline has no windows".to_string());
+        }
+        if tl.elapsed_ps != self.elapsed_ps {
+            return Err(format!("timeline elapsed {} ps, report {} ps", tl.elapsed_ps, self.elapsed_ps));
+        }
+        if n * tl.window_ps < self.elapsed_ps || (n - 1) * tl.window_ps >= self.elapsed_ps.max(1) {
+            return Err(format!(
+                "{} windows of {} ps do not tile the {} ps makespan",
+                n, tl.window_ps, self.elapsed_ps
+            ));
+        }
+        let busy_bases: Vec<&str> =
+            self.resources.counters().filter_map(|(name, _)| name.strip_suffix(".busy_ps")).collect();
+        if busy_bases.len() != tl.resources.len() {
+            return Err(format!(
+                "timeline carries {} resource series for {} busy counters",
+                tl.resources.len(),
+                busy_bases.len()
+            ));
+        }
+        for series in &tl.resources {
+            if series.busy_delta_ps.len() != tl.windows.len()
+                || series.wait_delta_ps.len() != tl.windows.len()
+            {
+                return Err(format!("resource {} series length mismatch", series.name));
+            }
+            let busy: u64 = series.busy_delta_ps.iter().sum();
+            let expect = self.resources.counter(&format!("{}.busy_ps", series.name)).unwrap_or(0);
+            if busy != expect {
+                return Err(format!(
+                    "resource {} busy deltas sum to {} ps, counter says {} ps",
+                    series.name, busy, expect
+                ));
+            }
+            let wait: u64 = series.wait_delta_ps.iter().sum();
+            let wait_expect = wait_counter(&self.resources, &series.name)
+                .and_then(|name| self.resources.counter(&name))
+                .unwrap_or(0);
+            if wait != wait_expect {
+                return Err(format!(
+                    "resource {} wait deltas sum to {} ps, counter says {} ps",
+                    series.name, wait, wait_expect
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -320,6 +448,9 @@ impl RunReport {
         out.push("total", self.total.to_json());
         out.push("stages", stages);
         out.push("resources", self.resources.to_json());
+        if let Some(tl) = &self.timeline {
+            out.push("timeline", tl.to_json());
+        }
         out
     }
 

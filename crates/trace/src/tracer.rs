@@ -162,6 +162,31 @@ impl Tracer {
         }
     }
 
+    /// Feeds one periodic counter sample to both deterministic sinks: this
+    /// tracer's ring (when its grid is due, as [`Tracer::maybe_sample`])
+    /// and `rec`'s windowed timeline (when its snapshot grid is due).
+    /// `fill` builds the cumulative counter set and runs at most once, only
+    /// if at least one sink is due — so serve closures pay the sampling
+    /// cost at the grid rate, not per request, and traced and untraced
+    /// runs share one call site.
+    pub fn sample_with(&mut self, rec: &mut StageRecorder, now: SimTime, fill: impl FnOnce(&mut MetricSet)) {
+        let ring_tick = self.buf.as_mut().and_then(|b| b.clock.due(now));
+        let timeline_tick = rec.timeline_due(now);
+        if ring_tick.is_none() && timeline_tick.is_none() {
+            return;
+        }
+        let mut set = MetricSet::new();
+        fill(&mut set);
+        if let (Some(tick), Some(buf)) = (ring_tick, self.buf.as_mut()) {
+            for (name, value) in set.counters() {
+                buf.push(TraceEvent::Sample { name: name.to_string(), at_ps: tick.as_ps(), value });
+            }
+        }
+        if let Some(tick) = timeline_tick {
+            rec.timeline_snapshot(tick, &set);
+        }
+    }
+
     /// Records the run's final counter snapshot at `at` (normally the run
     /// makespan). Besides emitting one last [`TraceEvent::Sample`] per
     /// counter, the snapshot is retained so
@@ -312,6 +337,37 @@ mod tests {
         assert_eq!((name.as_str(), at_ps, value), ("accel.busy_ps", 20_000_000, 77));
         // Second call inside the same grid interval does not fire.
         tracer.maybe_sample(SimTime::from_us(26), |_| panic!("grid interval already sampled"));
+    }
+
+    #[test]
+    fn sample_with_feeds_ring_and_timeline() {
+        let mut rec = StageRecorder::active();
+        let mut tracer = Tracer::bounded(64, Span::from_us(10));
+        tracer.sample_with(&mut rec, SimTime::from_ns(500), |_| panic!("no sink due yet"));
+        // At 60 µs both grids are due: the ring (10 µs grid) and the
+        // recorder's timeline (50 µs default window).
+        tracer.sample_with(&mut rec, SimTime::from_us(60), |s| s.set("net.busy_ps", 42));
+        assert_eq!(tracer.len(), 1, "one ring sample recorded");
+        // The timeline snapshot shows up as the interior busy attribution.
+        rec.request(SimTime::ZERO, SimTime::from_us(100));
+        let mut finals = MetricSet::new();
+        finals.set("net.busy_ps", 100);
+        rec.finalize_timeline(Span::from_us(100), &finals);
+        let tl = rec.timeline_summary().expect("timeline finalized");
+        assert_eq!(tl.resources[0].busy_delta_ps, vec![42, 58]);
+    }
+
+    #[test]
+    fn sample_with_feeds_timeline_even_when_tracer_is_disabled() {
+        let mut rec = StageRecorder::active();
+        let mut tracer = Tracer::disabled();
+        let mut filled = false;
+        tracer.sample_with(&mut rec, SimTime::from_us(75), |s| {
+            filled = true;
+            s.set("cpu.busy_ps", 7);
+        });
+        assert!(filled, "timeline snapshot must still be taken");
+        assert!(tracer.is_empty());
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_hyperloop_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("txn.hyperloop", params.seed, &stats, &rec, resources)
+    build_report("txn.hyperloop", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_hyperloop_inner(
@@ -206,7 +206,12 @@ fn run_hyperloop_inner(
         let fin = t + Span::from_ns(100);
         trace.leg("cqe_poll", fin);
         trace.finish(fin);
-        tracer.maybe_sample(at, |s| w.net.publish_metrics(s, "net"));
+        tracer.sample_with(rec, at, |s| {
+            w.client.publish_metrics(s, "client");
+            w.port0.publish_metrics(s, "port0");
+            w.port1.publish_metrics(s, "port1");
+            w.net.publish_metrics(s, "net");
+        });
         fin
     });
     if rec.is_active() {
@@ -246,7 +251,7 @@ pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer
     let mut rec = StageRecorder::active();
     let mut resources = MetricSet::new();
     let stats = run_rambda_tx_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("txn.rambda_tx", params.seed, &stats, &rec, resources)
+    build_report("txn.rambda_tx", params.seed, &stats, &mut rec, resources)
 }
 
 fn run_rambda_tx_inner(
@@ -340,8 +345,12 @@ fn run_rambda_tx_inner(
         // Functional effect.
         let _ = w.chain.execute(&reads, writes);
         trace.finish(resp.delivered_at);
-        tracer.maybe_sample(at, |s| {
+        tracer.sample_with(rec, at, |s| {
+            w.client.publish_metrics(s, "client");
+            w.port0.publish_metrics(s, "port0");
+            w.port1.publish_metrics(s, "port1");
             accel0.publish_metrics(s, "accel0");
+            accel1.publish_metrics(s, "accel1");
             w.net.publish_metrics(s, "net");
         });
         resp.delivered_at

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! cargo xtask analyze [--root PATH] [--verbose]
+//! cargo xtask bench [--quick] [--compare PATH] [...]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations (or stale allowlist entries),
-//! 2 = usage or I/O error.
+//! Exit codes: 0 = clean, 1 = violations (or stale allowlist entries, or
+//! bench regressions), 2 = usage or I/O error.
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +28,13 @@ Commands:
         R5  no println!/eprintln! outside src/bin drivers and the bench crate
       Violations can be allowlisted in xtask/analyze.allow (one per line:
       `RULE path token  # reason`); stale entries are errors.
+
+  bench [--quick] [--sweep NAME]... [--out DIR] [--compare PATH] [--list]
+      Build (release) and run the continuous-benchmark harness: seeded
+      sweeps reproducing the paper's curves, byte-deterministic
+      BENCH_<sweep>.json artifacts, and — with --compare — a regression
+      gate against committed baselines (DESIGN.md §10). All flags are
+      forwarded to the rambda-bench `bench` binary.
 ";
 
 fn main() -> ExitCode {
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
             }
             run_analyze(root, verbose)
         }
+        Some("bench") => run_bench(args.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -67,6 +76,26 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
     explicit.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent dir").to_path_buf()
     })
+}
+
+/// Runs the bench harness binary in release mode from the workspace root
+/// (relative artifact/baseline paths like `bench/baselines` then resolve
+/// the same way from any cwd inside the workspace), forwarding all flags
+/// and the child's exit status.
+fn run_bench(forward: Vec<String>) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .current_dir(workspace_root(None))
+        .args(["run", "--release", "-q", "-p", "rambda-bench", "--bin", "bench", "--"])
+        .args(forward)
+        .status();
+    match status {
+        Ok(s) => ExitCode::from(s.code().unwrap_or(2).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("error: failed to launch the bench harness: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run_analyze(root: Option<PathBuf>, verbose: bool) -> ExitCode {
