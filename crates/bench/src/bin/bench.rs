@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rambda_bench::harness::{compare, run_sweep, sweep_names, SweepResult};
+use rambda_bench::harness::{compare, is_gating, run_sweep, sweep_names, SweepResult};
 use rambda_metrics::Json;
 
 const USAGE: &str = "\
@@ -145,6 +145,10 @@ fn main() -> ExitCode {
         );
 
         if let Some(base_path) = &args.compare {
+            if !is_gating(sweep) {
+                println!("{sweep}: non-gating, comparison skipped");
+                continue;
+            }
             match load_baseline(base_path, sweep) {
                 Ok(baseline) => {
                     let diffs = compare(&result, &baseline);

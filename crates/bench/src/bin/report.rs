@@ -9,23 +9,34 @@
 //! `ui.perfetto.dev`), `<name>.trace.bin` (compact deterministic binary),
 //! and `<name>.tail.json` (tail-latency attribution for the `--worst <n>`
 //! slowest requests, default 10).
+//!
+//! With `--loss <rate>` a seeded lossy fault plan is injected into the
+//! fabric. In headline mode this prints a clean-vs-lossy comparison of the
+//! KVS Rambda design (recovery counters, tail cost); in trace mode the
+//! traced runner(s) execute under the lossy plan and the fault/retransmit
+//! events land in the exported artifacts.
 
 use std::fs;
 use std::process::exit;
 
 use rambda::micro::{run_rambda as micro_rambda, run_rambda_always_ddio, MicroParams};
-use rambda::Testbed;
+use rambda::{Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
 use rambda_bench::Table;
 use rambda_dlrm::serving as dlrm;
-use rambda_dlrm::DlrmParams;
+use rambda_dlrm::{DlrmDesigns, DlrmParams};
+use rambda_fabric::FaultConfig;
 use rambda_kvs::designs as kvs;
-use rambda_kvs::KvsParams;
+use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::{Json, RunReport};
-use rambda_power::{kop_per_watt, Design, PowerConfig};
+use rambda_power::{kop_per_watt, Design as PowerDesign, PowerConfig};
 use rambda_trace::Tracer;
-use rambda_txn::{run_hyperloop, run_rambda_tx, TxnParams};
+use rambda_txn::{run_hyperloop, run_rambda_tx, TxnDesigns, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
+
+/// Seed for the `--loss` fault plan — fixed so repeated invocations are
+/// byte-reproducible.
+const FAULT_SEED: u64 = 0xFA17;
 
 /// The nine named runners, in report order.
 const RUNNERS: [&str; 9] = [
@@ -41,7 +52,7 @@ const RUNNERS: [&str; 9] = [
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: report [--trace <dir>] [--trace-runner <name|all>] [--worst <n>]");
+    eprintln!("usage: report [--trace <dir>] [--trace-runner <name|all>] [--worst <n>] [--loss <rate>]");
     eprintln!("runners: {}", RUNNERS.join(", "));
     exit(2);
 }
@@ -52,6 +63,7 @@ fn main() {
     let mut runner = "kvs.rambda".to_string();
     let mut trace_flags_seen = false;
     let mut worst = 10usize;
+    let mut loss = 0.0f64;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -70,6 +82,14 @@ fn main() {
                 trace_flags_seen = true;
                 i += 2;
             }
+            "--loss" => {
+                loss = value(i).parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&loss) {
+                    eprintln!("--loss must be a probability in [0, 1]");
+                    exit(2);
+                }
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -85,8 +105,13 @@ fn main() {
     }
 
     let tb = Testbed::default();
+    let faults = FaultConfig::lossy(FAULT_SEED, loss);
     if let Some(dir) = trace_dir {
-        trace_exports(&tb, &dir, &runner, worst);
+        trace_exports(&tb, &dir, &runner, worst, &faults);
+        return;
+    }
+    if faults.is_active() {
+        fault_quickstart(&tb, &faults, loss);
         return;
     }
     let mut t = Table::new(
@@ -133,8 +158,8 @@ fn main() {
         format!("{:+.1}%", (rambda_l.p99_us() / cpu_l.p99_us() - 1.0) * 100.0),
     ]);
     let power = PowerConfig::default();
-    let kopw_cpu = kop_per_watt(cpu.throughput_ops, power.design_watts(Design::Cpu { cores: 10 }));
-    let kopw_rambda = kop_per_watt(rambda.throughput_ops, power.design_watts(Design::Rambda));
+    let kopw_cpu = kop_per_watt(cpu.throughput_ops, power.design_watts(PowerDesign::Cpu { cores: 10 }));
+    let kopw_rambda = kop_per_watt(rambda.throughput_ops, power.design_watts(PowerDesign::Rambda));
     t.row(vec![
         "power efficiency vs CPU".into(),
         "~1.45x (188.7/130.4)".into(),
@@ -165,9 +190,13 @@ fn main() {
     // Per-stage latency breakdowns from the observability layer: where do
     // the microseconds go on each design's critical path?
     let micro_report =
-        rambda::micro::run_rambda_report(&tb, MicroParams::quick(), DataLocation::HostDram, true, 1);
-    let kvs_report = kvs::run_rambda_report(&tb, &KvsParams::quick(), DataLocation::HostDram);
-    let txn_report = rambda_txn::run_rambda_tx_report(&tb, &TxnParams::quick(TxnSpec::read_write(64)));
+        SimBuilder::new(Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1))
+            .config(&tb)
+            .run();
+    let kvs_report =
+        SimBuilder::new(Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram)).config(&tb).run();
+    let txn_report =
+        SimBuilder::new(Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64)))).config(&tb).run();
     for report in [&micro_report, &kvs_report, &txn_report] {
         print_breakdown(report);
     }
@@ -177,37 +206,21 @@ fn main() {
     println!("Flight-recorder traces: report --trace <dir> [--trace-runner <name|all>]");
 }
 
-/// Runs the named runner in quick mode with the flight recorder attached.
-fn run_traced(tb: &Testbed, name: &str, tracer: &mut Tracer) -> RunReport {
+/// Builds the quick-mode [`Design`] for a named runner.
+fn design_for(name: &str) -> Design {
     match name {
-        "micro.cpu" => rambda::micro::run_cpu_report_traced(tb, MicroParams::quick(), 8, 16, tracer),
-        "micro.rambda" => rambda::micro::run_rambda_report_traced(
-            tb,
-            MicroParams::quick(),
+        "micro.cpu" => Design::micro_cpu(MicroParams::quick(), 8, 16),
+        "micro.rambda" => Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1),
+        "kvs.cpu" => Design::kvs_cpu(KvsParams::quick()),
+        "kvs.rambda" => Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram),
+        "kvs.smartnic" => Design::kvs_smartnic(KvsParams::quick()),
+        "txn.hyperloop" => Design::txn_hyperloop(TxnParams::quick(TxnSpec::read_write(64))),
+        "txn.rambda_tx" => Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))),
+        "dlrm.cpu" => Design::dlrm_cpu(DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()), 8),
+        "dlrm.rambda" => Design::dlrm_rambda(
+            DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
             DataLocation::HostDram,
-            true,
-            1,
-            tracer,
         ),
-        "kvs.cpu" => kvs::run_cpu_report_traced(tb, &KvsParams::quick(), tracer),
-        "kvs.rambda" => {
-            kvs::run_rambda_report_traced(tb, &KvsParams::quick(), DataLocation::HostDram, tracer)
-        }
-        "kvs.smartnic" => kvs::run_smartnic_report_traced(tb, &KvsParams::quick(), tracer),
-        "txn.hyperloop" => {
-            rambda_txn::run_hyperloop_report_traced(tb, &TxnParams::quick(TxnSpec::read_write(64)), tracer)
-        }
-        "txn.rambda_tx" => {
-            rambda_txn::run_rambda_tx_report_traced(tb, &TxnParams::quick(TxnSpec::read_write(64)), tracer)
-        }
-        "dlrm.cpu" => {
-            let p = DlrmParams::quick(DlrmProfile::by_name("Books").unwrap());
-            dlrm::run_cpu_report_traced(tb, &p, 8, tracer)
-        }
-        "dlrm.rambda" => {
-            let p = DlrmParams::quick(DlrmProfile::by_name("Books").unwrap());
-            dlrm::run_rambda_report_traced(tb, &p, DataLocation::HostDram, tracer)
-        }
         other => {
             eprintln!("unknown runner {other}");
             usage()
@@ -215,15 +228,73 @@ fn run_traced(tb: &Testbed, name: &str, tracer: &mut Tracer) -> RunReport {
     }
 }
 
+/// Sums every counter whose name ends with `suffix` (the same reduction
+/// the report's fault identities use).
+fn counter_sum(report: &RunReport, suffix: &str) -> u64 {
+    report.resources.counters().filter(|(name, _)| name.ends_with(suffix)).map(|(_, v)| v).sum()
+}
+
+/// The `--loss` quickstart: runs the KVS Rambda design clean and under the
+/// seeded lossy plan, and prints the recovery counters next to the tail
+/// cost. Both reports are validated, so the fault/recovery identities hold.
+fn fault_quickstart(tb: &Testbed, faults: &FaultConfig, loss: f64) {
+    let p = KvsParams::quick();
+    let clean = SimBuilder::new(Design::kvs_rambda(p.clone(), DataLocation::HostDram)).config(tb).run();
+    let lossy = SimBuilder::new(Design::kvs_rambda(p, DataLocation::HostDram))
+        .config(tb)
+        .faults(faults.clone())
+        .run();
+    clean.validate().expect("inconsistent clean run report");
+    lossy.validate().expect("inconsistent lossy run report");
+    let mut t = Table::new(
+        &format!("kvs.rambda under injected loss (rate {loss:e}, seed {FAULT_SEED:#x})"),
+        &["metric", "clean", "lossy"],
+    );
+    t.row(vec![
+        "throughput Mops".into(),
+        format!("{:.3}", clean.throughput_ops / 1e6),
+        format!("{:.3}", lossy.throughput_ops / 1e6),
+    ]);
+    t.row(vec![
+        "p50 us".into(),
+        format!("{:.2}", clean.latency.p50_ps as f64 / 1e6),
+        format!("{:.2}", lossy.latency.p50_ps as f64 / 1e6),
+    ]);
+    t.row(vec![
+        "p99 us".into(),
+        format!("{:.2}", clean.latency.p99_ps as f64 / 1e6),
+        format!("{:.2}", lossy.latency.p99_ps as f64 / 1e6),
+    ]);
+    for suffix in [
+        ".faults.dropped",
+        ".faults.corrupted",
+        ".faults.flapped",
+        ".timeouts",
+        ".nacks",
+        ".retransmits",
+        ".retries_exhausted",
+    ] {
+        let name = suffix.trim_start_matches('.');
+        t.row(vec![
+            name.into(),
+            counter_sum(&clean, suffix).to_string(),
+            counter_sum(&lossy, suffix).to_string(),
+        ]);
+    }
+    t.print();
+    println!("Fault/recovery identities validated on both reports (RunReport::validate).");
+}
+
 /// Runs the selected runner(s) with tracing, self-validates the trace
 /// against the run report, writes the three artifacts per runner, and
 /// prints each runner's tail attribution.
-fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize) {
+fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize, faults: &FaultConfig) {
     fs::create_dir_all(dir).expect("create trace output dir");
     let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
     for name in names {
         let mut tracer = Tracer::flight_recorder();
-        let report = run_traced(tb, name, &mut tracer);
+        let report =
+            SimBuilder::new(design_for(name)).config(tb).faults(faults.clone()).tracer(&mut tracer).run();
         report.validate().expect("inconsistent run report");
         if let Err(e) = tracer.cross_validate(&report) {
             eprintln!("{name}: trace/report cross-validation failed: {e}");

@@ -3,7 +3,7 @@
 //! Declarative sweep definitions reproduce the paper's curve-style results
 //! (Fig. 7 design comparison, Fig. 9 KVS load sweep, Fig. 12 transaction
 //! latency, Fig. 13 DLRM serving): each sweep runs a grid of seeded
-//! `run_*_report` points, digests every [`RunReport`] — headline numbers
+//! [`SimBuilder`] points, digests every [`RunReport`] — headline numbers
 //! plus the windowed-timeline telemetry — into a [`BenchPoint`], and
 //! serializes the whole [`SweepResult`] with the deterministic JSON encoder
 //! so same-seed runs emit byte-identical `BENCH_<sweep>.json` files.
@@ -17,8 +17,9 @@
 //! wall-clock, filesystem or environment access (the workspace analyzer's
 //! R2 bans them here). I/O and self-profiling live in `src/bin/bench.rs`.
 
-use rambda::{micro, Testbed};
+use rambda::{micro, Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
+use rambda_fabric::FaultConfig;
 use rambda_metrics::{Json, RunReport};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
@@ -266,7 +267,16 @@ pub fn compare(current: &SweepResult, baseline: &SweepResult) -> Vec<String> {
 
 /// The defined sweeps, in the order the harness runs them.
 pub fn sweep_names() -> &'static [&'static str] {
-    &["micro_designs", "kvs_load", "txn_latency", "dlrm_load"]
+    &["micro_designs", "kvs_load", "txn_latency", "dlrm_load", "faults_sweep"]
+}
+
+/// Whether a sweep participates in the baseline comparison gate.
+///
+/// `faults_sweep` characterizes degraded-mode behaviour (its whole point is
+/// a worse tail under injected loss), so it ships no committed baseline and
+/// never gates — the `bench` binary skips its comparison.
+pub fn is_gating(name: &str) -> bool {
+    name != "faults_sweep"
 }
 
 /// Runs one sweep end to end.
@@ -282,6 +292,7 @@ pub fn run_sweep(name: &str, quick: bool) -> Result<SweepResult, String> {
         "kvs_load" => kvs_load(quick)?,
         "txn_latency" => txn_latency(quick)?,
         "dlrm_load" => dlrm_load(quick)?,
+        "faults_sweep" => faults_sweep(quick)?,
         other => return Err(format!("unknown sweep `{other}` — valid sweeps: {}", sweep_names().join(", "))),
     };
     let tolerance = Tolerance { max_throughput_drop: 0.05, max_p99_rise: 0.10 };
@@ -299,7 +310,7 @@ fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
     };
     let mut points = Vec::new();
     for cores in [1usize, 8, 16] {
-        let report = micro::run_cpu_report(&tb, p, cores, 16);
+        let report = SimBuilder::new(Design::micro_cpu(p, cores, 16)).config(&tb).run();
         points.push(BenchPoint::from_report(&format!("cpu-{cores}"), "micro", &report)?);
     }
     let variants: [(&str, DataLocation, bool); 4] = [
@@ -309,7 +320,7 @@ fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
         ("rambda-lh", DataLocation::LocalHbm, true),
     ];
     for (design, location, cpoll) in variants {
-        let report = micro::run_rambda_report(&tb, p, location, cpoll, 1);
+        let report = SimBuilder::new(Design::micro_rambda(p, location, cpoll, 1)).config(&tb).run();
         points.push(BenchPoint::from_report(design, "micro", &report)?);
     }
     Ok(points)
@@ -317,20 +328,19 @@ fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
 
 /// Fig. 9-style KVS offered-load sweep: per-client pipeline window × design.
 fn kvs_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
-    use rambda_kvs::designs::{run_cpu_report, run_rambda_report, run_smartnic_report, KvsParams};
+    use rambda_kvs::{KvsDesigns, KvsParams};
     let tb = Testbed::default();
     let base = if quick { KvsParams { requests: 8_000, ..KvsParams::quick() } } else { KvsParams::paper() };
     let mut points = Vec::new();
     for window in [1usize, 4, 16] {
         let p = KvsParams { window, ..base.clone() };
         let x = format!("window={window}");
-        points.push(BenchPoint::from_report("cpu", &x, &run_cpu_report(&tb, &p))?);
-        points.push(BenchPoint::from_report(
-            "rambda",
-            &x,
-            &run_rambda_report(&tb, &p, DataLocation::HostDram),
-        )?);
-        points.push(BenchPoint::from_report("smartnic", &x, &run_smartnic_report(&tb, &p))?);
+        let cpu = SimBuilder::new(Design::kvs_cpu(p.clone())).config(&tb).run();
+        points.push(BenchPoint::from_report("cpu", &x, &cpu)?);
+        let rambda = SimBuilder::new(Design::kvs_rambda(p.clone(), DataLocation::HostDram)).config(&tb).run();
+        points.push(BenchPoint::from_report("rambda", &x, &rambda)?);
+        let smartnic = SimBuilder::new(Design::kvs_smartnic(p.clone())).config(&tb).run();
+        points.push(BenchPoint::from_report("smartnic", &x, &smartnic)?);
     }
     Ok(points)
 }
@@ -338,7 +348,7 @@ fn kvs_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
 /// Fig. 12-style replicated-transaction comparison: HyperLoop chain vs.
 /// Rambda-Tx, for write-only and read-write transactions.
 fn txn_latency(quick: bool) -> Result<Vec<BenchPoint>, String> {
-    use rambda_txn::designs::{run_hyperloop_report, run_rambda_tx_report, TxnParams};
+    use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
     let specs: [(&str, TxnSpec); 2] =
         [("spec=w1", TxnSpec::single_write(64)), ("spec=r4w2", TxnSpec::read_write(64))];
@@ -346,15 +356,17 @@ fn txn_latency(quick: bool) -> Result<Vec<BenchPoint>, String> {
     for (x, spec) in specs {
         let p =
             if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
-        points.push(BenchPoint::from_report("hyperloop", x, &run_hyperloop_report(&tb, &p))?);
-        points.push(BenchPoint::from_report("rambda_tx", x, &run_rambda_tx_report(&tb, &p))?);
+        let hl = SimBuilder::new(Design::txn_hyperloop(p.clone())).config(&tb).run();
+        points.push(BenchPoint::from_report("hyperloop", x, &hl)?);
+        let rt = SimBuilder::new(Design::txn_rambda_tx(p.clone())).config(&tb).run();
+        points.push(BenchPoint::from_report("rambda_tx", x, &rt)?);
     }
     Ok(points)
 }
 
 /// Fig. 13-style DLRM serving comparison on the Books embedding profile.
 fn dlrm_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
-    use rambda_dlrm::serving::{run_cpu_report, run_rambda_report, DlrmParams};
+    use rambda_dlrm::{DlrmDesigns, DlrmParams};
     let tb = Testbed::default();
     let profile = DlrmProfile::by_name("Books").ok_or("Books DLRM profile missing")?;
     let p = if quick {
@@ -364,13 +376,40 @@ fn dlrm_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
     };
     let mut points = Vec::new();
     for cores in [1usize, 8] {
-        let report = run_cpu_report(&tb, &p, cores);
+        let report = SimBuilder::new(Design::dlrm_cpu(p.clone(), cores)).config(&tb).run();
         points.push(BenchPoint::from_report(&format!("cpu-{cores}"), "Books", &report)?);
     }
-    let report = run_rambda_report(&tb, &p, DataLocation::HostDram);
+    let report = SimBuilder::new(Design::dlrm_rambda(p.clone(), DataLocation::HostDram)).config(&tb).run();
     points.push(BenchPoint::from_report("rambda", "Books", &report)?);
-    let report = run_rambda_report(&tb, &p, DataLocation::LocalHbm);
+    let report = SimBuilder::new(Design::dlrm_rambda(p.clone(), DataLocation::LocalHbm)).config(&tb).run();
     points.push(BenchPoint::from_report("rambda-lh", "Books", &report)?);
+    Ok(points)
+}
+
+/// Degraded-fabric characterization (non-gating): the KVS and transaction
+/// Rambda designs under increasing injected packet loss. The zero-loss point
+/// anchors each curve; the lossy points show the recovery layer's cost
+/// (retransmissions push the tail up while throughput barely moves).
+fn faults_sweep(quick: bool) -> Result<Vec<BenchPoint>, String> {
+    use rambda_kvs::{KvsDesigns, KvsParams};
+    use rambda_txn::{TxnDesigns, TxnParams};
+    let tb = Testbed::default();
+    let kp = if quick { KvsParams { requests: 8_000, ..KvsParams::quick() } } else { KvsParams::paper() };
+    let spec = TxnSpec::read_write(64);
+    let xp = if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
+    let mut points = Vec::new();
+    for (x, loss) in [("loss=0", 0.0), ("loss=1e-4", 1e-4), ("loss=1e-3", 1e-3)] {
+        let kvs = SimBuilder::new(Design::kvs_rambda(kp.clone(), DataLocation::HostDram))
+            .config(&tb)
+            .faults(FaultConfig::lossy(0xFA17, loss))
+            .run();
+        points.push(BenchPoint::from_report("kvs_rambda", x, &kvs)?);
+        let txn = SimBuilder::new(Design::txn_rambda_tx(xp.clone()))
+            .config(&tb)
+            .faults(FaultConfig::lossy(0xFA17, loss))
+            .run();
+        points.push(BenchPoint::from_report("txn_rambda_tx", x, &txn)?);
+    }
     Ok(points)
 }
 

@@ -40,9 +40,11 @@ pub mod cpu;
 pub mod framework;
 pub mod micro;
 pub mod report;
+pub mod sim;
 
 pub use config::{CpuConfig, Testbed};
 pub use driver::{run_closed_loop, DriverConfig, RunStats};
 pub use framework::{AppRegistration, Connection, CpollLayout, Framework, RegisterError, RegisteredApp};
 pub use machine::Machine;
 pub use report::build_report;
+pub use sim::{Design, SimBuilder, SimCtx};

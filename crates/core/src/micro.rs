@@ -11,13 +11,13 @@ use rambda_accel::{AccelConfig, AccelEngine, DataLocation};
 use rambda_coherence::Notifier;
 use rambda_des::{SimRng, SimTime, Span};
 use rambda_mem::{MemKind, MemorySystem};
-use rambda_metrics::{MetricSet, RunReport, StageRecorder};
+use rambda_metrics::RunReport;
 use rambda_trace::Tracer;
 
 use crate::config::Testbed;
 use crate::cpu::CpuServer;
 use crate::driver::{run_closed_loop, DriverConfig, RunStats};
-use crate::report::build_report;
+use crate::sim::{Design, SimBuilder, SimCtx};
 
 /// Spin-polling throughput tax relative to cpoll, applied to both the
 /// controller issue rate and the interconnect bandwidth. Calibrated to the
@@ -102,27 +102,40 @@ impl MicroParams {
     }
 }
 
+impl Design {
+    /// The Sec. VI-A CPU baseline on `cores` cores with request batches of
+    /// `batch`. Single-machine (shared-memory rings, no network), so the
+    /// builder's fault plan does not apply.
+    pub fn micro_cpu(params: MicroParams, cores: usize, batch: usize) -> Design {
+        Design::from_runner("micro.cpu", 0, move |tb, ctx| run_cpu_inner(tb, params, cores, batch, ctx))
+    }
+
+    /// The Sec. VI-A Rambda microbenchmark (prototype or LD/LH via
+    /// `location`; `cpoll == false` is the spin-polling ablation).
+    /// Single-machine, so the builder's fault plan does not apply.
+    pub fn micro_rambda(params: MicroParams, location: DataLocation, cpoll: bool, seed: u64) -> Design {
+        Design::from_runner("micro.rambda", seed, move |tb, ctx| {
+            run_rambda_inner(tb, params, location, cpoll, true, seed, ctx)
+        })
+    }
+}
+
 /// Runs the CPU baseline on `cores` cores with request batches of `batch`.
 pub fn run_cpu(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunStats {
-    run_cpu_inner(
-        testbed,
-        params,
-        cores,
-        batch,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    crate::rambda_stats_only_ctx!(ctx);
+    run_cpu_inner(testbed, params, cores, batch, ctx)
 }
 
 /// [`run_cpu`] with full observability: per-stage latency breakdown and
 /// resource counters.
+#[deprecated(note = "use SimBuilder with Design::micro_cpu")]
 pub fn run_cpu_report(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunReport {
-    run_cpu_report_traced(testbed, params, cores, batch, &mut Tracer::disabled())
+    SimBuilder::new(Design::micro_cpu(params, cores, batch)).config(testbed).run()
 }
 
 /// [`run_cpu_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::micro_cpu")]
 pub fn run_cpu_report_traced(
     testbed: &Testbed,
     params: MicroParams,
@@ -130,10 +143,7 @@ pub fn run_cpu_report_traced(
     batch: usize,
     tracer: &mut Tracer,
 ) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, cores, batch, &mut rec, &mut resources, tracer);
-    build_report("micro.cpu", 0, &stats, &mut rec, resources)
+    SimBuilder::new(Design::micro_cpu(params, cores, batch)).config(testbed).tracer(tracer).run()
 }
 
 fn run_cpu_inner(
@@ -141,10 +151,9 @@ fn run_cpu_inner(
     params: MicroParams,
     cores: usize,
     batch: usize,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
+    ctx: SimCtx<'_>,
 ) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults: _ } = ctx;
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
@@ -182,22 +191,14 @@ pub fn run_rambda(
     seed: u64,
 ) -> RunStats {
     // The adaptive scheme disables global DDIO (Fig. 6 guideline 1).
-    run_rambda_inner(
-        testbed,
-        params,
-        location,
-        cpoll,
-        true,
-        seed,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    crate::rambda_stats_only_ctx!(ctx);
+    run_rambda_inner(testbed, params, location, cpoll, true, seed, ctx)
 }
 
 /// [`run_rambda`] with full observability: per-stage latency breakdown
 /// (coherence, dispatch, ring, pointer chase, APU compute, persist) and
 /// accelerator/memory resource counters.
+#[deprecated(note = "use SimBuilder with Design::micro_rambda")]
 pub fn run_rambda_report(
     testbed: &Testbed,
     params: MicroParams,
@@ -205,11 +206,12 @@ pub fn run_rambda_report(
     cpoll: bool,
     seed: u64,
 ) -> RunReport {
-    run_rambda_report_traced(testbed, params, location, cpoll, seed, &mut Tracer::disabled())
+    SimBuilder::new(Design::micro_rambda(params, location, cpoll, seed)).config(testbed).run()
 }
 
 /// [`run_rambda_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::micro_rambda")]
 pub fn run_rambda_report_traced(
     testbed: &Testbed,
     params: MicroParams,
@@ -218,11 +220,7 @@ pub fn run_rambda_report_traced(
     seed: u64,
     tracer: &mut Tracer,
 ) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats =
-        run_rambda_inner(testbed, params, location, cpoll, true, seed, &mut rec, &mut resources, tracer);
-    build_report("micro.rambda", seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::micro_rambda(params, location, cpoll, seed)).config(testbed).tracer(tracer).run()
 }
 
 /// The "Rambda-DDIO" ablation of the NVM microbenchmark: global DDIO stays
@@ -230,20 +228,10 @@ pub fn run_rambda_report_traced(
 /// amplification.
 pub fn run_rambda_always_ddio(testbed: &Testbed, params: MicroParams, cpoll: bool, seed: u64) -> RunStats {
     assert!(params.nvm, "the DDIO ablation only applies to the NVM variant");
-    run_rambda_inner(
-        testbed,
-        params,
-        DataLocation::HostNvm,
-        cpoll,
-        false,
-        seed,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    crate::rambda_stats_only_ctx!(ctx);
+    run_rambda_inner(testbed, params, DataLocation::HostNvm, cpoll, false, seed, ctx)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_rambda_inner(
     testbed: &Testbed,
     params: MicroParams,
@@ -251,10 +239,9 @@ fn run_rambda_inner(
     cpoll: bool,
     adaptive_ddio: bool,
     seed: u64,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
+    ctx: SimCtx<'_>,
 ) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults: _ } = ctx;
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
         (_, l) => l,

@@ -1,0 +1,218 @@
+//! The unified experiment entry point: [`SimBuilder`] + [`Design`].
+//!
+//! Historically every runner exposed three entry points (`run_X`,
+//! `run_X_report`, `run_X_report_traced`) and fault injection would have
+//! added a fourth axis. `SimBuilder` collapses the matrix: a [`Design`]
+//! names *what* to simulate, the builder configures *how* (testbed, fault
+//! plan, flight recorder), and `run()` always yields a validated-shape
+//! [`RunReport`].
+//!
+//! ```
+//! use rambda::{Design, SimBuilder, Testbed};
+//! use rambda::micro::MicroParams;
+//! use rambda_accel::DataLocation;
+//!
+//! let report = SimBuilder::new(Design::micro_rambda(
+//!         MicroParams::quick(), DataLocation::HostDram, true, 7))
+//!     .config(&Testbed::default())
+//!     .run();
+//! assert!(report.completed > 0);
+//! ```
+//!
+//! Application designs (KVS, TXN, DLRM) register themselves through
+//! extension traits on [`Design`] in their own crates, so the builder's
+//! surface stays identical across the workspace:
+//!
+//! ```text
+//! use rambda_kvs::KvsDesigns;
+//! let report = SimBuilder::new(Design::kvs_rambda(params, location))
+//!     .faults(FaultConfig::lossy(9, 1e-3))
+//!     .tracer(&mut tracer)
+//!     .run();
+//! ```
+
+use rambda_fabric::FaultConfig;
+use rambda_metrics::{MetricSet, RunReport, StageRecorder};
+use rambda_trace::Tracer;
+
+use crate::config::Testbed;
+use crate::driver::RunStats;
+use crate::report::build_report;
+
+/// Everything a runner needs besides its own parameters: the stage
+/// recorder + resource sink the report is built from, the (possibly
+/// disabled) flight recorder, and the run's fault plan.
+///
+/// Runners receive this by value and destructure it; the borrows inside
+/// live for the duration of one `run()`.
+pub struct SimCtx<'a> {
+    /// Per-stage latency recorder (always active under the builder).
+    pub rec: &'a mut StageRecorder,
+    /// Resource counter sink for the final report.
+    pub resources: &'a mut MetricSet,
+    /// Flight recorder; `Tracer::disabled()` when none was attached.
+    pub tracer: &'a mut Tracer,
+    /// Fault plan to install on the run's `Network` (disabled by default).
+    /// Single-machine designs without a network ignore it.
+    pub faults: &'a FaultConfig,
+}
+
+/// Builds a throwaway [`SimCtx`] (disabled recorder, tracer and fault
+/// plan) bound to `$ctx`, for the stats-only `run_*` entry points that
+/// predate the builder. Internal plumbing for the runner crates.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! rambda_stats_only_ctx {
+    ($ctx:ident) => {
+        let mut rec = ::rambda_metrics::StageRecorder::disabled();
+        let mut resources = ::rambda_metrics::MetricSet::new();
+        let mut tracer = ::rambda_trace::Tracer::disabled();
+        let faults = ::rambda_fabric::FaultConfig::disabled();
+        let $ctx =
+            $crate::SimCtx { rec: &mut rec, resources: &mut resources, tracer: &mut tracer, faults: &faults };
+    };
+}
+
+/// The boxed runner closure a [`Design`] carries.
+type RunFn = Box<dyn for<'a> FnOnce(&Testbed, SimCtx<'a>) -> RunStats>;
+
+/// A named, seeded experiment: what [`SimBuilder`] runs.
+///
+/// The micro designs have inherent constructors here; application crates
+/// add theirs via extension traits (`KvsDesigns`, `TxnDesigns`,
+/// `DlrmDesigns`).
+pub struct Design {
+    name: &'static str,
+    seed: u64,
+    run: RunFn,
+}
+
+impl Design {
+    /// Builds a design from its report name, seed, and runner closure.
+    ///
+    /// This is the extension point for application crates; in-tree callers
+    /// use the named constructors instead.
+    pub fn from_runner(
+        name: &'static str,
+        seed: u64,
+        run: impl for<'a> FnOnce(&Testbed, SimCtx<'a>) -> RunStats + 'static,
+    ) -> Design {
+        Design { name, seed, run: Box::new(run) }
+    }
+
+    /// The report name this design will carry (e.g. `kvs.rambda`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The seed recorded in the report.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl std::fmt::Debug for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Design").field("name", &self.name).field("seed", &self.seed).finish()
+    }
+}
+
+/// Builder for one simulation run. See the module docs for the shape.
+#[derive(Debug)]
+pub struct SimBuilder<'a> {
+    design: Design,
+    testbed: Testbed,
+    faults: FaultConfig,
+    tracer: Option<&'a mut Tracer>,
+}
+
+impl<'a> SimBuilder<'a> {
+    /// Starts a run of `design` on the default Tab. II testbed, with
+    /// faults disabled and no flight recorder.
+    pub fn new(design: Design) -> Self {
+        SimBuilder { design, testbed: Testbed::default(), faults: FaultConfig::disabled(), tracer: None }
+    }
+
+    /// Uses `testbed` instead of the default configuration.
+    pub fn config(mut self, testbed: &Testbed) -> Self {
+        self.testbed = testbed.clone();
+        self
+    }
+
+    /// Installs a fault plan on the run's network. A disabled config
+    /// (`FaultConfig::disabled()`) leaves the run byte-identical to one
+    /// that never called this.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a flight recorder: per-request spans, periodic resource
+    /// samples and injected-fault instants land in `tracer`.
+    pub fn tracer(mut self, tracer: &'a mut Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Runs the design and assembles its [`RunReport`].
+    pub fn run(self) -> RunReport {
+        let mut rec = StageRecorder::active();
+        let mut resources = MetricSet::new();
+        let mut no_tracer = Tracer::disabled();
+        let tracer = self.tracer.unwrap_or(&mut no_tracer);
+        let ctx = SimCtx { rec: &mut rec, resources: &mut resources, tracer, faults: &self.faults };
+        let stats = (self.design.run)(&self.testbed, ctx);
+        build_report(self.design.name, self.design.seed, &stats, &mut rec, resources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_closed_loop, DriverConfig};
+    use rambda_des::{Server, SimTime, Span};
+
+    fn toy_design(seed: u64) -> Design {
+        Design::from_runner("toy", seed, |_tb, ctx| {
+            let SimCtx { rec, resources, tracer, faults } = ctx;
+            assert!(!faults.is_active(), "toy design runs healthy");
+            let mut server = Server::new(2);
+            let stats = run_closed_loop(&DriverConfig::new(2, 2_000), |_c, at| {
+                let mut tr = tracer.observe(rec, at);
+                let start = server.acquire(at, Span::from_ns(100));
+                let done = start + Span::from_ns(100);
+                tr.leg("cpu_serve", done);
+                tr.finish(done);
+                done
+            });
+            resources.observe_server("server", &server);
+            tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
+            stats
+        })
+    }
+
+    #[test]
+    fn builder_produces_a_validated_report() {
+        let report = SimBuilder::new(toy_design(3)).run();
+        report.validate().expect("consistent report");
+        assert_eq!(report.name, "toy");
+        assert_eq!(report.seed, 3);
+        assert!(report.completed > 0);
+        assert!(report.timeline.is_some(), "builder always records stages");
+    }
+
+    #[test]
+    fn builder_feeds_the_attached_tracer() {
+        let mut tracer = Tracer::flight_recorder();
+        let report = SimBuilder::new(toy_design(3)).tracer(&mut tracer).run();
+        tracer.cross_validate(&report).expect("trace matches report");
+    }
+
+    #[test]
+    fn design_debug_hides_the_closure() {
+        let d = toy_design(9);
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.seed(), 9);
+        assert!(format!("{d:?}").contains("toy"));
+    }
+}

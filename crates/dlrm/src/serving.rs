@@ -8,15 +8,15 @@
 //! (with MERCI memoization) and the lightweight FC layers, and responds
 //! through the RNIC.
 
-use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda::{cpu::CpuServer, run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::Link;
 use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
-use rambda_metrics::{MetricSet, RunReport, StageRecorder};
-use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
-use rambda_trace::Tracer;
+use rambda_metrics::RunReport;
+use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
+use rambda_trace::{ReqObs, Tracer};
 use rambda_workloads::{DlrmProfile, Zipf};
 
 use crate::merci::{sample_correlated_query, MemoTable, ReductionPlan};
@@ -165,48 +165,75 @@ impl DlrmWorld {
     }
 }
 
+/// Degraded-mode completion: the RDMA layer exhausted its retransmission
+/// budget, so the design sheds the query — the client observes a timeout
+/// at the error-completion time — instead of asserting.
+fn shed(mut tr: ReqObs<'_>, err: &RdmaError) -> SimTime {
+    let at = err.at();
+    tr.leg("shed", at);
+    tr.finish(at);
+    at
+}
+
+/// Forwards the run's injected-fault log from the network to the flight
+/// recorder as instants on the fabric track.
+fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
+    for ev in net.drain_fault_events() {
+        tracer.fault(ev.kind.name(), ev.at, ev.from.0, ev.to.0);
+    }
+}
+
+/// [`Design`] constructors for the DLRM serving experiments, so
+/// [`SimBuilder`] can run them.
+pub trait DlrmDesigns {
+    /// The CPU-only MERCI baseline on `cores` cores (`dlrm.cpu`).
+    fn dlrm_cpu(params: DlrmParams, cores: usize) -> Design;
+    /// Rambda-DLRM and its LD/LH variants (`dlrm.rambda`).
+    fn dlrm_rambda(params: DlrmParams, location: DataLocation) -> Design;
+}
+
+impl DlrmDesigns for Design {
+    fn dlrm_cpu(params: DlrmParams, cores: usize) -> Design {
+        Design::from_runner("dlrm.cpu", params.seed, move |tb, ctx| run_cpu_inner(tb, &params, cores, ctx))
+    }
+
+    fn dlrm_rambda(params: DlrmParams, location: DataLocation) -> Design {
+        Design::from_runner("dlrm.rambda", params.seed, move |tb, ctx| {
+            run_rambda_inner(tb, &params, location, ctx)
+        })
+    }
+}
+
 /// The CPU-only MERCI baseline on `cores` cores.
 pub fn run_cpu(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunStats {
-    run_cpu_inner(
-        testbed,
-        params,
-        cores,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_cpu_inner(testbed, params, cores, ctx)
 }
 
 /// [`run_cpu`] with full observability: stage breakdown (fabric, core
 /// queueing, gather+MLP) plus machine, core-pool and gather-roofline
 /// counters.
+#[deprecated(note = "use SimBuilder with Design::dlrm_cpu")]
 pub fn run_cpu_report(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunReport {
-    run_cpu_report_traced(testbed, params, cores, &mut Tracer::disabled())
+    SimBuilder::new(Design::dlrm_cpu(params.clone(), cores)).config(testbed).run()
 }
 
 /// [`run_cpu_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::dlrm_cpu")]
 pub fn run_cpu_report_traced(
     testbed: &Testbed,
     params: &DlrmParams,
     cores: usize,
     tracer: &mut Tracer,
 ) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, cores, &mut rec, &mut resources, tracer);
-    build_report("dlrm.cpu", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::dlrm_cpu(params.clone(), cores)).config(testbed).tracer(tracer).run()
 }
 
-fn run_cpu_inner(
-    testbed: &Testbed,
-    params: &DlrmParams,
-    cores: usize,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
-) -> RunStats {
+fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimCtx<'_>) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut net = Network::new(testbed.net.clone());
+    net.install_faults(faults);
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut world = DlrmWorld::new(params);
@@ -215,14 +242,14 @@ fn run_cpu_inner(
     let mut gather = Link::new(params.costs.socket_gather_bw, Span::ZERO);
     let rq_mr = server.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
-    let opts = WriteOpts { post: PostPath::HostMmio, batch: 16, signaled: false };
+    let opts = WriteOpts { post: PostPath::HostMmio, batch: 16, flags: PostFlags::NONE };
     let row = params.row_bytes();
     let costs = params.costs.clone();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
-        let delivered = two_sided_send(
+        let delivered = match two_sided_send(
             at,
             &mut client.rnic,
             &mut server.rnic,
@@ -231,7 +258,10 @@ fn run_cpu_inner(
             rq_mr,
             wire,
             opts,
-        );
+        ) {
+            Ok(t) => t,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_request", delivered);
         let bytes = plan.lookups() as u64 * row;
         let hold =
@@ -242,7 +272,7 @@ fn run_cpu_inner(
         let roofline_done = gather.transfer(start, bytes).depart;
         let done = (start + hold).max(roofline_done);
         tr.leg("gather_compute", done);
-        let fin = two_sided_send(
+        let fin = match two_sided_send(
             done,
             &mut server.rnic,
             &mut client.rnic,
@@ -251,7 +281,10 @@ fn run_cpu_inner(
             client_mr,
             16,
             opts,
-        );
+        ) {
+            Ok(t) => t,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_response", fin);
         tr.finish(fin);
         tracer.sample_with(rec, at, |s| {
@@ -263,6 +296,7 @@ fn run_cpu_inner(
         });
         fin
     });
+    drain_faults(&mut net, tracer);
     if rec.is_active() {
         client.publish_metrics(resources, "client");
         server.publish_metrics(resources, "server");
@@ -278,46 +312,39 @@ fn run_cpu_inner(
 /// APU embedding reduction + FC. `location` selects prototype (HostDram) or
 /// the local-memory variants.
 pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunStats {
-    run_rambda_inner(
-        testbed,
-        params,
-        location,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_rambda_inner(testbed, params, location, ctx)
 }
 
 /// [`run_rambda`] with full observability: stage breakdown (fabric,
 /// coherence, rings, CPU pre-processing hand-off, APU gather/FC) plus
 /// machine, accelerator and network counters.
+#[deprecated(note = "use SimBuilder with Design::dlrm_rambda")]
 pub fn run_rambda_report(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunReport {
-    run_rambda_report_traced(testbed, params, location, &mut Tracer::disabled())
+    SimBuilder::new(Design::dlrm_rambda(params.clone(), location)).config(testbed).run()
 }
 
 /// [`run_rambda_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::dlrm_rambda")]
 pub fn run_rambda_report_traced(
     testbed: &Testbed,
     params: &DlrmParams,
     location: DataLocation,
     tracer: &mut Tracer,
 ) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
-    build_report("dlrm.rambda", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::dlrm_rambda(params.clone(), location)).config(testbed).tracer(tracer).run()
 }
 
 fn run_rambda_inner(
     testbed: &Testbed,
     params: &DlrmParams,
     location: DataLocation,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
+    ctx: SimCtx<'_>,
 ) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut net = Network::new(testbed.net.clone());
+    net.install_faults(faults);
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
     let mut server = rambda::Machine::new(SERVER, testbed, false);
     let mut engine = AccelEngine::new(testbed.accel_config(location, true));
@@ -331,8 +358,8 @@ fn run_rambda_inner(
     };
     let ring_mr = server.rnic.register_region(MrInfo::adaptive(ring_kind));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
-    let req_opts = WriteOpts { post: PostPath::HostMmio, batch: 16, signaled: false };
-    let resp_opts = WriteOpts { post: PostPath::AccelMmio, batch: 16, signaled: false };
+    let req_opts = WriteOpts { post: PostPath::HostMmio, batch: 16, flags: PostFlags::NONE };
+    let resp_opts = WriteOpts { post: PostPath::AccelMmio, batch: 16, flags: PostFlags::NONE };
     let row = params.row_bytes();
     let costs = params.costs.clone();
     let clients = params.clients;
@@ -342,7 +369,7 @@ fn run_rambda_inner(
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
         // Request into the accelerator's ring.
-        let out = rdma_write(
+        let out = match rdma_write(
             at,
             &mut client.rnic,
             &mut server.rnic,
@@ -352,7 +379,10 @@ fn run_rambda_inner(
             ring_mr,
             wire,
             req_opts,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_request", out.delivered_at);
         let discovered = engine.discover(out.delivered_at, clients, &mut world.rng);
         tr.leg("coherence", discovered);
@@ -384,7 +414,7 @@ fn run_rambda_inner(
         let wqe = engine.sq_write_wqe(fc_done);
         tr.leg("doorbell", wqe);
         engine.release_slot(discovered, wqe);
-        let resp = rdma_write(
+        let resp = match rdma_write(
             wqe,
             &mut server.rnic,
             &mut client.rnic,
@@ -394,7 +424,10 @@ fn run_rambda_inner(
             client_mr,
             16,
             resp_opts,
-        );
+        ) {
+            Ok(resp) => resp,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
         tracer.sample_with(rec, at, |s| {
@@ -407,6 +440,7 @@ fn run_rambda_inner(
         });
         resp.delivered_at
     });
+    drain_faults(&mut net, tracer);
     if rec.is_active() {
         client.publish_metrics(resources, "client");
         server.publish_metrics(resources, "server");

@@ -1,0 +1,302 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] is a seeded schedule of adverse network conditions:
+//! random packet drops and corruptions (Bernoulli per data-path frame),
+//! bandwidth degradation of a port for a sim-time window, and link flaps
+//! (a port is simply down for a window). The plan draws from its **own**
+//! RNG stream, derived via [`SimRng::stream`] from `(seed, salt)` rather
+//! than forked off the workload generator — so the fault schedule for a
+//! given config is byte-reproducible and completely orthogonal to workload
+//! randomness: changing a key distribution never moves a packet drop, and
+//! vice versa.
+//!
+//! The fault plan judges only the *data path* ([`Network::transmit`]);
+//! 0-byte control frames (ACKs, NACKs) keep using the infallible
+//! [`Network::send`]. This mirrors how RoCEv2 deployments protect control
+//! traffic with strict priority and keeps the recovery state machine free
+//! of NACK-loss recursion.
+//!
+//! [`Network::transmit`]: crate::Network::transmit
+//! [`Network::send`]: crate::Network::send
+
+use rambda_des::{SimRng, SimTime, Span};
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Stream salt separating the fault RNG from every workload stream.
+const FAULT_STREAM_SALT: u64 = 0xFA01_7FA0_17FA_017F;
+
+/// A sim-time window during which a port's effective bandwidth is reduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradeWindow {
+    /// The node whose egress port is degraded.
+    pub node: NodeId,
+    /// Window start (offset from sim start).
+    pub from: Span,
+    /// Window end, exclusive (offset from sim start).
+    pub until: Span,
+    /// Serialization-time multiplier while the window is active (`2.0`
+    /// halves the port's bandwidth). Must be `>= 1.0`.
+    pub factor: f64,
+}
+
+/// A sim-time window during which a node's port is down (link flap):
+/// every data-path frame entering or leaving the node is lost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlapWindow {
+    /// The flapping node.
+    pub node: NodeId,
+    /// Window start (offset from sim start).
+    pub from: Span,
+    /// Window end, exclusive (offset from sim start).
+    pub until: Span,
+}
+
+fn window_active(at: SimTime, from: Span, until: Span) -> bool {
+    let ps = at.as_ps();
+    ps >= from.as_ps() && ps < until.as_ps()
+}
+
+/// The full, declarative description of a fault schedule.
+///
+/// `FaultConfig::disabled()` (also `Default`) injects nothing and leaves
+/// every byte of a run's output identical to a faultless build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the plan's private RNG stream.
+    pub seed: u64,
+    /// Probability that a data-path frame is silently dropped.
+    pub loss_rate: f64,
+    /// Probability that a data-path frame arrives corrupted (detected by
+    /// the receiver's ICRC check, answered with a NACK).
+    pub corrupt_rate: f64,
+    /// Bandwidth-degradation windows.
+    pub degrade: Vec<DegradeWindow>,
+    /// Link-flap windows.
+    pub flaps: Vec<FlapWindow>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing.
+    pub fn disabled() -> Self {
+        FaultConfig { seed: 0, loss_rate: 0.0, corrupt_rate: 0.0, degrade: Vec::new(), flaps: Vec::new() }
+    }
+
+    /// A plan that only drops frames, at `loss_rate`.
+    pub fn lossy(seed: u64, loss_rate: f64) -> Self {
+        FaultConfig { seed, loss_rate, ..FaultConfig::disabled() }
+    }
+
+    /// Whether this config can ever inject a fault. An inactive config is
+    /// never installed, so it is byte-for-byte equivalent to no config.
+    pub fn is_active(&self) -> bool {
+        self.loss_rate > 0.0 || self.corrupt_rate > 0.0 || !self.degrade.is_empty() || !self.flaps.is_empty()
+    }
+}
+
+/// What the plan decided to do to one data-path frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The frame was silently dropped (sender will time out).
+    Dropped,
+    /// The frame arrived but fails the receiver's integrity check.
+    Corrupted,
+    /// The frame was lost to a link-flap window.
+    Flapped,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used for trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Corrupted => "corrupted",
+            FaultKind::Flapped => "flapped",
+        }
+    }
+}
+
+/// One injected fault, recorded for the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault took effect (end of egress serialization).
+    pub at: SimTime,
+    /// What happened to the frame.
+    pub kind: FaultKind,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+/// Injection counters, published as `{prefix}.faults.*` when nonzero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames silently dropped by the loss process.
+    pub dropped: u64,
+    /// Frames delivered corrupted.
+    pub corrupted: u64,
+    /// Frames lost to link-flap windows.
+    pub flapped: u64,
+}
+
+/// The live fault injector: a [`FaultConfig`] plus its private RNG stream,
+/// counters, and the event log drained into the tracer after a run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SimRng,
+    stats: FaultStats,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Instantiates the plan; the RNG stream depends only on `cfg.seed`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = SimRng::stream(cfg.seed, FAULT_STREAM_SALT);
+        FaultPlan { cfg, rng, stats: FaultStats::default(), events: Vec::new() }
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Judges one data-path frame leaving `from` at `at` (end of egress
+    /// serialization). Draw order is the deterministic transmit order, so
+    /// the verdict sequence is reproducible run-to-run.
+    pub fn judge(&mut self, at: SimTime, from: NodeId, to: NodeId) -> Option<FaultKind> {
+        let kind = self.verdict(at, from, to)?;
+        match kind {
+            FaultKind::Dropped => self.stats.dropped += 1,
+            FaultKind::Corrupted => self.stats.corrupted += 1,
+            FaultKind::Flapped => self.stats.flapped += 1,
+        }
+        self.events.push(FaultEvent { at, kind, from, to });
+        Some(kind)
+    }
+
+    fn verdict(&mut self, at: SimTime, from: NodeId, to: NodeId) -> Option<FaultKind> {
+        // Flaps are schedule-driven (no RNG draw): a down port loses the
+        // frame whether it is the sender's or the receiver's.
+        let down =
+            |n: NodeId| self.cfg.flaps.iter().any(|w| w.node == n && window_active(at, w.from, w.until));
+        if down(from) || down(to) {
+            return Some(FaultKind::Flapped);
+        }
+        if self.cfg.loss_rate > 0.0 && self.rng.chance(self.cfg.loss_rate) {
+            return Some(FaultKind::Dropped);
+        }
+        if self.cfg.corrupt_rate > 0.0 && self.rng.chance(self.cfg.corrupt_rate) {
+            return Some(FaultKind::Corrupted);
+        }
+        None
+    }
+
+    /// Serialization-time multiplier for `node`'s egress port at `at`
+    /// (`1.0` when no degrade window is active; overlapping windows
+    /// multiply).
+    pub fn degrade_factor(&self, at: SimTime, node: NodeId) -> f64 {
+        self.cfg
+            .degrade
+            .iter()
+            .filter(|w| w.node == node && window_active(at, w.from, w.until))
+            .map(|w| w.factor)
+            .product()
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Takes the accumulated fault events (the log is left empty).
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_is_inactive() {
+        assert!(!FaultConfig::disabled().is_active());
+        assert!(!FaultConfig::default().is_active());
+        assert!(FaultConfig::lossy(1, 1e-3).is_active());
+    }
+
+    #[test]
+    fn fault_schedule_is_byte_reproducible() {
+        let mk = || FaultPlan::new(FaultConfig { corrupt_rate: 0.05, ..FaultConfig::lossy(42, 0.1) });
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..10_000u16 {
+            let at = SimTime::ZERO + Span::from_ns(i as u64);
+            assert_eq!(a.judge(at, NodeId(0), NodeId(1)), b.judge(at, NodeId(0), NodeId(1)));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().dropped > 0, "loss process never fired");
+        assert!(a.stats().corrupted > 0, "corruption process never fired");
+        assert_eq!(a.drain_events(), b.drain_events());
+        assert!(a.drain_events().is_empty(), "drain must empty the log");
+    }
+
+    #[test]
+    fn loss_rate_frequency_is_close() {
+        let mut plan = FaultPlan::new(FaultConfig::lossy(7, 0.25));
+        let n = 20_000;
+        for _ in 0..n {
+            plan.judge(SimTime::ZERO, NodeId(0), NodeId(1));
+        }
+        let rate = plan.stats().dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn flap_window_drops_without_consuming_rng() {
+        let flap = FlapWindow { node: NodeId(1), from: Span::from_us(1), until: Span::from_us(2) };
+        let cfg = FaultConfig { flaps: vec![flap], ..FaultConfig::lossy(3, 0.5) };
+        let mut a = FaultPlan::new(cfg.clone());
+        let mut b = FaultPlan::new(cfg);
+        let inside = SimTime::ZERO + Span::from_ns(1_500);
+        // `a` sees a flapped frame first; `b` does not. Because flap
+        // verdicts draw no randomness, both plans stay in lockstep on the
+        // frames the loss process actually judges.
+        assert_eq!(a.judge(inside, NodeId(0), NodeId(1)), Some(FaultKind::Flapped));
+        assert_eq!(a.judge(inside, NodeId(1), NodeId(2)), Some(FaultKind::Flapped));
+        let outside = SimTime::ZERO + Span::from_us(5);
+        for _ in 0..100 {
+            assert_eq!(a.judge(outside, NodeId(0), NodeId(1)), b.judge(outside, NodeId(0), NodeId(1)));
+        }
+        assert_eq!(a.stats().flapped, 2);
+        assert_eq!(b.stats().flapped, 0);
+    }
+
+    #[test]
+    fn degrade_factor_windows() {
+        let w = |from, until, factor| DegradeWindow { node: NodeId(0), from, until, factor };
+        let cfg = FaultConfig {
+            degrade: vec![
+                w(Span::from_us(1), Span::from_us(3), 2.0),
+                w(Span::from_us(2), Span::from_us(4), 3.0),
+            ],
+            ..FaultConfig::disabled()
+        };
+        let plan = FaultPlan::new(cfg);
+        let at = |us| SimTime::ZERO + Span::from_us(us);
+        assert_eq!(plan.degrade_factor(at(0), NodeId(0)), 1.0);
+        assert_eq!(plan.degrade_factor(at(1), NodeId(0)), 2.0);
+        assert_eq!(plan.degrade_factor(at(2), NodeId(0)), 6.0);
+        assert_eq!(plan.degrade_factor(at(3), NodeId(0)), 3.0);
+        assert_eq!(plan.degrade_factor(at(4), NodeId(0)), 1.0);
+        assert_eq!(plan.degrade_factor(at(2), NodeId(1)), 1.0);
+    }
+}

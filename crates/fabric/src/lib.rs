@@ -13,8 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 mod net;
 mod pcie;
 
-pub use net::{NetConfig, Network, NodeId};
+pub use faults::{DegradeWindow, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, FlapWindow};
+pub use net::{NetConfig, Network, NodeId, TxOutcome};
 pub use pcie::{PcieConfig, PcieLink};

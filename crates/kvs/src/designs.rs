@@ -6,15 +6,15 @@
 //! use the modelled footprint. Keys follow uniform or Zipf-0.9 popularity;
 //! workloads are 100 % GET or 50/50 GET/PUT.
 
-use rambda::{build_report, cpu::CpuServer, run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda::{cpu::CpuServer, run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, Apu, ApuCtx, DataLocation};
 use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{MemKind, MemorySystem};
-use rambda_metrics::{MetricSet, RunReport, StageRecorder};
-use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostPath, WriteOpts};
+use rambda_metrics::RunReport;
+use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
 use rambda_smartnic::SmartNic;
-use rambda_trace::Tracer;
+use rambda_trace::{ReqObs, Tracer};
 use rambda_workloads::{KeyDist, KvMix, KvOp};
 
 use crate::apu::{KvApu, KvRequest};
@@ -169,40 +169,76 @@ const SERVER: NodeId = NodeId(1);
 const CPU_JITTER_P: f64 = 0.02;
 const CPU_JITTER_MEAN_US: f64 = 0.8;
 
+/// Degraded-mode completion: the RDMA layer exhausted its retransmission
+/// budget, so the design sheds the request — the client observes a timeout
+/// at the error-completion time — instead of asserting.
+fn shed(mut tr: ReqObs<'_>, err: &RdmaError) -> SimTime {
+    let at = err.at();
+    tr.leg("shed", at);
+    tr.finish(at);
+    at
+}
+
+/// Forwards the run's injected-fault log from the network to the flight
+/// recorder as instants on the fabric track.
+fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
+    for ev in net.drain_fault_events() {
+        tracer.fault(ev.kind.name(), ev.at, ev.from.0, ev.to.0);
+    }
+}
+
+/// [`Design`] constructors for the KVS experiments, so
+/// [`SimBuilder`] can run them: `SimBuilder::new(Design::kvs_rambda(p,
+/// location)).faults(f).run()`.
+pub trait KvsDesigns {
+    /// The two-sided CPU design (`kvs.cpu`).
+    fn kvs_cpu(params: KvsParams) -> Design;
+    /// The Rambda design and its LD/LH variants (`kvs.rambda`).
+    fn kvs_rambda(params: KvsParams, location: DataLocation) -> Design;
+    /// The Smart NIC baseline (`kvs.smartnic`).
+    fn kvs_smartnic(params: KvsParams) -> Design;
+}
+
+impl KvsDesigns for Design {
+    fn kvs_cpu(params: KvsParams) -> Design {
+        Design::from_runner("kvs.cpu", params.seed, move |tb, ctx| run_cpu_inner(tb, &params, ctx))
+    }
+
+    fn kvs_rambda(params: KvsParams, location: DataLocation) -> Design {
+        Design::from_runner("kvs.rambda", params.seed, move |tb, ctx| {
+            run_rambda_inner(tb, &params, location, ctx)
+        })
+    }
+
+    fn kvs_smartnic(params: KvsParams) -> Design {
+        Design::from_runner("kvs.smartnic", params.seed, move |tb, ctx| run_smartnic_inner(tb, &params, ctx))
+    }
+}
+
 /// The CPU design: two-sided RDMA RPC over ten cores (HERD/MICA-style).
 pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
-    run_cpu_inner(
-        testbed,
-        params,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_cpu_inner(testbed, params, ctx)
 }
 
 /// [`run_cpu`] with full observability: stage breakdown (fabric, RNIC
 /// pipeline, core service) plus client/server machine and core-pool counters.
+#[deprecated(note = "use SimBuilder with Design::kvs_cpu")]
 pub fn run_cpu_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
-    run_cpu_report_traced(testbed, params, &mut Tracer::disabled())
+    SimBuilder::new(Design::kvs_cpu(params.clone())).config(testbed).run()
 }
 
 /// [`run_cpu_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::kvs_cpu")]
 pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_cpu_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("kvs.cpu", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::kvs_cpu(params.clone())).config(testbed).tracer(tracer).run()
 }
 
-fn run_cpu_inner(
-    testbed: &Testbed,
-    params: &KvsParams,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
-) -> RunStats {
+fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut net = Network::new(testbed.net.clone());
+    net.install_faults(faults);
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), params.cores, params.batch);
@@ -212,13 +248,13 @@ fn run_cpu_inner(
 
     let rq_mr = server.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
-    let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, signaled: false };
+    let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, flags: PostFlags::NONE };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // Request: two-sided send into the server's posted RQ.
-        let delivered = two_sided_send(
+        let delivered = match two_sided_send(
             at,
             &mut client.rnic,
             &mut server.rnic,
@@ -227,7 +263,10 @@ fn run_cpu_inner(
             rq_mr,
             params.request_bytes(&op),
             opts,
-        );
+        ) {
+            Ok(t) => t,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_request", delivered);
         // Re-post the consumed RECV WQE (extra NIC pipeline work of the
         // two-sided path).
@@ -250,7 +289,7 @@ fn run_cpu_inner(
         }
         tr.leg("cpu_serve", done);
         // Response: two-sided back to the client.
-        let fin = two_sided_send(
+        let fin = match two_sided_send(
             done,
             &mut server.rnic,
             &mut client.rnic,
@@ -259,7 +298,10 @@ fn run_cpu_inner(
             client_mr,
             params.response_bytes(&op),
             opts,
-        );
+        ) {
+            Ok(t) => t,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_response", fin);
         tr.finish(fin);
         tracer.sample_with(rec, at, |s| {
@@ -270,6 +312,7 @@ fn run_cpu_inner(
         });
         fin
     });
+    drain_faults(&mut net, tracer);
     if rec.is_active() {
         client.publish_metrics(resources, "client");
         server.publish_metrics(resources, "server");
@@ -282,46 +325,39 @@ fn run_cpu_inner(
 
 /// The Rambda design (and its LD/LH variants via `location`).
 pub fn run_rambda(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunStats {
-    run_rambda_inner(
-        testbed,
-        params,
-        location,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_rambda_inner(testbed, params, location, ctx)
 }
 
 /// [`run_rambda`] with full observability: stage breakdown (fabric,
 /// coherence discovery, dispatch, ring read, APU, SQ/doorbell) plus
 /// machine, accelerator and network counters.
+#[deprecated(note = "use SimBuilder with Design::kvs_rambda")]
 pub fn run_rambda_report(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunReport {
-    run_rambda_report_traced(testbed, params, location, &mut Tracer::disabled())
+    SimBuilder::new(Design::kvs_rambda(params.clone(), location)).config(testbed).run()
 }
 
 /// [`run_rambda_report`] with a flight recorder attached: per-request spans
 /// and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::kvs_rambda")]
 pub fn run_rambda_report_traced(
     testbed: &Testbed,
     params: &KvsParams,
     location: DataLocation,
     tracer: &mut Tracer,
 ) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_rambda_inner(testbed, params, location, &mut rec, &mut resources, tracer);
-    build_report("kvs.rambda", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::kvs_rambda(params.clone(), location)).config(testbed).tracer(tracer).run()
 }
 
 fn run_rambda_inner(
     testbed: &Testbed,
     params: &KvsParams,
     location: DataLocation,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
+    ctx: SimCtx<'_>,
 ) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut net = Network::new(testbed.net.clone());
+    net.install_faults(faults);
     // Adaptive DDIO: global DDIO off, TPH per region (all DRAM here).
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
     let mut server = rambda::Machine::new(SERVER, testbed, false);
@@ -338,8 +374,8 @@ fn run_rambda_inner(
     };
     let ring_mr = server.rnic.register_region(MrInfo::adaptive(ring_kind));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
-    let req_opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, signaled: false };
-    let resp_opts = WriteOpts { post: PostPath::AccelMmio, batch: params.batch, signaled: false };
+    let req_opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, flags: PostFlags::NONE };
+    let resp_opts = WriteOpts { post: PostPath::AccelMmio, batch: params.batch, flags: PostFlags::NONE };
     // The SQ handler serializes WQE assembly + doorbells; batching amortizes
     // the MMIO+sfence (Sec. VI-B's ~2x batching gain for Rambda).
     let mut sq = Server::new(1);
@@ -349,7 +385,7 @@ fn run_rambda_inner(
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // One-sided write into the request ring (cpoll region).
-        let out = rdma_write(
+        let out = match rdma_write(
             at,
             &mut client.rnic,
             &mut server.rnic,
@@ -359,7 +395,10 @@ fn run_rambda_inner(
             ring_mr,
             params.request_bytes(&op),
             req_opts,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_request", out.delivered_at);
         // cpoll discovery + scheduler dispatch.
         let discovered = engine.discover(out.delivered_at, clients, &mut rng);
@@ -386,7 +425,7 @@ fn run_rambda_inner(
         tr.leg("doorbell", emitted);
         engine.release_slot(discovered, emitted);
         // Response by one-sided write back to the client's response ring.
-        let resp = rdma_write(
+        let resp = match rdma_write(
             emitted,
             &mut server.rnic,
             &mut client.rnic,
@@ -396,7 +435,10 @@ fn run_rambda_inner(
             client_mr,
             params.response_bytes(&op),
             resp_opts,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => return shed(tr, &e),
+        };
         tr.leg("fabric_response", resp.delivered_at);
         tr.finish(resp.delivered_at);
         tracer.sample_with(rec, at, |s| {
@@ -408,6 +450,7 @@ fn run_rambda_inner(
         });
         resp.delivered_at
     });
+    drain_faults(&mut net, tracer);
     if rec.is_active() {
         client.publish_metrics(resources, "client");
         server.publish_metrics(resources, "server");
@@ -422,38 +465,31 @@ fn run_rambda_inner(
 /// The Smart NIC design: eight ARM cores, 512 MB on-board cache of the host
 /// data, synchronous one-sided reads to the host on misses.
 pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
-    run_smartnic_inner(
-        testbed,
-        params,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_smartnic_inner(testbed, params, ctx)
 }
 
 /// [`run_smartnic`] with full observability: stage breakdown (doorbell,
 /// fabric, ARM dispatch, memory walk) plus Smart NIC and machine counters.
+#[deprecated(note = "use SimBuilder with Design::kvs_smartnic")]
 pub fn run_smartnic_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
-    run_smartnic_report_traced(testbed, params, &mut Tracer::disabled())
+    SimBuilder::new(Design::kvs_smartnic(params.clone())).config(testbed).run()
 }
 
 /// [`run_smartnic_report`] with a flight recorder attached: per-request
 /// spans and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::kvs_smartnic")]
 pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_smartnic_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("kvs.smartnic", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::kvs_smartnic(params.clone())).config(testbed).tracer(tracer).run()
 }
 
-fn run_smartnic_inner(
-    testbed: &Testbed,
-    params: &KvsParams,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
-) -> RunStats {
+fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
+    // The Smart NIC path models raw Ethernet sends (its RPC transport hides
+    // recovery in firmware), so only degrade windows of the fault plan
+    // reach it — drop/corrupt verdicts apply to RC-QP `transmit`s.
     let mut net = Network::new(testbed.net.clone());
+    net.install_faults(faults);
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut nic = SmartNic::new(testbed.smartnic.clone());
@@ -514,6 +550,7 @@ fn run_smartnic_inner(
         });
         fin
     });
+    drain_faults(&mut net, tracer);
     if rec.is_active() {
         client.publish_metrics(resources, "client");
         server.publish_metrics(resources, "server");

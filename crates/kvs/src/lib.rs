@@ -20,5 +20,5 @@ pub mod store;
 mod apu;
 
 pub use apu::{KvApu, KvRequest, KvResponse};
-pub use designs::{KvsParams, KvsWorkload};
+pub use designs::{KvsDesigns, KvsParams, KvsWorkload};
 pub use store::{KvConfig, KvStore, OpTrace};

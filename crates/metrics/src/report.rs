@@ -352,7 +352,44 @@ impl RunReport {
                 ));
             }
         }
+        self.validate_faults()?;
         self.validate_timeline()
+    }
+
+    /// Checks the cross-layer fault/recovery identities. Every injected
+    /// fault must be matched by exactly one detection at some RNIC (drops
+    /// and flaps by timeout, corruptions by NACK), and every detection by
+    /// either a retransmission or an abandoned operation; the recovery
+    /// stall counter mirrors `backoff_ns` exactly. All identities reduce to
+    /// `0 == 0` for a healthy-fabric run, which publishes none of these
+    /// counters.
+    fn validate_faults(&self) -> Result<(), String> {
+        let sum = |suffix: &str| -> u64 {
+            self.resources.counters().filter(|(name, _)| name.ends_with(suffix)).map(|(_, v)| v).sum()
+        };
+        let lost = sum(".faults.dropped") + sum(".faults.flapped");
+        let timeouts = sum(".timeouts");
+        if lost != timeouts {
+            return Err(format!("{lost} lost frames (drops + flaps) but {timeouts} timeout detections"));
+        }
+        let corrupted = sum(".faults.corrupted");
+        let nacks = sum(".nacks");
+        if corrupted != nacks {
+            return Err(format!("{corrupted} corrupted frames but {nacks} NACK detections"));
+        }
+        let recovered = sum(".retransmits") + sum(".retries_exhausted");
+        if timeouts + nacks != recovered {
+            return Err(format!(
+                "{} loss detections but {recovered} retransmissions + abandoned operations",
+                timeouts + nacks
+            ));
+        }
+        let backoff_ns = sum(".backoff_ns");
+        let busy_ps = sum(".recovery.busy_ps");
+        if backoff_ns * 1000 != busy_ps {
+            return Err(format!("backoff_ns {backoff_ns} does not mirror recovery.busy_ps {busy_ps}"));
+        }
+        Ok(())
     }
 
     /// Checks the windowed timeline (when present) against the whole-run
@@ -574,6 +611,35 @@ mod tests {
         // p99.9 lands within bucket resolution of the exact 9990 ns.
         let exact = 9_990_000.0;
         assert!((s.p999_ps as f64 - exact).abs() / exact < 0.07, "{s:?}");
+    }
+
+    #[test]
+    fn fault_recovery_identities_are_checked() {
+        let mut report = sample_report(false);
+        report.resources.set("net.faults.dropped", 2);
+        report.resources.set("net.faults.flapped", 1);
+        report.resources.set("net.faults.corrupted", 2);
+        report.resources.set("client.rnic.timeouts", 3);
+        report.resources.set("client.rnic.nacks", 2);
+        report.resources.set("client.rnic.retransmits", 4);
+        report.resources.set("client.rnic.retries_exhausted", 1);
+        report.resources.set("client.rnic.backoff_ns", 50);
+        report.resources.set("client.rnic.recovery.busy_ps", 50_000);
+        report.validate().expect("consistent fault counters");
+
+        report.resources.set("client.rnic.retransmits", 5);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("loss detections"), "{err}");
+        report.resources.set("client.rnic.retransmits", 4);
+
+        report.resources.set("client.rnic.backoff_ns", 51);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("mirror"), "{err}");
+        report.resources.set("client.rnic.backoff_ns", 50);
+
+        report.resources.set("net.faults.dropped", 9);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("timeout detections"), "{err}");
     }
 
     #[test]

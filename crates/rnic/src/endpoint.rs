@@ -46,6 +46,49 @@ pub enum PostPath {
     AccelMmio,
 }
 
+/// Loss-recovery parameters for the per-QP retransmission machinery.
+///
+/// The RC transport detects a lost frame by retransmission timeout and a
+/// corrupted frame by the receiver's NACK; either way the sender backs off
+/// and re-emits from its retry buffer, doubling the timeout per consecutive
+/// loss of the same WQE up to [`RetryPolicy::max_timeout`], and abandons the
+/// operation with an error completion after [`RetryPolicy::max_retries`]
+/// retransmissions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per operation before it completes in error
+    /// (the initial transmission is not counted).
+    pub max_retries: u32,
+    /// Retransmission timeout armed for the first attempt.
+    pub base_timeout: Span,
+    /// Cap on the exponentially growing timeout.
+    pub max_timeout: Span,
+    /// Sender-side pause after a NACK before the retransmit is posted
+    /// (NACKs arrive on the wire, so no timeout is burned waiting).
+    pub nack_backoff: Span,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 7,
+            base_timeout: Span::from_us(16),
+            max_timeout: Span::from_us(256),
+            nack_backoff: Span::from_us(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout armed for attempt `attempt` (0-based): exponential
+    /// backoff from [`RetryPolicy::base_timeout`], capped at
+    /// [`RetryPolicy::max_timeout`].
+    pub fn timeout(&self, attempt: u32) -> Span {
+        let scaled = self.base_timeout.as_ps().saturating_mul(1u64 << attempt.min(32));
+        Span::from_ps(scaled.min(self.max_timeout.as_ps()))
+    }
+}
+
 /// RNIC timing parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RnicConfig {
@@ -58,6 +101,8 @@ pub struct RnicConfig {
     pub accel_doorbell_extra: Span,
     /// CQE size written back to the host on signaled completions.
     pub cqe_bytes: u64,
+    /// Loss-recovery behavior of the RC transport.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RnicConfig {
@@ -67,6 +112,7 @@ impl Default for RnicConfig {
             wqe_bytes: 64,
             accel_doorbell_extra: Span::from_ns(100),
             cqe_bytes: 64,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -84,6 +130,17 @@ pub struct RnicStats {
     pub inbound_writes: u64,
     /// Inbound RDMA reads served from host memory.
     pub inbound_reads: u64,
+    /// Frames re-emitted from the retry buffer (after a timeout or NACK).
+    pub retransmits: u64,
+    /// Losses detected by retransmission timeout (drops and link flaps).
+    pub timeouts: u64,
+    /// NACKs received for frames that arrived corrupted.
+    pub nacks: u64,
+    /// Operations abandoned with an error completion at the retry cap.
+    pub retries_exhausted: u64,
+    /// Cumulative nanoseconds the transport spent stalled in recovery
+    /// (timeout waits plus NACK backoff).
+    pub backoff_ns: u64,
 }
 
 /// One machine's RNIC: PCIe attachment, SQ pipeline, regions, counters.
@@ -137,6 +194,20 @@ impl RnicEndpoint {
         m.set(&format!("{prefix}.inbound_reads"), self.stats.inbound_reads);
         m.observe_throttle(&format!("{prefix}.pipeline"), &self.pipeline);
         self.pcie.publish_metrics(m, &format!("{prefix}.pcie"));
+        // Recovery counters appear only once recovery has happened, so a
+        // healthy-fabric run publishes a byte-identical metric set.
+        let s = &self.stats;
+        if s.timeouts > 0 || s.nacks > 0 || s.retransmits > 0 || s.retries_exhausted > 0 {
+            m.set(&format!("{prefix}.retransmits"), s.retransmits);
+            m.set(&format!("{prefix}.timeouts"), s.timeouts);
+            m.set(&format!("{prefix}.nacks"), s.nacks);
+            m.set(&format!("{prefix}.retries_exhausted"), s.retries_exhausted);
+            m.set(&format!("{prefix}.backoff_ns"), s.backoff_ns);
+            // The ps mirror makes recovery stall time a first-class busy
+            // counter: the report derives a utilization gauge and the
+            // timeline a per-window delta series (retransmit-rate curve).
+            m.set(&format!("{prefix}.recovery.busy_ps"), s.backoff_ns * 1000);
+        }
     }
 
     /// The PCIe link (shared by Smart-NIC models co-located on the device).
@@ -252,6 +323,30 @@ impl RnicEndpoint {
         mem.dma_write(at_host, self.cfg.cqe_bytes, true, MemKind::Dram).0
     }
 
+    /// Records a retransmission-timeout detection (lost frame) and the
+    /// stall it charges the transport.
+    pub fn note_timeout(&mut self, wait: Span) {
+        self.stats.timeouts += 1;
+        self.stats.backoff_ns += wait.as_ps() / 1000;
+    }
+
+    /// Records a NACK received for a corrupted frame and the backoff
+    /// charged before the retransmit.
+    pub fn note_nack(&mut self, backoff: Span) {
+        self.stats.nacks += 1;
+        self.stats.backoff_ns += backoff.as_ps() / 1000;
+    }
+
+    /// Records one frame re-emitted from the retry buffer.
+    pub fn note_retransmit(&mut self) {
+        self.stats.retransmits += 1;
+    }
+
+    /// Records an operation abandoned at the retry cap.
+    pub fn note_exhausted(&mut self) {
+        self.stats.retries_exhausted += 1;
+    }
+
     /// Resets pipelines and counters (regions/QPs are kept).
     pub fn reset(&mut self) {
         self.pipeline.reset();
@@ -356,5 +451,39 @@ mod tests {
     #[should_panic(expected = "empty WQE chain")]
     fn empty_post_panics() {
         endpoint().post(SimTime::ZERO, PostPath::HostMmio, 0);
+    }
+
+    #[test]
+    fn retry_timeout_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout(0), p.base_timeout);
+        assert_eq!(p.timeout(1), Span::from_ps(p.base_timeout.as_ps() * 2));
+        assert_eq!(p.timeout(2), Span::from_ps(p.base_timeout.as_ps() * 4));
+        assert_eq!(p.timeout(30), p.max_timeout);
+        assert_eq!(p.timeout(63), p.max_timeout, "shift must not overflow");
+    }
+
+    #[test]
+    fn recovery_counters_publish_only_when_nonzero() {
+        let mut nic = endpoint();
+        let mut m = rambda_metrics::MetricSet::new();
+        nic.publish_metrics(&mut m, "nic");
+        assert!(m.counter("nic.retransmits").is_none());
+
+        nic.note_timeout(Span::from_us(16));
+        nic.note_retransmit();
+        nic.note_nack(Span::from_us(2));
+        nic.note_retransmit();
+        nic.note_exhausted();
+        let mut m = rambda_metrics::MetricSet::new();
+        nic.publish_metrics(&mut m, "nic");
+        assert_eq!(m.counter("nic.retransmits"), Some(2));
+        assert_eq!(m.counter("nic.timeouts"), Some(1));
+        assert_eq!(m.counter("nic.nacks"), Some(1));
+        assert_eq!(m.counter("nic.retries_exhausted"), Some(1));
+        assert_eq!(m.counter("nic.backoff_ns"), Some(18_000));
+        assert_eq!(m.counter("nic.recovery.busy_ps"), Some(18_000_000));
+        nic.reset();
+        assert_eq!(nic.stats(), &RnicStats::default());
     }
 }

@@ -23,5 +23,7 @@
 mod endpoint;
 mod ops;
 
-pub use endpoint::{MrInfo, MrKey, PostPath, QpId, RnicConfig, RnicEndpoint, RnicStats};
-pub use ops::{rdma_read, rdma_write, two_sided_send, ReadOutcome, WriteOpts, WriteOutcome};
+pub use endpoint::{MrInfo, MrKey, PostPath, QpId, RetryPolicy, RnicConfig, RnicEndpoint, RnicStats};
+pub use ops::{
+    rdma_read, rdma_write, two_sided_send, PostFlags, RdmaError, ReadOutcome, WriteOpts, WriteOutcome,
+};

@@ -1,10 +1,66 @@
 //! End-to-end verb operations composing PCIe, network, and memory models.
+//!
+//! Every verb drives its data-bearing frames through the fault-aware
+//! [`Network::transmit`] path and runs the sender-side recovery state
+//! machine of [`RetryPolicy`]: a dropped or flapped frame is detected by
+//! retransmission timeout, a corrupted frame by the receiver's NACK (sent
+//! on the fault-exempt control path), and either way the frame is re-emitted
+//! from the NIC's retry buffer with exponential backoff until the retry cap,
+//! after which the verb returns [`RdmaError::RetriesExhausted`] — the error
+//! completion a real RC QP would surface — instead of panicking.
 
 use rambda_des::SimTime;
-use rambda_fabric::Network;
+use rambda_fabric::{Network, TxOutcome};
 use rambda_mem::{DmaRoute, MemorySystem};
 
 use crate::endpoint::{MrKey, PostPath, RnicEndpoint};
+
+/// Bit-set of per-WQE posting flags.
+///
+/// Combine flags with `|` (or [`PostFlags::with`]); test with
+/// [`PostFlags::contains`]. The struct is `#[non_exhaustive]` so new flags
+/// can be added without breaking call sites — construct values from the
+/// named constants and [`Default`] (no flags), never from a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub struct PostFlags {
+    bits: u8,
+}
+
+impl PostFlags {
+    /// No flags: unsignaled, with the transport's default retry behavior.
+    pub const NONE: PostFlags = PostFlags { bits: 0 };
+    /// The WQE is signaled: a CQE is generated at the sender on completion.
+    pub const SIGNALED: PostFlags = PostFlags { bits: 1 };
+    /// Fail fast: the first detected loss returns the error outcome instead
+    /// of retransmitting. Callers use this to implement their own failover
+    /// (e.g. falling back to a two-sided path or shedding the request).
+    pub const NO_RETRY: PostFlags = PostFlags { bits: 1 << 1 };
+
+    /// This set plus `other`.
+    #[must_use]
+    pub fn with(self, other: PostFlags) -> PostFlags {
+        PostFlags { bits: self.bits | other.bits }
+    }
+
+    /// This set minus `other`.
+    #[must_use]
+    pub fn without(self, other: PostFlags) -> PostFlags {
+        PostFlags { bits: self.bits & !other.bits }
+    }
+
+    /// Whether every flag in `other` is set.
+    pub fn contains(self, other: PostFlags) -> bool {
+        self.bits & other.bits == other.bits
+    }
+}
+
+impl core::ops::BitOr for PostFlags {
+    type Output = PostFlags;
+    fn bitor(self, rhs: PostFlags) -> PostFlags {
+        self.with(rhs)
+    }
+}
 
 /// Options for a one-sided write.
 #[derive(Debug, Clone, Copy)]
@@ -14,14 +70,14 @@ pub struct WriteOpts {
     /// WQEs covered by the same doorbell as this one (1 = unbatched). The
     /// amortized doorbell/fetch cost is `1/batch` of the full cost.
     pub batch: usize,
-    /// Whether this WQE is signaled (generates a CQE at the sender).
-    pub signaled: bool,
+    /// Posting flags (signaling, retry behavior).
+    pub flags: PostFlags,
 }
 
 impl WriteOpts {
     /// Unbatched, unsignaled, host-posted write.
     pub fn host_unsignaled() -> Self {
-        WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: false }
+        WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::NONE }
     }
 }
 
@@ -30,6 +86,41 @@ impl Default for WriteOpts {
         WriteOpts::host_unsignaled()
     }
 }
+
+/// Why a verb completed in error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The transport abandoned the operation: every transmission attempt
+    /// was lost or corrupted and the retry cap ran out (or the WQE carried
+    /// [`PostFlags::NO_RETRY`]).
+    RetriesExhausted {
+        /// When the sender gave up (after its final timeout or backoff).
+        at: SimTime,
+        /// Transmission attempts made, including the initial one.
+        attempts: u32,
+    },
+}
+
+impl RdmaError {
+    /// When the error completion surfaced at the sender.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            RdmaError::RetriesExhausted { at, .. } => at,
+        }
+    }
+}
+
+impl core::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RdmaError::RetriesExhausted { at, attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts at {at:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
 
 /// The outcome of a one-sided write.
 #[derive(Debug, Clone, Copy)]
@@ -49,12 +140,57 @@ pub struct ReadOutcome {
     pub data_at: SimTime,
 }
 
+/// Drives one data-path frame from `src` to `to`, running the sender-side
+/// recovery loop: timeouts for lost frames, NACK + backoff for corrupted
+/// ones, exponential backoff per consecutive loss. Retransmits re-emit from
+/// the NIC's retry buffer (no WQE re-fetch). Returns the arrival time.
+fn transmit_reliable(
+    at: SimTime,
+    src: &mut RnicEndpoint,
+    to: rambda_fabric::NodeId,
+    net: &mut Network,
+    bytes: u64,
+    flags: PostFlags,
+) -> Result<SimTime, RdmaError> {
+    let policy = src.config().retry.clone();
+    let mut attempt: u32 = 0;
+    let mut at = at;
+    loop {
+        let resume = match net.transmit(at, src.node(), to, bytes) {
+            TxOutcome::Delivered { at } => return Ok(at),
+            TxOutcome::Dropped { at: sent } => {
+                let rto = policy.timeout(attempt);
+                src.note_timeout(rto);
+                sent + rto
+            }
+            TxOutcome::Corrupted { at: arrived } => {
+                let nacked = net.send(arrived, to, src.node(), 0);
+                src.note_nack(policy.nack_backoff);
+                nacked + policy.nack_backoff
+            }
+        };
+        if flags.contains(PostFlags::NO_RETRY) || attempt >= policy.max_retries {
+            src.note_exhausted();
+            return Err(RdmaError::RetriesExhausted { at: resume, attempts: attempt + 1 });
+        }
+        src.note_retransmit();
+        at = resume;
+        attempt += 1;
+    }
+}
+
 /// Executes a one-sided RDMA write of `bytes` from `src`'s machine into
 /// region `mr` on `dst`'s machine.
 ///
 /// The full pipeline: post (doorbell + WQE fetch, amortized over
-/// `opts.batch`), sender NIC pipeline, wire, receiver NIC pipeline, DMA into
-/// host memory with the region's TPH policy, optional CQE at the sender.
+/// `opts.batch`), sender NIC pipeline, wire (with loss recovery), receiver
+/// NIC pipeline, DMA into host memory with the region's TPH policy,
+/// optional CQE at the sender.
+///
+/// # Errors
+///
+/// [`RdmaError::RetriesExhausted`] when the transport gives up on the
+/// payload frame.
 #[allow(clippy::too_many_arguments)]
 pub fn rdma_write(
     at: SimTime,
@@ -66,14 +202,14 @@ pub fn rdma_write(
     mr: MrKey,
     bytes: u64,
     opts: WriteOpts,
-) -> WriteOutcome {
-    let (delivered_at, route) = write_path(at, src, dst, net, dst_mem, mr, bytes, opts);
-    let completed_at = opts.signaled.then(|| {
+) -> Result<WriteOutcome, RdmaError> {
+    let (delivered_at, route) = write_path(at, src, dst, net, dst_mem, mr, bytes, opts)?;
+    let completed_at = opts.flags.contains(PostFlags::SIGNALED).then(|| {
         // The ACK travels back before the CQE is generated.
         let acked = net.send(delivered_at, dst.node(), src.node(), 0);
         src.complete(acked, src_mem)
     });
-    WriteOutcome { delivered_at, route, completed_at }
+    Ok(WriteOutcome { delivered_at, route, completed_at })
 }
 
 /// The unsignaled write pipeline shared by [`rdma_write`] and
@@ -88,7 +224,7 @@ fn write_path(
     mr: MrKey,
     bytes: u64,
     opts: WriteOpts,
-) -> (SimTime, DmaRoute) {
+) -> Result<(SimTime, DmaRoute), RdmaError> {
     assert!(opts.batch > 0, "batch must be at least 1");
     let on_nic = if opts.batch == 1 {
         src.post(at, opts.post, 1)
@@ -97,12 +233,21 @@ fn write_path(
         // cost is paid once per chain by the first WQE.
         src.next_in_pipeline(at + src.config().wqe_gap.mul_f64(1.0 / opts.batch as f64))
     };
-    let on_wire = net.send(on_nic, src.node(), dst.node(), bytes);
-    dst.deliver_write(on_wire, mr, bytes, dst_mem)
+    let on_wire = transmit_reliable(on_nic, src, dst.node(), net, bytes, opts.flags)?;
+    Ok(dst.deliver_write(on_wire, mr, bytes, dst_mem))
 }
 
 /// Executes a one-sided RDMA read of `bytes` from region `mr` on `dst`'s
 /// machine back to `src`'s machine.
+///
+/// Recovery is requester-driven, as on a real RC QP: losing either the
+/// request frame or the data response burns one of the requester's retry
+/// attempts, and a retry re-issues the whole round trip (the responder
+/// serves the read again).
+///
+/// # Errors
+///
+/// [`RdmaError::RetriesExhausted`] when the requester gives up.
 #[allow(clippy::too_many_arguments)]
 pub fn rdma_read(
     at: SimTime,
@@ -113,23 +258,68 @@ pub fn rdma_read(
     mr: MrKey,
     bytes: u64,
     opts: WriteOpts,
-) -> ReadOutcome {
+) -> Result<ReadOutcome, RdmaError> {
+    assert!(opts.batch > 0, "batch must be at least 1");
     let on_nic = if opts.batch == 1 {
         src.post(at, opts.post, 1)
     } else {
         src.next_in_pipeline(at + src.config().wqe_gap.mul_f64(1.0 / opts.batch as f64))
     };
-    // Request message carries no payload.
-    let req_at = net.send(on_nic, src.node(), dst.node(), 0);
-    let data_on_nic = dst.serve_read(req_at, mr, bytes, dst_mem);
-    let data_at = net.send(data_on_nic, dst.node(), src.node(), bytes);
-    ReadOutcome { data_at }
+    let policy = src.config().retry.clone();
+    let mut attempt: u32 = 0;
+    let mut at = on_nic;
+    loop {
+        // Request message carries no payload.
+        let resume = match net.transmit(at, src.node(), dst.node(), 0) {
+            TxOutcome::Delivered { at: req_at } => {
+                let data_on_nic = dst.serve_read(req_at, mr, bytes, dst_mem);
+                match net.transmit(data_on_nic, dst.node(), src.node(), bytes) {
+                    TxOutcome::Delivered { at: data_at } => return Ok(ReadOutcome { data_at }),
+                    TxOutcome::Dropped { at: sent } => {
+                        // The requester's RTO covers the whole round trip.
+                        let rto = policy.timeout(attempt);
+                        src.note_timeout(rto);
+                        sent + rto
+                    }
+                    TxOutcome::Corrupted { at: arrived } => {
+                        // The requester sees the bad payload on arrival and
+                        // NACKs the responder before re-issuing.
+                        let nacked = net.send(arrived, src.node(), dst.node(), 0);
+                        src.note_nack(policy.nack_backoff);
+                        nacked + policy.nack_backoff
+                    }
+                }
+            }
+            TxOutcome::Dropped { at: sent } => {
+                let rto = policy.timeout(attempt);
+                src.note_timeout(rto);
+                sent + rto
+            }
+            TxOutcome::Corrupted { at: arrived } => {
+                let nacked = net.send(arrived, dst.node(), src.node(), 0);
+                src.note_nack(policy.nack_backoff);
+                nacked + policy.nack_backoff
+            }
+        };
+        if opts.flags.contains(PostFlags::NO_RETRY) || attempt >= policy.max_retries {
+            src.note_exhausted();
+            return Err(RdmaError::RetriesExhausted { at: resume, attempts: attempt + 1 });
+        }
+        src.note_retransmit();
+        at = resume;
+        attempt += 1;
+    }
 }
 
 /// A two-sided send/recv: like a write into the receiver's posted RQ buffer,
 /// plus receiver CPU involvement (charged by the caller's CPU model). The
 /// returned time is when the payload and the receive completion are visible
 /// to the receiving host.
+///
+/// # Errors
+///
+/// [`RdmaError::RetriesExhausted`] when the transport gives up on the
+/// payload frame.
 #[allow(clippy::too_many_arguments)]
 pub fn two_sided_send(
     at: SimTime,
@@ -140,15 +330,15 @@ pub fn two_sided_send(
     rq_region: MrKey,
     bytes: u64,
     opts: WriteOpts,
-) -> SimTime {
+) -> Result<SimTime, RdmaError> {
     // SEND carries extra transport state on the wire (immediate data, RQ
     // credit updates) relative to a one-sided WRITE — the small edge
     // Sec. VI-B measures for Rambda's one-sided path.
     let framed = bytes + 16;
-    let (delivered_at, _route) =
-        write_path(at, src, dst, net, dst_mem, rq_region, framed, WriteOpts { signaled: false, ..opts });
+    let unsignaled = WriteOpts { flags: opts.flags.without(PostFlags::SIGNALED), ..opts };
+    let (delivered_at, _route) = write_path(at, src, dst, net, dst_mem, rq_region, framed, unsignaled)?;
     // The receiver learns via a CQE on its own CQ.
-    dst.complete(delivered_at, dst_mem)
+    Ok(dst.complete(delivered_at, dst_mem))
 }
 
 #[cfg(test)]
@@ -156,7 +346,7 @@ mod tests {
     use super::*;
     use crate::endpoint::{MrInfo, RnicConfig};
     use rambda_des::Span;
-    use rambda_fabric::{NetConfig, NodeId, PcieConfig};
+    use rambda_fabric::{FaultConfig, NetConfig, NodeId, PcieConfig};
     use rambda_mem::{MemConfig, MemKind};
 
     struct World {
@@ -178,6 +368,16 @@ mod tests {
     }
 
     #[test]
+    fn post_flags_compose() {
+        let flags = PostFlags::SIGNALED | PostFlags::NO_RETRY;
+        assert!(flags.contains(PostFlags::SIGNALED));
+        assert!(flags.contains(PostFlags::NO_RETRY));
+        assert!(!PostFlags::default().contains(PostFlags::SIGNALED));
+        assert_eq!(flags.without(PostFlags::SIGNALED), PostFlags::NO_RETRY);
+        assert_eq!(PostFlags::NONE, PostFlags::default());
+    }
+
+    #[test]
     fn one_sided_write_single_trip_latency() {
         let mut w = world();
         let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
@@ -191,7 +391,8 @@ mod tests {
             mr,
             64,
             WriteOpts::default(),
-        );
+        )
+        .expect("healthy fabric");
         // doorbell w/ inline WQE (~0.6us) + wire (~1us) + rx DMA (~0.7us).
         let us = out.delivered_at.as_us_f64();
         assert!((2.0..4.5).contains(&us), "{us}");
@@ -212,8 +413,9 @@ mod tests {
             &mut w.client_mem,
             mr,
             64,
-            WriteOpts { signaled: true, ..WriteOpts::default() },
-        );
+            WriteOpts { flags: PostFlags::SIGNALED, ..WriteOpts::default() },
+        )
+        .expect("healthy fabric");
         let cqe = out.completed_at.unwrap();
         assert!(cqe > out.delivered_at);
         assert_eq!(w.client.stats().cqes, 1);
@@ -233,7 +435,8 @@ mod tests {
             mr,
             64,
             WriteOpts::default(),
-        );
+        )
+        .expect("healthy fabric");
         let mut w2 = world();
         let mr2 = w2.server.register_region(MrInfo::adaptive(MemKind::Dram));
         let rd = rdma_read(
@@ -245,7 +448,8 @@ mod tests {
             mr2,
             64,
             WriteOpts::default(),
-        );
+        )
+        .expect("healthy fabric");
         assert!(rd.data_at > wr.delivered_at);
     }
 
@@ -267,7 +471,8 @@ mod tests {
                     mr,
                     64,
                     WriteOpts::default(),
-                );
+                )
+                .expect("healthy fabric");
                 t = out.delivered_at - Span::from_ns(1500); // keep pipeline busy
                 unbatched_done = out.delivered_at;
             }
@@ -289,7 +494,8 @@ mod tests {
                     mr,
                     64,
                     opts,
-                );
+                )
+                .expect("healthy fabric");
                 batched_done = out.delivered_at;
             }
         }
@@ -309,8 +515,145 @@ mod tests {
             rq,
             64,
             WriteOpts::default(),
-        );
+        )
+        .expect("healthy fabric");
         assert!(done.as_us_f64() > 3.0);
         assert_eq!(w.server.stats().cqes, 1);
+    }
+
+    #[test]
+    fn lossy_write_retransmits_and_costs_latency() {
+        let mut healthy = world();
+        let mut lossy = world();
+        lossy.net.install_faults(&FaultConfig::lossy(3, 0.2));
+        let run = |w: &mut World| {
+            let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
+            let mut total = Span::ZERO;
+            for i in 0..200u64 {
+                let at = SimTime::from_us(i * 20);
+                let out = rdma_write(
+                    at,
+                    &mut w.client,
+                    &mut w.server,
+                    &mut w.net,
+                    &mut w.server_mem,
+                    &mut w.client_mem,
+                    mr,
+                    64,
+                    WriteOpts::default(),
+                )
+                .expect("retry cap is far above what 20% loss needs");
+                total += out.delivered_at.saturating_since(at);
+            }
+            total
+        };
+        let healthy_total = run(&mut healthy);
+        let lossy_total = run(&mut lossy);
+        assert!(lossy_total > healthy_total, "loss must cost time");
+        let s = lossy.client.stats();
+        assert!(s.retransmits > 0 && s.timeouts > 0, "{s:?}");
+        assert_eq!(s.retransmits + s.retries_exhausted, s.timeouts + s.nacks);
+        assert!(s.backoff_ns > 0);
+        assert_eq!(healthy.client.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn corruption_draws_nacks_not_timeouts() {
+        let mut w = world();
+        w.net.install_faults(&FaultConfig { corrupt_rate: 0.2, ..FaultConfig::lossy(9, 0.0) });
+        let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
+        for i in 0..200u64 {
+            rdma_write(
+                SimTime::from_us(i * 20),
+                &mut w.client,
+                &mut w.server,
+                &mut w.net,
+                &mut w.server_mem,
+                &mut w.client_mem,
+                mr,
+                64,
+                WriteOpts::default(),
+            )
+            .expect("retry cap covers this");
+        }
+        let s = w.client.stats();
+        assert!(s.nacks > 0, "{s:?}");
+        assert_eq!(s.timeouts, 0);
+        assert_eq!(s.retransmits, s.nacks);
+    }
+
+    #[test]
+    fn total_loss_exhausts_retries_without_panicking() {
+        let mut w = world();
+        w.net.install_faults(&FaultConfig::lossy(1, 1.0));
+        let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
+        let err = rdma_write(
+            SimTime::ZERO,
+            &mut w.client,
+            &mut w.server,
+            &mut w.net,
+            &mut w.server_mem,
+            &mut w.client_mem,
+            mr,
+            64,
+            WriteOpts::default(),
+        )
+        .unwrap_err();
+        let max = w.client.config().retry.max_retries;
+        let RdmaError::RetriesExhausted { at, attempts } = err;
+        assert_eq!(attempts, max + 1);
+        assert!(at > SimTime::ZERO);
+        let s = w.client.stats();
+        assert_eq!(s.retries_exhausted, 1);
+        assert_eq!(s.retransmits, max as u64);
+        assert_eq!(s.timeouts, (max + 1) as u64);
+        assert!(err.to_string().contains("retries exhausted"));
+    }
+
+    #[test]
+    fn no_retry_fails_on_first_loss() {
+        let mut w = world();
+        w.net.install_faults(&FaultConfig::lossy(1, 1.0));
+        let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
+        let err = rdma_read(
+            SimTime::ZERO,
+            &mut w.client,
+            &mut w.server,
+            &mut w.net,
+            &mut w.server_mem,
+            mr,
+            64,
+            WriteOpts { flags: PostFlags::NO_RETRY, ..WriteOpts::default() },
+        )
+        .unwrap_err();
+        let RdmaError::RetriesExhausted { attempts, .. } = err;
+        assert_eq!(attempts, 1);
+        assert_eq!(w.client.stats().retransmits, 0);
+        assert_eq!(w.client.stats().retries_exhausted, 1);
+    }
+
+    #[test]
+    fn lossy_reads_recover_and_recharge_the_responder() {
+        let mut w = world();
+        w.net.install_faults(&FaultConfig::lossy(5, 0.3));
+        let mr = w.server.register_region(MrInfo::adaptive(MemKind::Dram));
+        for i in 0..100u64 {
+            rdma_read(
+                SimTime::from_us(i * 50),
+                &mut w.client,
+                &mut w.server,
+                &mut w.net,
+                &mut w.server_mem,
+                mr,
+                64,
+                WriteOpts::default(),
+            )
+            .expect("retry cap covers 30% loss");
+        }
+        let s = w.client.stats();
+        assert!(s.retransmits > 0, "{s:?}");
+        // A retried read re-issues the whole round trip, so the responder
+        // serves strictly more reads than the requester completed.
+        assert!(w.server.stats().inbound_reads > 100);
     }
 }

@@ -48,7 +48,9 @@ impl Track {
             "dispatch" | "commit" | "gather" => Track::Accel,
             "mem_chase" | "nvm_persist" | "response_write" => Track::Mem,
             "core_queue" | "gather_compute" | "cqe_poll" => Track::Cpu,
-            "read_rtts" => Track::Fabric,
+            // `shed` marks a request abandoned after the RNIC exhausted its
+            // retransmission budget — a fabric outcome, not a compute stage.
+            "read_rtts" | "shed" => Track::Fabric,
             s if s.starts_with("fabric") || s.starts_with("chain") => Track::Fabric,
             s if s.starts_with("apu") => Track::Accel,
             s if s.starts_with("arm") => Track::SmartNic,
@@ -129,6 +131,21 @@ pub enum TraceEvent {
         /// The counter's cumulative value at that instant.
         value: u64,
     },
+    /// One injected fabric fault (from the run's `FaultPlan`), recorded as
+    /// an instant on the fabric track so lossy stretches line up visually
+    /// with the latency spans they inflate.
+    Fault {
+        /// What happened to the frame: `"dropped"`, `"corrupted"` or
+        /// `"flapped"` (the `FaultKind` name).
+        kind: &'static str,
+        /// When the fault took effect (end of egress serialization at the
+        /// sender), picoseconds.
+        at_ps: u64,
+        /// Sending node id.
+        from: u16,
+        /// Receiving node id.
+        to: u16,
+    },
 }
 
 #[cfg(test)]
@@ -165,6 +182,7 @@ mod tests {
             "gather_compute",
             "cqe_poll",
             "cpu_preprocess",
+            "shed",
         ];
         for s in stages {
             assert_ne!(Track::of_stage(s), Track::Other, "stage {s} is unclassified");

@@ -114,6 +114,15 @@ impl Tracer {
                         &mut out,
                     );
                 }
+                TraceEvent::Fault { kind, at_ps, from, to } => emit(
+                    format!(
+                        "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"s\": \"p\", \
+                         \"name\": \"fault:{kind}\", \"args\": {{\"from\": {from}, \"to\": {to}}}}}",
+                        Track::Fabric.id(),
+                        us(*at_ps)
+                    ),
+                    &mut out,
+                ),
             }
         }
 
@@ -187,6 +196,13 @@ impl Tracer {
                     out.extend_from_slice(&at_ps.to_le_bytes());
                     out.extend_from_slice(&value.to_le_bytes());
                 }
+                TraceEvent::Fault { kind, at_ps, from, to } => {
+                    out.push(4);
+                    push_str(&mut out, kind);
+                    out.extend_from_slice(&at_ps.to_le_bytes());
+                    out.extend_from_slice(&from.to_le_bytes());
+                    out.extend_from_slice(&to.to_le_bytes());
+                }
             }
         }
         out.extend_from_slice(&self.dropped().to_le_bytes());
@@ -196,22 +212,24 @@ impl Tracer {
     /// Renders a one-line human summary of the ring (event counts by kind),
     /// for log lines around an export.
     pub fn summary(&self) -> String {
-        let (mut spans, mut reqs, mut samples) = (0u64, 0u64, 0u64);
+        let (mut spans, mut reqs, mut samples, mut faults) = (0u64, 0u64, 0u64, 0u64);
         for ev in self.events() {
             match ev {
                 TraceEvent::Span { .. } => spans += 1,
                 TraceEvent::Request { .. } => reqs += 1,
                 TraceEvent::Sample { .. } => samples += 1,
+                TraceEvent::Fault { .. } => faults += 1,
             }
         }
         let mut s = String::new();
         let _ = write!(
             s,
-            "{} events ({} spans, {} requests, {} samples), {} dropped",
+            "{} events ({} spans, {} requests, {} samples, {} faults), {} dropped",
             self.len(),
             spans,
             reqs,
             samples,
+            faults,
             self.dropped()
         );
         s
@@ -285,6 +303,19 @@ mod tests {
         assert!(s.contains("8 spans"), "{s}");
         assert!(s.contains("4 requests"), "{s}");
         assert!(s.contains("0 dropped"), "{s}");
+    }
+
+    #[test]
+    fn fault_events_export_as_instants() {
+        let mut tracer = traced();
+        tracer.fault("dropped", SimTime::from_us(5), 0, 1);
+        let text = tracer.export_chrome_json();
+        assert!(text.contains("\"fault:dropped\""), "{text}");
+        assert!(text.contains("\"ph\": \"i\""));
+        Json::parse(&text).expect("fault instants keep the export valid JSON");
+        let blob = tracer.export_binary();
+        assert!(blob.windows(7).any(|w| w == b"dropped"), "binary export carries the fault kind");
+        assert!(tracer.summary().contains("1 faults"), "{}", tracer.summary());
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl Tracer {
                     acc.total_ps = end_ps - start_ps;
                     acc.complete = true;
                 }
-                TraceEvent::Sample { .. } => {}
+                TraceEvent::Sample { .. } | TraceEvent::Fault { .. } => {}
             }
         }
         reqs.retain(|_, acc| acc.complete);

@@ -187,6 +187,17 @@ impl Tracer {
         }
     }
 
+    /// Records one injected fabric fault as an instant event. Runners drain
+    /// their network's fault-event log through this after the run (the ops
+    /// layer has no tracer access), so `at` may lie in the past relative to
+    /// the ring's newest event — consumers order by timestamp, not ring
+    /// position.
+    pub fn fault(&mut self, kind: &'static str, at: SimTime, from: u16, to: u16) {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push(TraceEvent::Fault { kind, at_ps: at.as_ps(), from, to });
+        }
+    }
+
     /// Records the run's final counter snapshot at `at` (normally the run
     /// makespan). Besides emitting one last [`TraceEvent::Sample`] per
     /// counter, the snapshot is retained so

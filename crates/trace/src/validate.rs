@@ -83,7 +83,7 @@ impl Tracer {
                     req_totals.insert(*req, end_ps - start_ps);
                     total_sum += u128::from(end_ps - start_ps);
                 }
-                TraceEvent::Sample { .. } => {}
+                TraceEvent::Sample { .. } | TraceEvent::Fault { .. } => {}
             }
         }
 

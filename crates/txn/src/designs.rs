@@ -6,14 +6,14 @@
 //! Transactions are issued serially by the client (window 1), as in the
 //! paper, so the latency reduction also reflects throughput.
 
-use rambda::{build_report, run_closed_loop, DriverConfig, RunStats, Testbed};
+use rambda::{run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::{SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::MemKind;
-use rambda_metrics::{MetricSet, RunReport, StageRecorder};
-use rambda_rnic::{MrInfo, PostPath, WriteOpts};
-use rambda_trace::Tracer;
+use rambda_metrics::RunReport;
+use rambda_rnic::{MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
+use rambda_trace::{ReqObs, Tracer};
 use rambda_workloads::{KeyDist, TxnSpec};
 
 use crate::chain::{Chain, TxnWrite};
@@ -109,48 +109,79 @@ impl TxnWorld {
     }
 }
 
+/// Degraded-mode completion: the RDMA layer exhausted its retransmission
+/// budget, so the design sheds the transaction — the client observes a
+/// timeout at the error-completion time — instead of asserting.
+fn shed(mut tr: ReqObs<'_>, err: &RdmaError) -> SimTime {
+    let at = err.at();
+    tr.leg("shed", at);
+    tr.finish(at);
+    at
+}
+
+/// Forwards the run's injected-fault log from the network to the flight
+/// recorder as instants on the fabric track.
+fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
+    for ev in net.drain_fault_events() {
+        tracer.fault(ev.kind.name(), ev.at, ev.from.0, ev.to.0);
+    }
+}
+
+/// [`Design`] constructors for the transaction experiments, so
+/// [`SimBuilder`] can run them.
+pub trait TxnDesigns {
+    /// The HyperLoop baseline (`txn.hyperloop`).
+    fn txn_hyperloop(params: TxnParams) -> Design;
+    /// Rambda-Tx (`txn.rambda_tx`).
+    fn txn_rambda_tx(params: TxnParams) -> Design;
+}
+
+impl TxnDesigns for Design {
+    fn txn_hyperloop(params: TxnParams) -> Design {
+        Design::from_runner("txn.hyperloop", params.seed, move |tb, ctx| {
+            run_hyperloop_inner(tb, &params, ctx)
+        })
+    }
+
+    fn txn_rambda_tx(params: TxnParams) -> Design {
+        Design::from_runner("txn.rambda_tx", params.seed, move |tb, ctx| {
+            run_rambda_tx_inner(tb, &params, ctx)
+        })
+    }
+}
+
 /// HyperLoop: group-based RDMA primitives triggered by the RNIC. Reads are
 /// one-sided reads to the head; each *write* is one group-RDMA operation
 /// that traverses the whole chain — and multi-write transactions must issue
 /// them sequentially (the Sec. IV-B limitation Rambda removes).
 pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
-    run_hyperloop_inner(
-        testbed,
-        params,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_hyperloop_inner(testbed, params, ctx)
 }
 
 /// [`run_hyperloop`] with full observability: stage breakdown (read RTTs,
 /// sequential chain writes, CQE poll) plus machine and network counters.
+#[deprecated(note = "use SimBuilder with Design::txn_hyperloop")]
 pub fn run_hyperloop_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
-    run_hyperloop_report_traced(testbed, params, &mut Tracer::disabled())
+    SimBuilder::new(Design::txn_hyperloop(params.clone())).config(testbed).run()
 }
 
 /// [`run_hyperloop_report`] with a flight recorder attached: per-request
 /// spans and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::txn_hyperloop")]
 pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_hyperloop_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("txn.hyperloop", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::txn_hyperloop(params.clone())).config(testbed).tracer(tracer).run()
 }
 
-fn run_hyperloop_inner(
-    testbed: &Testbed,
-    params: &TxnParams,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
-) -> RunStats {
+fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut w = TxnWorld::new(testbed, params);
+    w.net.install_faults(faults);
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let nvm1 = w.port1.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let spec = params.spec;
     let value = params.value_bytes as u64;
-    let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: true };
+    let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::SIGNALED };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut trace = tracer.observe(rec, at);
@@ -159,7 +190,7 @@ fn run_hyperloop_inner(
 
         // Sequential one-sided reads from the head replica's NVM.
         for _ in 0..reads.len() {
-            let out = rambda_rnic::rdma_read(
+            let out = match rambda_rnic::rdma_read(
                 t,
                 &mut w.client.rnic,
                 &mut w.port0.rnic,
@@ -167,8 +198,11 @@ fn run_hyperloop_inner(
                 &mut w.port0.mem,
                 nvm0,
                 value,
-                WriteOpts { signaled: false, ..opts },
-            );
+                WriteOpts { flags: PostFlags::NONE, ..opts },
+            ) {
+                Ok(out) => out,
+                Err(e) => return shed(trace, &e),
+            };
             t = out.data_at;
         }
         trace.leg("read_rtts", t);
@@ -178,7 +212,7 @@ fn run_hyperloop_inner(
         for _ in 0..n_writes {
             // Client -> port0: log-entry write into NVM (single tuple).
             let entry = 1 + value + 12;
-            let d0 = rambda_rnic::rdma_write(
+            let d0 = match rambda_rnic::rdma_write(
                 t,
                 &mut w.client.rnic,
                 &mut w.port0.rnic,
@@ -187,8 +221,11 @@ fn run_hyperloop_inner(
                 &mut w.client.mem,
                 nvm0,
                 entry,
-                WriteOpts { signaled: false, ..opts },
-            );
+                WriteOpts { flags: PostFlags::NONE, ..opts },
+            ) {
+                Ok(out) => out,
+                Err(e) => return shed(trace, &e),
+            };
             // RNIC-triggered forward to the next replica through the ARM.
             let fwd = w.port0.rnic.rx_process(d0.delivered_at);
             let at_p1 = w.route(fwd, PORT0, PORT1, entry);
@@ -214,6 +251,7 @@ fn run_hyperloop_inner(
         });
         fin
     });
+    drain_faults(&mut w.net, tracer);
     if rec.is_active() {
         w.client.publish_metrics(resources, "client");
         w.port0.publish_metrics(resources, "port0");
@@ -229,39 +267,29 @@ fn run_hyperloop_inner(
 /// concurrency control, and forwards along the chain — one chain round per
 /// *transaction*.
 pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
-    run_rambda_tx_inner(
-        testbed,
-        params,
-        &mut StageRecorder::disabled(),
-        &mut MetricSet::new(),
-        &mut Tracer::disabled(),
-    )
+    rambda::rambda_stats_only_ctx!(ctx);
+    run_rambda_tx_inner(testbed, params, ctx)
 }
 
 /// [`run_rambda_tx`] with full observability: stage breakdown (fabric,
 /// coherence discovery, dispatch, the overlapped chain round, commit) plus
 /// machine, accelerator and network counters.
+#[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
 pub fn run_rambda_tx_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
-    run_rambda_tx_report_traced(testbed, params, &mut Tracer::disabled())
+    SimBuilder::new(Design::txn_rambda_tx(params.clone())).config(testbed).run()
 }
 
 /// [`run_rambda_tx_report`] with a flight recorder attached: per-request
 /// spans and periodic resource samples land in `tracer`.
+#[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
 pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
-    let mut rec = StageRecorder::active();
-    let mut resources = MetricSet::new();
-    let stats = run_rambda_tx_inner(testbed, params, &mut rec, &mut resources, tracer);
-    build_report("txn.rambda_tx", params.seed, &stats, &mut rec, resources)
+    SimBuilder::new(Design::txn_rambda_tx(params.clone())).config(testbed).tracer(tracer).run()
 }
 
-fn run_rambda_tx_inner(
-    testbed: &Testbed,
-    params: &TxnParams,
-    rec: &mut StageRecorder,
-    resources: &mut MetricSet,
-    tracer: &mut Tracer,
-) -> RunStats {
+fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
+    let SimCtx { rec, resources, tracer, faults } = ctx;
     let mut w = TxnWorld::new(testbed, params);
+    w.net.install_faults(faults);
     // Request rings live in NVM and double as the redo log (Sec. IV-B).
     let ring0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let ring1 = w.port1.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
@@ -269,8 +297,8 @@ fn run_rambda_tx_inner(
     let mut accel0 = AccelEngine::new(testbed.accel_config(DataLocation::HostNvm, true));
     let mut accel1 = AccelEngine::new(testbed.accel_config(DataLocation::HostNvm, true));
     let spec = params.spec;
-    let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: false };
-    let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, signaled: false };
+    let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::NONE };
+    let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, flags: PostFlags::NONE };
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut trace = tracer.observe(rec, at);
@@ -278,7 +306,7 @@ fn run_rambda_tx_inner(
         let entry = spec.log_entry_bytes();
 
         // One combined request into the head's NVM ring (= redo log write).
-        let d0 = rambda_rnic::rdma_write(
+        let d0 = match rambda_rnic::rdma_write(
             at,
             &mut w.client.rnic,
             &mut w.port0.rnic,
@@ -288,7 +316,10 @@ fn run_rambda_tx_inner(
             ring0,
             entry,
             opts,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => return shed(trace, &e),
+        };
         trace.leg("fabric_request", d0.delivered_at);
 
         // Head accelerator: on the cpoll signal it forwards the (already
@@ -329,7 +360,7 @@ fn run_rambda_tx_inner(
         trace.leg("chain_round", ack_at_p0.max(local));
         let commit = accel0.compute(ack_at_p0.max(local), 1);
         trace.leg("commit", commit);
-        let resp = rambda_rnic::rdma_write(
+        let resp = match rambda_rnic::rdma_write(
             commit,
             &mut w.port0.rnic,
             &mut w.client.rnic,
@@ -339,7 +370,10 @@ fn run_rambda_tx_inner(
             client_mr,
             8 + reads.len() as u64 * params.value_bytes as u64,
             accel_opts,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => return shed(trace, &e),
+        };
         trace.leg("fabric_response", resp.delivered_at);
 
         // Functional effect.
@@ -355,6 +389,7 @@ fn run_rambda_tx_inner(
         });
         resp.delivered_at
     });
+    drain_faults(&mut w.net, tracer);
     if rec.is_active() {
         w.client.publish_metrics(resources, "client");
         w.port0.publish_metrics(resources, "port0");
@@ -375,11 +410,11 @@ pub fn run_pure_reads(testbed: &Testbed, params: &TxnParams) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let value = params.value_bytes as u64;
-    let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, signaled: false };
+    let opts = WriteOpts::host_unsignaled();
 
     run_closed_loop(&params.driver(), |_c, at| {
         let key = w.dist.sample(&mut w.rng);
-        let out = rambda_rnic::rdma_read(
+        let data_at = rambda_rnic::rdma_read(
             at,
             &mut w.client.rnic,
             &mut w.port0.rnic,
@@ -388,11 +423,13 @@ pub fn run_pure_reads(testbed: &Testbed, params: &TxnParams) -> RunStats {
             nvm0,
             value,
             opts,
-        );
+        )
+        .map(|out| out.data_at)
+        .unwrap_or_else(|e| e.at());
         // Functional effect: a read-only transaction at the head.
         let res = w.chain.execute(&[key], Vec::new());
         debug_assert!(res.reads[0].is_some(), "pre-loaded key must exist");
-        out.data_at
+        data_at
     })
 }
 

@@ -11,7 +11,7 @@
 
 use std::path::Path;
 
-use rambda_bench::harness::{compare, run_sweep, sweep_names, SweepResult};
+use rambda_bench::harness::{compare, is_gating, run_sweep, sweep_names, SweepResult};
 
 /// Same seed, same sweep, same bytes — the property the CI gate stands on.
 #[test]
@@ -80,7 +80,10 @@ fn compare_fails_against_a_perturbed_baseline() {
 #[test]
 fn committed_baselines_are_current() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root").join("bench/baselines");
-    for name in sweep_names() {
+    // The non-gating sweeps (faults_sweep) ship no baseline: their numbers
+    // characterize degraded fabrics and are expected to look like
+    // regressions. Their determinism is still covered above.
+    for name in sweep_names().iter().filter(|n| is_gating(n)) {
         let file = dir.join(format!("BENCH_{name}.json"));
         let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
             panic!(

@@ -1,14 +1,15 @@
 //! Reproducibility: every experiment is a deterministic function of its
 //! seed — identical runs, bit-for-bit identical statistics.
 
-use rambda::micro::{self, run_cpu, run_rambda, MicroParams};
-use rambda::Testbed;
+use rambda::micro::{run_cpu, run_rambda, MicroParams};
+use rambda::{Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
+use rambda_dlrm::{DlrmDesigns, DlrmParams};
 use rambda_kvs::designs as kvs;
-use rambda_kvs::KvsParams;
+use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::RunReport;
 use rambda_trace::Tracer;
-use rambda_txn::{run_rambda_tx, TxnParams};
+use rambda_txn::{run_rambda_tx, TxnDesigns, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
 fn same(a: &rambda::RunStats, b: &rambda::RunStats) -> bool {
@@ -57,41 +58,27 @@ fn every_runner_report_is_byte_identical_across_runs() {
     // nondeterministic container sneaking into any simulator state (the
     // analyzer's rule R1 territory) fails here at runtime too.
     type Runner = fn() -> RunReport;
+    fn build(design: Design) -> RunReport {
+        SimBuilder::new(design).config(&Testbed::default()).run()
+    }
     let runners: Vec<(&str, Runner)> = vec![
-        ("micro.cpu", || micro::run_cpu_report(&Testbed::default(), MicroParams::quick(), 8, 16)),
+        ("micro.cpu", || build(Design::micro_cpu(MicroParams::quick(), 8, 16))),
         ("micro.rambda", || {
-            micro::run_rambda_report(
-                &Testbed::default(),
-                MicroParams::quick(),
-                DataLocation::HostDram,
-                true,
-                1,
-            )
+            build(Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1))
         }),
-        ("kvs.cpu", || kvs::run_cpu_report(&Testbed::default(), &KvsParams::quick())),
-        ("kvs.rambda", || {
-            kvs::run_rambda_report(&Testbed::default(), &KvsParams::quick(), DataLocation::HostDram)
-        }),
-        ("kvs.smartnic", || kvs::run_smartnic_report(&Testbed::default(), &KvsParams::quick())),
-        ("txn.hyperloop", || {
-            rambda_txn::run_hyperloop_report(&Testbed::default(), &TxnParams::quick(TxnSpec::read_write(64)))
-        }),
-        ("txn.rambda_tx", || {
-            rambda_txn::run_rambda_tx_report(&Testbed::default(), &TxnParams::quick(TxnSpec::read_write(64)))
-        }),
+        ("kvs.cpu", || build(Design::kvs_cpu(KvsParams::quick()))),
+        ("kvs.rambda", || build(Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram))),
+        ("kvs.smartnic", || build(Design::kvs_smartnic(KvsParams::quick()))),
+        ("txn.hyperloop", || build(Design::txn_hyperloop(TxnParams::quick(TxnSpec::read_write(64))))),
+        ("txn.rambda_tx", || build(Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))))),
         ("dlrm.cpu", || {
-            rambda_dlrm::run_cpu_report(
-                &Testbed::default(),
-                &rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
-                8,
-            )
+            build(Design::dlrm_cpu(DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()), 8))
         }),
         ("dlrm.rambda", || {
-            rambda_dlrm::run_rambda_report(
-                &Testbed::default(),
-                &rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
+            build(Design::dlrm_rambda(
+                DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
                 DataLocation::HostDram,
-            )
+            ))
         }),
     ];
     for (name, run) in runners {
@@ -120,14 +107,10 @@ fn traced_runs_export_byte_identical_artifacts() {
 
     let micro_run = || {
         let mut t = Tracer::flight_recorder();
-        let r = micro::run_rambda_report_traced(
-            &tb,
-            MicroParams::quick(),
-            DataLocation::HostDram,
-            true,
-            7,
-            &mut t,
-        );
+        let r = SimBuilder::new(Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 7))
+            .config(&tb)
+            .tracer(&mut t)
+            .run();
         (r, t)
     };
     let (ra, ta) = micro_run();
@@ -139,7 +122,10 @@ fn traced_runs_export_byte_identical_artifacts() {
     let p = KvsParams::quick();
     let kvs_run = || {
         let mut t = Tracer::flight_recorder();
-        let r = kvs::run_rambda_report_traced(&tb, &p, DataLocation::HostDram, &mut t);
+        let r = SimBuilder::new(Design::kvs_rambda(p.clone(), DataLocation::HostDram))
+            .config(&tb)
+            .tracer(&mut t)
+            .run();
         (r, t)
     };
     let (ra, ta) = kvs_run();

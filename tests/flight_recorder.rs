@@ -4,10 +4,9 @@
 //! tail to a concrete stage and resource — while a disabled tracer must
 //! leave the run report bit-for-bit unchanged.
 
-use rambda::Testbed;
+use rambda::{Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
-use rambda_kvs::designs as kvs;
-use rambda_kvs::KvsParams;
+use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::Json;
 use rambda_trace::{Tracer, Track};
 
@@ -16,7 +15,8 @@ fn traced_kvs_run_cross_validates_and_exports() {
     let tb = Testbed::default();
     let p = KvsParams::quick();
     let mut tracer = Tracer::flight_recorder();
-    let report = kvs::run_rambda_report_traced(&tb, &p, DataLocation::HostDram, &mut tracer);
+    let report =
+        SimBuilder::new(Design::kvs_rambda(p, DataLocation::HostDram)).config(&tb).tracer(&mut tracer).run();
 
     report.validate().expect("report internally consistent");
     tracer.cross_validate(&report).expect("trace agrees with the run report");
@@ -56,9 +56,10 @@ fn traced_kvs_run_cross_validates_and_exports() {
 fn disabled_tracer_leaves_the_report_unchanged() {
     let tb = Testbed::default();
     let p = KvsParams::quick();
-    let plain = kvs::run_rambda_report(&tb, &p, DataLocation::HostDram);
+    let plain = SimBuilder::new(Design::kvs_rambda(p.clone(), DataLocation::HostDram)).config(&tb).run();
     let mut off = Tracer::disabled();
-    let traced = kvs::run_rambda_report_traced(&tb, &p, DataLocation::HostDram, &mut off);
+    let traced =
+        SimBuilder::new(Design::kvs_rambda(p, DataLocation::HostDram)).config(&tb).tracer(&mut off).run();
 
     assert!(!off.is_enabled());
     assert!(off.is_empty(), "a disabled tracer records nothing");

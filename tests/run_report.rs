@@ -10,13 +10,13 @@
 use std::fs;
 use std::path::PathBuf;
 
-use rambda::micro::{self, MicroParams};
-use rambda::Testbed;
+use rambda::micro::MicroParams;
+use rambda::{Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
-use rambda_kvs::designs as kvs;
-use rambda_kvs::KvsParams;
+use rambda_dlrm::{DlrmDesigns, DlrmParams};
+use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::RunReport;
-use rambda_txn::TxnParams;
+use rambda_txn::{TxnDesigns, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
 fn goldens_dir() -> PathBuf {
@@ -44,15 +44,21 @@ fn check_golden(name: &str, report: &RunReport) {
 }
 
 fn micro_report() -> RunReport {
-    micro::run_rambda_report(&Testbed::default(), MicroParams::quick(), DataLocation::HostDram, true, 1)
+    SimBuilder::new(Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1))
+        .config(&Testbed::default())
+        .run()
 }
 
 fn kvs_report() -> RunReport {
-    kvs::run_rambda_report(&Testbed::default(), &KvsParams::quick(), DataLocation::HostDram)
+    SimBuilder::new(Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram))
+        .config(&Testbed::default())
+        .run()
 }
 
 fn txn_report() -> RunReport {
-    rambda_txn::run_rambda_tx_report(&Testbed::default(), &TxnParams::quick(TxnSpec::read_write(64)))
+    SimBuilder::new(Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))))
+        .config(&Testbed::default())
+        .run()
 }
 
 #[test]
@@ -87,41 +93,21 @@ fn every_runner_emits_a_consistent_report() {
     let tb = Testbed::default();
 
     let mp = MicroParams { requests: 4_000, ..MicroParams::quick() };
-    let reports = vec![
-        micro::run_cpu_report(&tb, mp, 8, 16),
-        micro::run_rambda_report(&tb, mp, DataLocation::HostDram, true, 1),
-        kvs::run_cpu_report(&tb, &KvsParams { requests: 4_000, ..KvsParams::quick() }),
-        kvs::run_rambda_report(
-            &tb,
-            &KvsParams { requests: 4_000, ..KvsParams::quick() },
-            DataLocation::HostDram,
-        ),
-        kvs::run_smartnic_report(&tb, &KvsParams { requests: 4_000, ..KvsParams::quick() }),
-        rambda_txn::run_hyperloop_report(
-            &tb,
-            &TxnParams { txns: 1_000, ..TxnParams::quick(TxnSpec::read_write(64)) },
-        ),
-        rambda_txn::run_rambda_tx_report(
-            &tb,
-            &TxnParams { txns: 1_000, ..TxnParams::quick(TxnSpec::read_write(64)) },
-        ),
-        rambda_dlrm::run_cpu_report(
-            &tb,
-            &rambda_dlrm::DlrmParams {
-                queries: 2_000,
-                ..rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap())
-            },
-            8,
-        ),
-        rambda_dlrm::run_rambda_report(
-            &tb,
-            &rambda_dlrm::DlrmParams {
-                queries: 2_000,
-                ..rambda_dlrm::DlrmParams::quick(DlrmProfile::by_name("Books").unwrap())
-            },
-            DataLocation::HostDram,
-        ),
+    let kp = KvsParams { requests: 4_000, ..KvsParams::quick() };
+    let xp = TxnParams { txns: 1_000, ..TxnParams::quick(TxnSpec::read_write(64)) };
+    let dp = DlrmParams { queries: 2_000, ..DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()) };
+    let designs = vec![
+        Design::micro_cpu(mp, 8, 16),
+        Design::micro_rambda(mp, DataLocation::HostDram, true, 1),
+        Design::kvs_cpu(kp.clone()),
+        Design::kvs_rambda(kp.clone(), DataLocation::HostDram),
+        Design::kvs_smartnic(kp),
+        Design::txn_hyperloop(xp.clone()),
+        Design::txn_rambda_tx(xp),
+        Design::dlrm_cpu(dp.clone(), 8),
+        Design::dlrm_rambda(dp, DataLocation::HostDram),
     ];
+    let reports: Vec<RunReport> = designs.into_iter().map(|d| SimBuilder::new(d).config(&tb).run()).collect();
 
     let expected_names = [
         "micro.cpu",

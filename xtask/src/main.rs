@@ -26,6 +26,8 @@ Commands:
         R3  unsafe confined to crates/ring, each use documented with // SAFETY:
         R4  every pub item in rambda-des, rambda-metrics and rambda-trace documented
         R5  no println!/eprintln! outside src/bin drivers and the bench crate
+        R6  deprecated runner shims note \"use SimBuilder ...\", and nothing
+            in-tree outside a shim's own file still calls one
       Violations can be allowlisted in xtask/analyze.allow (one per line:
       `RULE path token  # reason`); stale entries are errors.
 

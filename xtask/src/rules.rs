@@ -1,6 +1,6 @@
 //! The analyzer's rule engine.
 //!
-//! Five rules, each enforcing one repo invariant (DESIGN.md §8):
+//! Six rules, each enforcing one repo invariant (DESIGN.md §8):
 //!
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
 //!   order is randomized per process and can leak into event ordering and
@@ -18,13 +18,20 @@
 //! * **R5** — no `println!` / `eprintln!` (nor `print!` / `eprint!`)
 //!   outside driver binaries: a simulation reports through `RunReport` and
 //!   the flight recorder, never by writing to the terminal mid-run.
+//! * **R6** — every `#[deprecated]` runner shim carries a
+//!   `note = "use SimBuilder ..."` pointing callers at the replacement,
+//!   and no in-tree code outside the shim's own file still calls a
+//!   deprecated runner: the old `run_*_report` entry points exist only for
+//!   downstream compatibility, never for new call sites.
 //!
 //! R1, R2, R4 and R5 skip `#[cfg(test)]` modules: a test may model against
 //! a `HashMap`, spawn threads, or print diagnostics without affecting
 //! simulation output. R1, R2 and R5 also skip `src/bin/` targets — a
 //! driver binary is ordinary host code that may read flags and write
 //! files. R3 is enforced everywhere — undocumented `unsafe` in a test is
-//! still a bug.
+//! still a bug. R6 skips test modules and `use` statements (re-exporting a
+//! shim keeps it reachable without endorsing it) and allows calls within
+//! the defining file.
 //!
 //! Violations can be allowlisted in `xtask/analyze.allow`; stale entries
 //! (matching nothing) are themselves errors so the file stays honest.
@@ -177,6 +184,7 @@ fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
 pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
     let mut violations = Vec::new();
     let mut files_scanned = 0usize;
+    let mut scanned: Vec<ScannedFile> = Vec::new();
 
     let crates_dir = cfg.root.join("crates");
     let mut crate_dirs: Vec<PathBuf> =
@@ -215,6 +223,7 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
             if !cfg.print_crates.contains(&crate_name) && !is_bin {
                 rule_r5(&rel, &tokens, &test_mask, &mut violations);
             }
+            scanned.push(ScannedFile { rel, source, tokens, test_mask });
         }
         if !saw_lib_rs && !files.is_empty() {
             violations.push(Violation {
@@ -226,6 +235,8 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
             });
         }
     }
+
+    rule_r6(&scanned, &mut violations);
 
     // Apply the allowlist.
     let allow_path = cfg.root.join(&cfg.allowlist);
@@ -431,6 +442,151 @@ fn rule_r5(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
                 line: mac.line,
                 token: format!("{name}!"),
                 hint: "simulation crates stay silent; print from a src/bin driver or the bench tables"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// One scanned source file, retained for the cross-file R6 pass.
+struct ScannedFile {
+    rel: String,
+    source: String,
+    tokens: Vec<Token>,
+    test_mask: Vec<bool>,
+}
+
+/// Marks every token belonging to a `use ...;` item (including `pub use`):
+/// re-exporting a deprecated shim keeps it reachable without endorsing it.
+fn mask_use_statements(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("use") {
+            while i < tokens.len() {
+                mask[i] = true;
+                if tokens[i].is_punct(';') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// R6: deprecated runner shims point at `SimBuilder`, and nothing in-tree
+/// outside a shim's own file still calls one.
+///
+/// Two passes. The first collects every `#[deprecated] pub fn` and checks
+/// that the attribute's raw text contains `use SimBuilder` (the lexer
+/// discards string-literal contents, so the note is checked against the
+/// source lines of the attribute). The second flags any identifier use of a
+/// collected name outside its defining file(s), skipping test modules and
+/// `use` statements.
+fn rule_r6(files: &[ScannedFile], out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    // name -> files defining a deprecated fn of that name.
+    let mut deprecated: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+
+    for f in files {
+        let sig: Vec<(usize, &Token)> =
+            f.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+        for (si, &(ti, t)) in sig.iter().enumerate() {
+            if f.test_mask[ti] || !t.is_punct('#') {
+                continue;
+            }
+            let (Some(&(_, open)), Some(&(_, kw))) = (sig.get(si + 1), sig.get(si + 2)) else { continue };
+            if !open.is_punct('[') || kw.ident() != Some("deprecated") {
+                continue;
+            }
+            // The attribute's closing `]`.
+            let mut depth = 0i32;
+            let mut close = None;
+            for (sj, &(_, u)) in sig.iter().enumerate().skip(si + 1) {
+                match u.kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(sj);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some(close) = close else { continue };
+            // Skip any further attributes, then expect `pub fn <name>`.
+            let mut sj = close + 1;
+            while sig.get(sj).is_some_and(|&(_, u)| u.is_punct('#')) {
+                let mut depth = 0i32;
+                sj += 1;
+                while let Some(&(_, u)) = sig.get(sj) {
+                    sj += 1;
+                    match u.kind {
+                        TokenKind::Punct('[') => depth += 1,
+                        TokenKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let name = match (sig.get(sj), sig.get(sj + 1), sig.get(sj + 2)) {
+                (Some(&(_, p)), Some(&(_, kw_fn)), Some(&(_, n)))
+                    if p.ident() == Some("pub") && kw_fn.ident() == Some("fn") =>
+                {
+                    match n.ident() {
+                        Some(name) => name,
+                        None => continue,
+                    }
+                }
+                _ => continue,
+            };
+            // The note must route callers to the replacement. Check the raw
+            // source lines of the attribute (string contents are not in the
+            // token stream).
+            let first = t.line as usize;
+            let last = sig[close].1.end_line as usize;
+            let attr_text =
+                f.source.lines().skip(first - 1).take(last - first + 1).collect::<Vec<_>>().join("\n");
+            if !attr_text.contains("use SimBuilder") {
+                out.push(Violation {
+                    rule: "R6",
+                    path: f.rel.clone(),
+                    line: t.line,
+                    token: name.to_string(),
+                    hint: "deprecated runner shims must carry note = \"use SimBuilder ...\" so every \
+                           caller is routed to the replacement"
+                        .to_string(),
+                });
+            }
+            deprecated.entry(name).or_default().push(&f.rel);
+        }
+    }
+
+    for f in files {
+        let use_mask = mask_use_statements(&f.tokens);
+        for (i, t) in f.tokens.iter().enumerate() {
+            if f.test_mask[i] || use_mask[i] {
+                continue;
+            }
+            let Some(name) = t.ident() else { continue };
+            let Some(defs) = deprecated.get(name) else { continue };
+            if defs.iter().any(|d| *d == f.rel) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "R6",
+                path: f.rel.clone(),
+                line: t.line,
+                token: name.to_string(),
+                hint: "this runner is deprecated; build the run with SimBuilder::new(Design::...).run()"
                     .to_string(),
             });
         }
@@ -750,6 +906,51 @@ mod tests {
         assert!(run_rule("let s = \"println!\"; // println!(no)", rule_r5).is_empty());
         // A bare `print` identifier without `!` is not a macro call.
         assert!(run_rule("fn print() {} fn g() { print(); }", rule_r5).is_empty());
+    }
+
+    fn scanned(rel: &str, src: &str) -> ScannedFile {
+        let tokens = lex(src);
+        let test_mask = mask_test_mods(&tokens);
+        ScannedFile { rel: rel.to_string(), source: src.to_string(), tokens, test_mask }
+    }
+
+    #[test]
+    fn r6_requires_a_simbuilder_note_on_deprecated_shims() {
+        let good = scanned(
+            "crates/kvs/src/designs.rs",
+            "#[deprecated(note = \"use SimBuilder with Design::kvs_rambda\")]\npub fn run_old() {}",
+        );
+        let mut out = Vec::new();
+        rule_r6(&[good], &mut out);
+        assert!(out.is_empty(), "a routed note must pass: {out:?}");
+
+        let bad = scanned(
+            "crates/kvs/src/designs.rs",
+            "#[deprecated(note = \"old entry point\")]\npub fn run_old() {}",
+        );
+        let mut out = Vec::new();
+        rule_r6(&[bad], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R6");
+        assert_eq!(out[0].token, "run_old");
+    }
+
+    #[test]
+    fn r6_flags_external_callers_but_not_reexports_tests_or_the_shim_itself() {
+        let def = scanned(
+            "crates/kvs/src/designs.rs",
+            "#[deprecated(note = \"use SimBuilder\")]\npub fn run_old() {}\nfn helper() { run_old(); }",
+        );
+        let reexport = scanned(
+            "crates/kvs/src/lib.rs",
+            "#[allow(deprecated)]\npub use designs::run_old;\n#[cfg(test)]\nmod t { fn f() { run_old(); } }",
+        );
+        let caller = scanned("crates/bench/src/harness.rs", "fn sweep() { let r = run_old(); }");
+        let mut out = Vec::new();
+        rule_r6(&[def, reexport, caller], &mut out);
+        assert_eq!(out.len(), 1, "only the live external caller may trip: {out:?}");
+        assert_eq!(out[0].path, "crates/bench/src/harness.rs");
+        assert_eq!(out[0].token, "run_old");
     }
 
     #[test]

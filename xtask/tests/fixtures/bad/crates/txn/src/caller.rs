@@ -1,0 +1,6 @@
+//! A live call site of a deprecated runner outside the shim's own file:
+//! trips R6. A `use` re-export or a `#[cfg(test)]` call would be exempt.
+
+pub fn sweep() -> u64 {
+    crate::run_txn_report_traced()
+}

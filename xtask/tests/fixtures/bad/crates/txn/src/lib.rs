@@ -1,0 +1,18 @@
+//! Negative fixture for `cargo xtask analyze`: a crate breaking R6 — a
+//! deprecated runner shim whose note forgets to route callers to
+//! `SimBuilder`. Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// A legacy entry point with an unhelpful deprecation note: trips R6.
+#[deprecated(note = "old entry point")]
+pub fn run_txn_report() -> u64 {
+    0
+}
+
+/// A properly routed shim. The note passes R6; the live call site over in
+/// `caller.rs` still trips the second half of the rule.
+#[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
+pub fn run_txn_report_traced() -> u64 {
+    1
+}
