@@ -1,5 +1,4 @@
-//! Glue between [`RunStats`](crate::RunStats) and
-//! [`rambda_metrics::RunReport`].
+//! Glue between [`RunStats`] and [`rambda_metrics::RunReport`].
 
 use rambda_metrics::{HistSummary, MetricSet, RunReport, StageRecorder};
 

@@ -11,6 +11,26 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimTime, Span};
 
+/// Unit-count threshold below which [`Server`] tracks per-unit busy-until
+/// times in a flat vector (linear min-scan) instead of a binary min-heap.
+/// Most servers in the workspace are small (1–16 cores); the scan is
+/// branch-predictable and allocation-free there, while large servers (e.g.
+/// the APU's 256 outstanding-request slots) need the heap's O(log n).
+const LINEAR_SCAN_MAX_UNITS: usize = 16;
+
+/// Per-unit busy-until bookkeeping, sized to the unit count.
+///
+/// Both variants are observationally identical: `acquire` always picks *a*
+/// unit with the minimum busy-until time, and the returned start depends
+/// only on that minimum value, never on which unit held it.
+#[derive(Debug, Clone)]
+enum FreeList {
+    /// Unsorted busy-until times, min found by linear scan.
+    Flat(Vec<SimTime>),
+    /// Min-heap of busy-until times.
+    Heap(BinaryHeap<Reverse<SimTime>>),
+}
+
 /// A `k`-way FIFO server: `k` identical units, each serving one request at a
 /// time (CPU cores, APU outstanding-request slots, ARM cores, ...).
 ///
@@ -25,7 +45,7 @@ use crate::time::{SimTime, Span};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Server {
-    free: BinaryHeap<Reverse<SimTime>>,
+    free: FreeList,
     units: usize,
     acquisitions: u64,
     busy_ps: u64,
@@ -40,10 +60,11 @@ impl Server {
     /// Panics if `units == 0`.
     pub fn new(units: usize) -> Self {
         assert!(units > 0, "a Server needs at least one unit");
-        let mut free = BinaryHeap::with_capacity(units);
-        for _ in 0..units {
-            free.push(Reverse(SimTime::ZERO));
-        }
+        let free = if units <= LINEAR_SCAN_MAX_UNITS {
+            FreeList::Flat(vec![SimTime::ZERO; units])
+        } else {
+            FreeList::Heap((0..units).map(|_| Reverse(SimTime::ZERO)).collect())
+        };
         Server { free, units, acquisitions: 0, busy_ps: 0, wait_ps: 0 }
     }
 
@@ -57,9 +78,24 @@ impl Server {
     /// Returns the service *start* time (`>= at`); the caller computes its
     /// own completion as `start + hold`.
     pub fn acquire(&mut self, at: SimTime, hold: Span) -> SimTime {
-        let Reverse(free_at) = self.free.pop().expect("server has at least one unit");
-        let start = at.max(free_at);
-        self.free.push(Reverse(start + hold));
+        let start;
+        match &mut self.free {
+            FreeList::Flat(free) => {
+                let mut best = 0;
+                for (i, &t) in free.iter().enumerate().skip(1) {
+                    if t < free[best] {
+                        best = i;
+                    }
+                }
+                start = at.max(free[best]);
+                free[best] = start + hold;
+            }
+            FreeList::Heap(free) => {
+                let Reverse(free_at) = free.pop().expect("server has at least one unit");
+                start = at.max(free_at);
+                free.push(Reverse(start + hold));
+            }
+        }
         self.acquisitions += 1;
         self.busy_ps = self.busy_ps.saturating_add(hold.as_ps());
         self.wait_ps = self.wait_ps.saturating_add((start - at).as_ps());
@@ -68,7 +104,10 @@ impl Server {
 
     /// The earliest instant any unit is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.free.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        match &self.free {
+            FreeList::Flat(free) => free.iter().copied().min().unwrap_or(SimTime::ZERO),
+            FreeList::Heap(free) => free.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO),
+        }
     }
 
     /// Number of successful [`acquire`](Self::acquire) calls.
@@ -88,10 +127,13 @@ impl Server {
 
     /// Resets all units to free-at-zero and clears the counters.
     pub fn reset(&mut self) {
-        let units = self.units;
-        self.free.clear();
-        for _ in 0..units {
-            self.free.push(Reverse(SimTime::ZERO));
+        match &mut self.free {
+            FreeList::Flat(free) => free.fill(SimTime::ZERO),
+            FreeList::Heap(free) => {
+                let units = self.units;
+                free.clear();
+                free.extend((0..units).map(|_| Reverse(SimTime::ZERO)));
+            }
         }
         self.acquisitions = 0;
         self.busy_ps = 0;
@@ -369,6 +411,26 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn server_zero_units_panics() {
         let _ = Server::new(0);
+    }
+
+    /// Servers above the linear-scan threshold use the heap free list;
+    /// behavior must be indistinguishable from the flat variant.
+    #[test]
+    fn large_server_matches_small_semantics() {
+        let units = 256;
+        let mut s = Server::new(units);
+        let hold = Span::from_ns(10);
+        for _ in 0..units {
+            assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::ZERO);
+        }
+        // All units busy until 10ns: the next wave queues behind them.
+        for _ in 0..units {
+            assert_eq!(s.acquire(SimTime::ZERO, hold), SimTime::from_ns(10));
+        }
+        assert_eq!(s.earliest_free(), SimTime::from_ns(20));
+        s.reset();
+        assert_eq!(s.earliest_free(), SimTime::ZERO);
+        assert_eq!(s.acquire(SimTime::ZERO, Span::ZERO), SimTime::ZERO);
     }
 
     #[test]

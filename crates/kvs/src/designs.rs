@@ -125,8 +125,10 @@ impl KvsParams {
 
     fn loaded_store(&self) -> KvStore {
         let mut store = KvStore::new(KvConfig::for_pairs(self.pairs as usize, self.value_bytes as usize));
+        let mut value = vec![0u8; self.value_bytes as usize];
         for key in 0..self.pairs {
-            store.put(key, vec![(key & 0xFF) as u8; self.value_bytes as usize]);
+            value.fill((key & 0xFF) as u8);
+            store.put_slice(key, &value);
         }
         store
     }
@@ -249,6 +251,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
     let rq_mr = server.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, flags: PostFlags::NONE };
+    let put_value = vec![0xAB; params.value_bytes as usize];
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
@@ -275,7 +278,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
         // Application processing on a core.
         let trace = match op {
             KvOp::Get { key } => store.get(key).1,
-            KvOp::Put { key, .. } => store.put(key, vec![0xAB; params.value_bytes as usize]),
+            KvOp::Put { key, .. } => store.put_slice(key, &put_value),
         };
         let mut done = cpu.serve_request(
             t,
@@ -504,6 +507,7 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
         * params.pairs as f64) as u64;
     let hit_rate = params.dist().hot_mass(cache_items);
     let wqe_gap = client.rnic.config().wqe_gap;
+    let put_value = vec![0xAB; params.value_bytes as usize];
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
@@ -524,7 +528,7 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
         tr.leg("arm_dispatch", start);
         let trace = match op {
             KvOp::Get { key } => store.get(key).1,
-            KvOp::Put { key, .. } => store.put(key, vec![0xAB; params.value_bytes as usize]),
+            KvOp::Put { key, .. } => store.put_slice(key, &put_value),
         };
         let mut t = start;
         for _ in 0..(trace.bucket_reads + trace.value_reads) {

@@ -77,8 +77,13 @@ pub struct KvStore {
     mask: u64,
     buckets: Vec<Bucket>,
     overflow: Vec<Bucket>,
-    /// The slab-allocated value pool.
-    values: Vec<Vec<u8>>,
+    /// The slab-allocated value pool: one flat byte arena instead of one
+    /// heap allocation per value, so bulk loads and serving-path PUTs do
+    /// not touch the allocator.
+    pool: Vec<u8>,
+    /// Per value-index `(offset, len)` span into `pool`. A removed index
+    /// keeps `len == 0` until the slot is reused.
+    spans: Vec<(usize, u32)>,
     free_values: Vec<u32>,
     len: usize,
 }
@@ -100,7 +105,8 @@ impl KvStore {
             mask: buckets as u64 - 1,
             buckets: vec![Bucket::empty(); buckets],
             overflow: Vec::new(),
-            values: Vec::new(),
+            pool: Vec::new(),
+            spans: Vec::new(),
             free_values: Vec::new(),
             cfg: KvConfig { buckets, ..cfg },
             len: 0,
@@ -126,8 +132,14 @@ impl KvStore {
     /// for cache-hit modelling.
     pub fn footprint_bytes(&self) -> u64 {
         let bucket_lines = (self.buckets.len() + self.overflow.len()) as u64 * 64;
-        let value_bytes = self.values.iter().map(|v| v.len().max(64) as u64).sum::<u64>();
+        let value_bytes = self.spans.iter().map(|&(_, len)| (len as u64).max(64)).sum::<u64>();
         bucket_lines + value_bytes
+    }
+
+    /// The bytes of value index `idx`.
+    fn value(&self, idx: u32) -> &[u8] {
+        let (off, len) = self.spans[idx as usize];
+        &self.pool[off..off + len as usize]
     }
 
     fn bucket_index(&self, key: u64) -> usize {
@@ -143,7 +155,7 @@ impl KvStore {
                 if slot.key == key {
                     trace.value_reads = 1;
                     trace.hit = true;
-                    return (Some(&self.values[slot.value_idx as usize]), trace);
+                    return (Some(self.value(slot.value_idx)), trace);
                 }
             }
             match bucket.next {
@@ -158,6 +170,28 @@ impl KvStore {
 
     /// Inserts or updates `key`.
     pub fn put(&mut self, key: u64, value: Vec<u8>) -> OpTrace {
+        self.put_slice(key, &value)
+    }
+
+    /// Stores `value` into the pool at `idx`'s span, reusing the existing
+    /// region when it fits and appending to the pool end otherwise (the
+    /// stale region stays leaked in the arena — invisible to the modelled
+    /// footprint, which reads spans only).
+    fn store_value(&mut self, idx: u32, value: &[u8]) {
+        let (off, len) = self.spans[idx as usize];
+        if value.len() <= len as usize {
+            self.pool[off..off + value.len()].copy_from_slice(value);
+            self.spans[idx as usize] = (off, value.len() as u32);
+        } else {
+            let off = self.pool.len();
+            self.pool.extend_from_slice(value);
+            self.spans[idx as usize] = (off, value.len() as u32);
+        }
+    }
+
+    /// Inserts or updates `key` from a borrowed value — the allocation-free
+    /// hot path used by bulk preloads and the serving designs.
+    pub fn put_slice(&mut self, key: u64, value: &[u8]) -> OpTrace {
         let mut trace = OpTrace { bucket_reads: 1, ..OpTrace::default() };
         let bi = self.bucket_index(key);
 
@@ -167,10 +201,10 @@ impl KvStore {
             loop {
                 let bucket = self.bucket(cursor);
                 if let Some(slot) = bucket.slots.iter().flatten().find(|s| s.key == key) {
-                    let idx = slot.value_idx as usize;
+                    let idx = slot.value_idx;
                     trace.writes = 1; // value store
                     trace.hit = true;
-                    self.values[idx] = value;
+                    self.store_value(idx, value);
                     return trace;
                 }
                 match bucket.next {
@@ -187,12 +221,14 @@ impl KvStore {
         // (allocating a chained bucket on a full chain — hash collision).
         let value_idx = match self.free_values.pop() {
             Some(i) => {
-                self.values[i as usize] = value;
+                self.store_value(i, value);
                 i
             }
             None => {
-                self.values.push(value);
-                (self.values.len() - 1) as u32
+                let off = self.pool.len();
+                self.pool.extend_from_slice(value);
+                self.spans.push((off, value.len() as u32));
+                (self.spans.len() - 1) as u32
             }
         };
         let mut cursor = BucketRef::Primary(bi);
@@ -233,7 +269,12 @@ impl KvStore {
                         trace.hit = true;
                         self.len -= 1;
                         self.free_values.push(idx);
-                        let value = std::mem::take(&mut self.values[idx as usize]);
+                        let (off, len) = self.spans[idx as usize];
+                        let value = self.pool[off..off + len as usize].to_vec();
+                        // Zero the span (the freed region stays leaked, as
+                        // an owner-less arena hole) so the footprint model
+                        // sees an empty slot, like the old per-value slab.
+                        self.spans[idx as usize] = (off, 0);
                         return (Some(value), trace);
                     }
                 }

@@ -152,6 +152,38 @@ impl Chain {
         TxnOutcome { txn_id, reads: read_values, conflicts_waited }
     }
 
+    /// Bulk-loads `(key, value)` pairs, one committed single-write
+    /// transaction each — observationally identical to calling
+    /// [`execute`](Self::execute) with one write per pair (same transaction
+    /// ids, same logs, same memtables), but skipping concurrency-control
+    /// admission (a no-op when loading serially) and materializing the head
+    /// replica once, then cloning it down the chain.
+    pub fn preload<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        let records: Vec<WalRecord> = items
+            .into_iter()
+            .map(|(key, value)| {
+                let txn_id = self.next_txn;
+                self.next_txn += 1;
+                WalRecord { txn_id, writes: vec![(key, value)] }
+            })
+            .collect();
+        if self.replicas.iter().all(|r| r.log_len() == 0) {
+            self.replicas[0].preload(records);
+            let head = self.replicas[0].clone();
+            for replica in &mut self.replicas[1..] {
+                *replica = head.clone();
+            }
+        } else {
+            for replica in &mut self.replicas[1..] {
+                replica.preload(records.clone());
+            }
+            self.replicas[0].preload(records);
+        }
+    }
+
     /// Checks that all replicas agree on the durable log length and on all
     /// read values (the chain invariant).
     pub fn check_consistency(&self) -> Result<(), String> {
@@ -253,5 +285,46 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_chain_panics() {
         Chain::new(0);
+    }
+
+    /// `preload` must be indistinguishable from per-transaction `execute`,
+    /// including duplicate keys (later write wins) and follow-on txn ids.
+    #[test]
+    fn preload_matches_execute_loop() {
+        let items: Vec<(u64, Vec<u8>)> = (0..500u64).map(|k| (k % 120, vec![(k & 0xFF) as u8; 16])).collect();
+        let mut bulk = Chain::new(2);
+        bulk.preload(items.clone());
+        let mut slow = Chain::new(2);
+        for (key, value) in items {
+            slow.execute(&[], vec![TxnWrite { key, value }]);
+        }
+        for i in 0..2 {
+            assert_eq!(bulk.replica(i).durable_log(), slow.replica(i).durable_log());
+            assert_eq!(bulk.replica(i).len(), slow.replica(i).len());
+            for k in 0..120 {
+                assert_eq!(bulk.replica(i).get(k), slow.replica(i).get(k));
+            }
+        }
+        bulk.check_consistency().unwrap();
+        // Follow-on transactions get identical ids.
+        let a = bulk.execute(&[], vec![w(1, 9)]).txn_id;
+        let b = slow.execute(&[], vec![w(1, 9)]).txn_id;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preload_after_writes_still_matches() {
+        let mut bulk = Chain::new(2);
+        bulk.execute(&[], vec![w(7, 0x07)]);
+        bulk.preload((0..50u64).map(|k| (k, vec![k as u8; 8])));
+        let mut slow = Chain::new(2);
+        slow.execute(&[], vec![w(7, 0x07)]);
+        for k in 0..50u64 {
+            slow.execute(&[], vec![TxnWrite { key: k, value: vec![k as u8; 8] }]);
+        }
+        for i in 0..2 {
+            assert_eq!(bulk.replica(i).durable_log(), slow.replica(i).durable_log());
+            assert_eq!(bulk.replica(i).get(7), slow.replica(i).get(7));
+        }
     }
 }

@@ -81,13 +81,10 @@ impl TxnWorld {
             dist: KeyDist::uniform(params.keys),
             route_mean: Span::from_ns(3_000),
         };
-        // Pre-load 100K pairs.
-        for key in 0..params.keys {
-            world.chain.execute(
-                &[],
-                vec![TxnWrite { key, value: vec![(key & 0xFF) as u8; params.value_bytes as usize] }],
-            );
-        }
+        // Pre-load 100K pairs (bulk path; state matches per-txn execution).
+        world.chain.preload(
+            (0..params.keys).map(|key| (key, vec![(key & 0xFF) as u8; params.value_bytes as usize])),
+        );
         world
     }
 

@@ -67,6 +67,26 @@ impl PersistentStore {
         self.wal.len() - 1
     }
 
+    /// Bulk-appends `records` to the log, applies them to the memtable and
+    /// marks them durable — observationally identical to `apply` +
+    /// `persist_through` per record, but bulk-building the memtable (one
+    /// sort + build instead of per-key tree inserts) when the store is
+    /// fresh. Used to pre-load benchmark worlds.
+    pub fn preload(&mut self, records: Vec<WalRecord>) {
+        if self.memtable.is_empty() {
+            self.memtable =
+                records.iter().flat_map(|r| r.writes.iter().map(|(k, v)| (*k, v.clone()))).collect();
+        } else {
+            for r in &records {
+                for (k, v) in &r.writes {
+                    self.memtable.insert(*k, v.clone());
+                }
+            }
+        }
+        self.wal.extend(records);
+        self.durable = self.wal.len();
+    }
+
     /// Marks the log durable through `index` (the NVM write completed —
     /// ADR guarantees persistence once it reaches the DIMM's write buffer).
     pub fn persist_through(&mut self, index: usize) {

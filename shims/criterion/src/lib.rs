@@ -2,7 +2,7 @@
 //!
 //! The build container cannot reach crates.io, so this shim provides the
 //! small slice of the criterion API the workspace's benches use:
-//! [`Criterion::bench_function`], [`Bencher::iter`]/[`iter_batched`],
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_batched`],
 //! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros.
 //!

@@ -1,14 +1,17 @@
 //! Workspace automation tasks (`cargo xtask ...`).
 //!
-//! The only task today is `analyze`: a dependency-free static analyzer that
+//! Two tasks live here: `analyze`, a dependency-free static analyzer that
 //! enforces the workspace's determinism and unsafety invariants (DESIGN.md
-//! §8). It is deliberately a library so the negative-fixture tests under
-//! `xtask/tests/` can drive the rule engine directly.
+//! §8), and the `bench --profile-compare` throughput gate that fails CI when
+//! the simulator's events-per-wall-second drops below a committed floor
+//! (DESIGN.md §12.3). Both are library modules so the negative-fixture tests
+//! under `xtask/tests/` can drive them directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod profile;
 pub mod rules;
 
 pub use rules::{analyze, Analysis, Config, Violation};

@@ -1,0 +1,336 @@
+//! Simulator-throughput profile gate (`cargo xtask bench --profile-compare`).
+//!
+//! The bench harness writes a `BENCH_PROFILE.json` sidecar per run: for each
+//! sweep, the wall-clock duration, the simulated-events-per-wall-second proxy
+//! (`requests_per_sec`), and the simulated-time speedup. This module parses
+//! that sidecar (dependency-free, like the rest of xtask) and compares a
+//! fresh run against a committed floor, failing when throughput regresses
+//! past the tolerance (DESIGN.md §12.3).
+//!
+//! Wall-clock numbers are machine- and load-dependent, so the gate is
+//! deliberately loose: a sweep only fails when it drops below
+//! `floor × (1 − TOLERANCE)`. The committed floors are conservative numbers
+//! from the CI runner class; the gate exists to catch order-of-magnitude
+//! event-core regressions (an accidental O(n) scan in the scheduler hot
+//! path), not single-digit-percent noise.
+
+use std::fmt;
+
+/// Fractional slack below the committed floor before a sweep fails the gate.
+///
+/// 0.40 means a sweep passes while its throughput stays above 60% of the
+/// committed floor — wide enough to absorb runner variance, tight enough to
+/// catch a scheduler that got algorithmically slower.
+pub const TOLERANCE: f64 = 0.40;
+
+/// The metric gated per sweep: completed requests per wall-clock second,
+/// the harness's proxy for simulated events per wall second.
+pub const GATED_METRIC: &str = "requests_per_sec";
+
+/// Sweeps excluded from the gate (fault-injection runs have intentionally
+/// irregular event mixes and are tracked but not gated).
+pub const NON_GATING: &[&str] = &["faults_sweep"];
+
+/// A parsed `BENCH_PROFILE.json`: per-sweep named scalar metrics, in file
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    sweeps: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl Profile {
+    /// Sweep names in file order.
+    pub fn sweep_names(&self) -> impl Iterator<Item = &str> {
+        self.sweeps.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Looks up one metric of one sweep.
+    pub fn metric(&self, sweep: &str, metric: &str) -> Option<f64> {
+        let (_, metrics) = self.sweeps.iter().find(|(name, _)| name == sweep)?;
+        metrics.iter().find(|(name, _)| name == metric).map(|&(_, v)| v)
+    }
+
+    /// Whether `sweep` participates in the throughput gate.
+    pub fn is_gating(sweep: &str) -> bool {
+        !NON_GATING.contains(&sweep)
+    }
+}
+
+/// One sweep's gate failure: throughput fell below the tolerated floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The failing sweep.
+    pub sweep: String,
+    /// Fresh-run throughput (requests per wall-second).
+    pub current: f64,
+    /// Committed floor throughput.
+    pub floor: f64,
+    /// `floor × (1 − TOLERANCE)`: the pass threshold actually applied.
+    pub threshold: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile gate: {}: {} = {:.0}/s, below {:.0}/s (floor {:.0}/s - {:.0}% tolerance)",
+            self.sweep,
+            GATED_METRIC,
+            self.current,
+            self.threshold,
+            self.floor,
+            TOLERANCE * 100.0,
+        )
+    }
+}
+
+/// Compares a fresh profile against the committed floor.
+///
+/// Every gating sweep present in the floor must appear in `current` with
+/// `requests_per_sec >= floor × (1 − TOLERANCE)`. A sweep missing from the
+/// fresh run entirely (harness didn't produce it) is reported as a
+/// zero-throughput regression rather than silently skipped. Extra sweeps in
+/// the fresh run (not yet in the floor) pass — the floor file is the gate's
+/// scope.
+pub fn compare(current: &Profile, floor: &Profile) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (sweep, _) in &floor.sweeps {
+        if !Profile::is_gating(sweep) {
+            continue;
+        }
+        let Some(base) = floor.metric(sweep, GATED_METRIC) else { continue };
+        let threshold = base * (1.0 - TOLERANCE);
+        let got = current.metric(sweep, GATED_METRIC).unwrap_or(0.0);
+        if got < threshold {
+            regressions.push(Regression { sweep: sweep.clone(), current: got, floor: base, threshold });
+        }
+    }
+    regressions
+}
+
+/// Parses a `BENCH_PROFILE.json` document.
+///
+/// The accepted grammar is the subset the harness emits: a top-level object
+/// whose values are objects of number-valued metrics. Scalar or string
+/// top-level entries (schema markers, comments) are skipped. This is not a
+/// general JSON parser; anything outside the subset is an error naming the
+/// offending byte offset.
+pub fn parse(text: &str) -> Result<Profile, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut sweeps = Vec::new();
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            if p.peek() == Some(b'{') {
+                sweeps.push((key, p.metrics()?));
+            } else {
+                p.skip_scalar()?;
+            }
+            p.skip_ws();
+            if p.eat(b',') {
+                p.skip_ws();
+                continue;
+            }
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(Profile { sweeps })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+
+    /// Parses one `{ "name": number, ... }` metrics object.
+    fn metrics(&mut self) -> Result<Vec<(String, f64)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            out.push((key, self.number()?));
+            self.skip_ws();
+            if self.eat(b',') {
+                self.skip_ws();
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(out);
+        }
+    }
+
+    /// Skips a scalar value (number, string, `true`/`false`/`null`).
+    fn skip_scalar(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'0'..=b'9' | b'-') => {
+                self.number()?;
+                Ok(())
+            }
+            _ => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'a'..=b'z')) {
+                    self.pos += 1;
+                }
+                match &self.bytes[start..self.pos] {
+                    b"true" | b"false" | b"null" => Ok(()),
+                    _ => Err(format!("unsupported value at byte {start}")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "micro_designs": { "wall_ms": 10.5, "requests_per_sec": 3000000.0 },
+  "faults_sweep": { "wall_ms": 400.0, "requests_per_sec": 90000.0 }
+}"#;
+
+    #[test]
+    fn parses_harness_output_shape() {
+        let p = parse(SAMPLE).unwrap();
+        assert_eq!(p.sweep_names().collect::<Vec<_>>(), ["micro_designs", "faults_sweep"]);
+        assert_eq!(p.metric("micro_designs", "requests_per_sec"), Some(3000000.0));
+        assert_eq!(p.metric("micro_designs", "missing"), None);
+        assert_eq!(p.metric("absent", "wall_ms"), None);
+    }
+
+    #[test]
+    fn skips_scalar_top_level_entries() {
+        let p = parse(r#"{ "schema": "v1", "n": 3, "s": { "requests_per_sec": 1.0 } }"#).unwrap();
+        assert_eq!(p.sweep_names().collect::<Vec<_>>(), ["s"]);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{ "a": [1] }"#).is_err());
+    }
+
+    #[test]
+    fn equal_profiles_pass() {
+        let p = parse(SAMPLE).unwrap();
+        assert!(compare(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let floor = parse(r#"{ "s": { "requests_per_sec": 100.0 } }"#).unwrap();
+        let current = parse(r#"{ "s": { "requests_per_sec": 61.0 } }"#).unwrap();
+        assert!(compare(&current, &floor).is_empty());
+    }
+
+    #[test]
+    fn below_tolerance_fails() {
+        let floor = parse(r#"{ "s": { "requests_per_sec": 100.0 } }"#).unwrap();
+        let current = parse(r#"{ "s": { "requests_per_sec": 59.0 } }"#).unwrap();
+        let regs = compare(&current, &floor);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].sweep, "s");
+        assert!(regs[0].to_string().contains("requests_per_sec"));
+    }
+
+    #[test]
+    fn missing_sweep_in_fresh_run_fails() {
+        let floor = parse(r#"{ "s": { "requests_per_sec": 100.0 } }"#).unwrap();
+        let current = parse("{}").unwrap();
+        assert_eq!(compare(&current, &floor).len(), 1);
+    }
+
+    #[test]
+    fn non_gating_sweeps_are_skipped() {
+        let floor = parse(r#"{ "faults_sweep": { "requests_per_sec": 100.0 } }"#).unwrap();
+        let current = parse(r#"{ "faults_sweep": { "requests_per_sec": 1.0 } }"#).unwrap();
+        assert!(compare(&current, &floor).is_empty());
+    }
+
+    #[test]
+    fn extra_sweeps_in_fresh_run_pass() {
+        let floor = parse("{}").unwrap();
+        let current = parse(r#"{ "new_sweep": { "requests_per_sec": 1.0 } }"#).unwrap();
+        assert!(compare(&current, &floor).is_empty());
+    }
+}

@@ -5,7 +5,8 @@
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
 //!   order is randomized per process and can leak into event ordering and
 //!   run reports. Use `BTreeMap`/`BTreeSet` or the sorted-iteration
-//!   [`rambda_des::DetHashMap`] wrapper.
+//!   `rambda_des::DetHashMap` wrapper (xtask doesn't link the simulation
+//!   crates, so no intra-doc link here).
 //! * **R2** — no wall-clock (`std::time::Instant` / `SystemTime`), no
 //!   `thread::spawn`, no `std::env` / `std::fs` access in simulation crates:
 //!   a simulation is a pure function of its config and seed.
