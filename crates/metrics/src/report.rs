@@ -353,6 +353,7 @@ impl RunReport {
             }
         }
         self.validate_faults()?;
+        self.validate_rnic()?;
         self.validate_timeline()
     }
 
@@ -388,6 +389,43 @@ impl RunReport {
         let busy_ps = sum(".recovery.busy_ps");
         if backoff_ns * 1000 != busy_ps {
             return Err(format!("backoff_ns {backoff_ns} does not mirror recovery.busy_ps {busy_ps}"));
+        }
+        Ok(())
+    }
+
+    /// Checks the RNIC operation-count identities (analyzer rule R9 keeps
+    /// this list in sync with `publish_metrics`). Summed over every
+    /// endpoint in the run:
+    ///
+    /// - `doorbells <= wqes`, and the two are zero together: `post` is the
+    ///   only increment site for both, ringing one doorbell per WQE chain
+    ///   of at least one entry (chained WQEs after the first ride the
+    ///   amortized pipeline path and ring nothing);
+    /// - `cqes <= wqes + inbound_writes + inbound_reads`: every CQE is
+    ///   caused either by a signaled local posting or by an inbound
+    ///   delivery (the two-sided receive path) — completions never
+    ///   materialize out of thin air.
+    ///
+    /// A run that publishes no RNIC counters (the micro designs) reduces
+    /// every identity to `0 == 0`.
+    fn validate_rnic(&self) -> Result<(), String> {
+        let sum = |suffix: &str| -> u64 {
+            self.resources.counters().filter(|(name, _)| name.ends_with(suffix)).map(|(_, v)| v).sum()
+        };
+        let doorbells = sum(".doorbells");
+        let wqes = sum(".wqes");
+        if doorbells > wqes {
+            return Err(format!("{doorbells} doorbells rang for only {wqes} posted WQEs"));
+        }
+        if (doorbells == 0) != (wqes == 0) {
+            return Err(format!("{wqes} WQEs posted but {doorbells} doorbells rang"));
+        }
+        let cqes = sum(".cqes");
+        let inbound = sum(".inbound_writes") + sum(".inbound_reads");
+        if cqes > wqes + inbound {
+            return Err(format!(
+                "{cqes} completions but only {wqes} posted WQEs + {inbound} inbound deliveries"
+            ));
         }
         Ok(())
     }

@@ -34,8 +34,11 @@ pub enum TokenKind {
     },
     /// A `/* ... */` comment (text excludes the delimiters).
     BlockComment(String),
-    /// A string / byte-string / raw-string literal (contents discarded).
-    StrLit,
+    /// A string / byte-string / raw-string literal. The contents are
+    /// retained (escapes resolved to the escaped character, raw-string
+    /// bodies verbatim) so cross-file rules can reason about counter names
+    /// and format strings; rules that only care about code ignore them.
+    StrLit(String),
     /// A character or byte literal (`'a'`, `b'\n'`).
     CharLit,
     /// A lifetime (`'a`, `'static`) — distinguished from char literals.
@@ -86,6 +89,14 @@ impl Token {
             _ => None,
         }
     }
+
+    /// The literal contents, if this token is a string literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::StrLit(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
 }
 
 /// Lexes `source` into a token stream. Never fails: unrecognized bytes are
@@ -127,18 +138,18 @@ impl Lexer {
                 '/' if self.peek(1) == Some('/') => out.push(self.line_comment(start)),
                 '/' if self.peek(1) == Some('*') => out.push(self.block_comment(start)),
                 '"' => {
-                    self.string_lit();
-                    out.push(self.token(TokenKind::StrLit, start));
+                    let text = self.string_lit();
+                    out.push(self.token(TokenKind::StrLit(text), start));
                 }
                 '\'' => out.push(self.char_or_lifetime(start)),
                 'r' if self.raw_string_ahead(0) => {
-                    self.raw_string(0);
-                    out.push(self.token(TokenKind::StrLit, start));
+                    let text = self.raw_string();
+                    out.push(self.token(TokenKind::StrLit(text), start));
                 }
                 'b' | 'c' if self.peek(1) == Some('"') => {
                     self.bump(); // prefix
-                    self.string_lit();
-                    out.push(self.token(TokenKind::StrLit, start));
+                    let text = self.string_lit();
+                    out.push(self.token(TokenKind::StrLit(text), start));
                 }
                 'b' if self.peek(1) == Some('\'') => {
                     self.bump(); // prefix
@@ -148,8 +159,8 @@ impl Lexer {
                 }
                 'b' | 'c' if self.peek(1) == Some('r') && self.raw_string_ahead(1) => {
                     self.bump(); // prefix
-                    self.raw_string(0);
-                    out.push(self.token(TokenKind::StrLit, start));
+                    let text = self.raw_string();
+                    out.push(self.token(TokenKind::StrLit(text), start));
                 }
                 'r' if self.peek(1) == Some('#') && ident_start(self.peek(2)) => {
                     // Raw identifier r#match.
@@ -189,8 +200,9 @@ impl Lexer {
     }
 
     /// Consumes a raw string starting at the `r` (possibly after a consumed
-    /// `b`/`c` prefix).
-    fn raw_string(&mut self, _offset: usize) {
+    /// `b`/`c` prefix), returning the body verbatim. A `"` followed by fewer
+    /// `#` than the opener is part of the body, not a terminator.
+    fn raw_string(&mut self) -> String {
         self.bump(); // 'r'
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
@@ -198,9 +210,10 @@ impl Lexer {
             self.bump();
         }
         self.bump(); // opening quote
+        let mut text = String::new();
         loop {
             match self.bump() {
-                None => return, // unterminated; tolerate
+                None => return text, // unterminated; tolerate
                 Some('"') => {
                     let mut seen = 0usize;
                     while seen < hashes && self.peek(0) == Some('#') {
@@ -208,25 +221,36 @@ impl Lexer {
                         self.bump();
                     }
                     if seen == hashes {
-                        return;
+                        return text;
+                    }
+                    // Partial terminator: the quote and the hashes we just
+                    // consumed belong to the body.
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
                     }
                 }
-                Some(_) => {}
+                Some(c) => text.push(c),
             }
         }
     }
 
     /// Consumes a `"..."` literal including escapes; `pos` is at the opening
-    /// quote.
-    fn string_lit(&mut self) {
+    /// quote. Escape sequences contribute the escaped character (`\"` → `"`,
+    /// `\\` → `\`); other escapes keep the char after the backslash, which
+    /// is enough for the rules, none of which inspect control characters.
+    fn string_lit(&mut self) -> String {
         self.bump(); // opening quote
+        let mut text = String::new();
         loop {
             match self.bump() {
-                None | Some('"') => return,
+                None | Some('"') => return text,
                 Some('\\') => {
-                    self.bump(); // whatever is escaped, including \" and \\
+                    if let Some(c) = self.bump() {
+                        text.push(c); // including \" and \\
+                    }
                 }
-                Some(_) => {}
+                Some(c) => text.push(c),
             }
         }
     }
@@ -440,6 +464,55 @@ mod tests {
         let toks = lex("for i in 0..10 { let x = 1.max(2); }");
         assert!(toks.iter().any(|t| t.ident() == Some("max")));
         assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3); // `..` + method dot
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter_map(|t| t.str_text().map(str::to_owned)).collect()
+    }
+
+    #[test]
+    fn string_contents_are_retained() {
+        assert_eq!(strings(r#"m.set(&format!("{prefix}.doorbells"), v);"#), vec!["{prefix}.doorbells"]);
+        assert_eq!(strings(r#"let s = "escaped \" quote";"#), vec![r#"escaped " quote"#]);
+        assert_eq!(strings(r#"let s = "back\\slash";"#), vec![r"back\slash"]);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // A `"#` inside an `r##"..."##` body is content, not a terminator,
+        // and nothing after it may leak out as code tokens.
+        assert_eq!(strings(r###"let s = r##"quote "# inside"##;"###), vec![r##"quote "# inside"##]);
+        assert_eq!(idents(r###"let s = r##"HashMap "# fake"##;"###), vec!["let", "s"]);
+        // Zero-hash raw strings terminate at the first quote.
+        assert_eq!(strings(r#"let s = r"plain \ raw";"#), vec![r"plain \ raw"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(strings(r#"let b = b"bytes";"#), vec!["bytes"]);
+        assert_eq!(strings(r##"let b = br#"raw "quoted" bytes"#;"##), vec![r#"raw "quoted" bytes"#]);
+        // `br`/`cr` prefixes only fire on actual raw strings: `break` and a
+        // plain `cr` identifier lex as identifiers.
+        assert_eq!(idents("break; let cr = 1;"), vec!["break", "let", "cr"]);
+        // A byte char with a quote inside does not open a string.
+        assert_eq!(idents(r#"let q = b'"'; fn after() {}"#), vec!["let", "q", "fn", "after"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let toks = lex("/* 1 /* 2 /* 3 HashMap */ 2 */ 1 */ fn f() {}");
+        assert_eq!(toks.iter().filter_map(|t| t.ident()).collect::<Vec<_>>(), vec!["fn", "f"]);
+        // Unterminated nesting is tolerated and swallows the rest.
+        let toks = lex("/* open /* still open */ fn g() {}");
+        assert!(toks.iter().all(|t| t.ident().is_none()));
+    }
+
+    #[test]
+    fn multiline_strings_track_end_lines() {
+        let toks = lex("let s = \"line one\nline two\";\nfn f() {}");
+        let lit = toks.iter().find(|t| t.str_text().is_some()).unwrap();
+        assert_eq!((lit.line, lit.end_line), (1, 2));
+        assert_eq!(toks.iter().find(|t| t.ident() == Some("fn")).unwrap().line, 3);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod parse;
 pub mod profile;
 pub mod rules;
 

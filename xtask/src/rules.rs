@@ -1,6 +1,6 @@
 //! The analyzer's rule engine.
 //!
-//! Six rules, each enforcing one repo invariant (DESIGN.md §8):
+//! Nine rules, each enforcing one repo invariant (DESIGN.md §8 and §13):
 //!
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
 //!   order is randomized per process and can leak into event ordering and
@@ -24,25 +24,49 @@
 //!   and no in-tree code outside the shim's own file still calls a
 //!   deprecated runner: the old `run_*_report` entry points exist only for
 //!   downstream compatibility, never for new call sites.
+//! * **R7** — partition safety: no `static mut`, no `thread_local!`, and
+//!   no shared-ownership / interior-mutability cell (`Rc`, `RefCell`,
+//!   `Cell`, ...) on a type reachable from a simulated machine through the
+//!   field-type graph. Any of these would alias state across machines once
+//!   the DES executes partitions conservatively in parallel (ROADMAP
+//!   item 2); the diagnostic carries the reachability path.
+//! * **R8** — RNG provenance: every RNG in simulation crates flows from
+//!   the workload seed via a salting call (`SimRng::stream(seed, SALT)` /
+//!   `fork`). Literal seeds, ambient entropy sources, RNG `.clone()`, and
+//!   a single RNG owned beside multiple machines (one stream feeding both
+//!   sides of a future partition boundary) are all flagged.
+//! * **R9** — identity coverage: every counter suffix a stats crate
+//!   publishes from `publish_metrics` into the `MetricSet` must appear in
+//!   some `validate_*` conservation identity in the metrics crate, so new
+//!   counters can't land unguarded.
 //!
-//! R1, R2, R4 and R5 skip `#[cfg(test)]` modules: a test may model against
-//! a `HashMap`, spawn threads, or print diagnostics without affecting
-//! simulation output. R1, R2 and R5 also skip `src/bin/` targets — a
-//! driver binary is ordinary host code that may read flags and write
-//! files. R3 is enforced everywhere — undocumented `unsafe` in a test is
-//! still a bug. R6 skips test modules and `use` statements (re-exporting a
-//! shim keeps it reachable without endorsing it) and allows calls within
-//! the defining file.
+//! R1, R2, R4, R5, R7 and R8 skip `#[cfg(test)]` modules: a test may model
+//! against a `HashMap`, spawn threads, seed an RNG literally, or print
+//! diagnostics without affecting simulation output. R1, R2, R5, R7 and R8
+//! also skip `src/bin/` targets — a driver binary is ordinary host code
+//! that may read flags and write files. R3 is enforced everywhere —
+//! undocumented `unsafe` in a test is still a bug. R6 skips test modules
+//! and `use` statements (re-exporting a shim keeps it reachable without
+//! endorsing it) and allows calls within the defining file.
 //!
-//! Violations can be allowlisted in `xtask/analyze.allow`; stale entries
-//! (matching nothing) are themselves errors so the file stays honest.
+//! R1–R5 operate on the token stream; R6–R9 consume the item-level parse
+//! layer ([`crate::parse`]): declarations, attribute text, `impl`
+//! membership, struct fields and the workspace type graph. Both views come
+//! from the same [`ParsedFile`], so "test code" means the same thing to
+//! every rule.
+//!
+//! Violations can be allowlisted in `xtask/analyze.allow`; every entry
+//! must carry a trailing `# reason` comment, and stale entries (matching
+//! nothing) are themselves errors so the file stays honest.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{ItemKind, ParsedFile, TypeGraph, Vis};
 
 /// What the analyzer looks at and which crates each rule applies to.
 #[derive(Debug, Clone)]
@@ -50,7 +74,7 @@ pub struct Config {
     /// Workspace root (the directory containing `crates/`).
     pub root: PathBuf,
     /// Crate directory names (under `crates/`) holding simulation state;
-    /// R1 and R2 apply here.
+    /// R1, R2, R7 and R8 apply here.
     pub sim_crates: Vec<String>,
     /// The single crate directory allowed to contain `unsafe` (R3).
     pub unsafe_crate: String,
@@ -60,6 +84,15 @@ pub struct Config {
     /// Crate directory names allowed to print outside `src/bin/` targets
     /// (R5) — the table-rendering bench crate.
     pub print_crates: Vec<String>,
+    /// The type representing one simulated machine: the root of R7's
+    /// reachability walk and the partition boundary R8 guards.
+    pub machine_type: String,
+    /// Crate directory names whose `publish_metrics` counter suffixes R9
+    /// collects.
+    pub stats_crates: Vec<String>,
+    /// Crate directory names whose `validate_*` functions R9 searches for
+    /// conservation identities.
+    pub identity_crates: Vec<String>,
     /// Path to the allowlist file, relative to `root`.
     pub allowlist: PathBuf,
 }
@@ -93,6 +126,9 @@ impl Config {
             unsafe_crate: "ring".to_string(),
             doc_crates: vec!["des".to_string(), "metrics".to_string(), "trace".to_string()],
             print_crates: vec!["bench".to_string()],
+            machine_type: "Machine".to_string(),
+            stats_crates: vec!["rnic".to_string()],
+            identity_crates: vec!["metrics".to_string()],
             allowlist: PathBuf::from("xtask/analyze.allow"),
         }
     }
@@ -101,7 +137,7 @@ impl Config {
 /// One rule violation, pointing at `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`R1`..`R5`).
+    /// Rule id (`R1`..`R9`).
     pub rule: &'static str,
     /// Path relative to the workspace root, with `/` separators.
     pub path: String,
@@ -139,7 +175,7 @@ impl Analysis {
     }
 }
 
-/// One parsed allowlist line: `rule path token-substring`.
+/// One parsed allowlist line: `rule path token-substring  # reason`.
 #[derive(Debug)]
 struct AllowEntry {
     rule: String,
@@ -152,19 +188,32 @@ struct AllowEntry {
 fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
     let mut entries = Vec::new();
     for (lineno, raw_line) in text.lines().enumerate() {
-        let line = raw_line.split('#').next().unwrap_or("").trim();
+        let (line, reason) = match raw_line.split_once('#') {
+            Some((head, tail)) => (head.trim(), Some(tail.trim())),
+            None => (raw_line.trim(), None),
+        };
         if line.is_empty() {
             continue;
         }
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(rule), Some(path), Some(token), None) => entries.push(AllowEntry {
-                rule: rule.to_string(),
-                path: path.to_string(),
-                token: token.to_string(),
-                raw: raw_line.trim().to_string(),
-                used: false,
-            }),
+            (Some(rule), Some(path), Some(token), None) => {
+                // Every exception must say why it exists: a bare entry is
+                // indistinguishable from a forgotten one.
+                if reason.is_none_or(str::is_empty) {
+                    return Err(format!(
+                        "allowlist line {}: entry has no `# reason` — justify the exception: `{raw_line}`",
+                        lineno + 1
+                    ));
+                }
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    token: token.to_string(),
+                    raw: raw_line.trim().to_string(),
+                    used: false,
+                });
+            }
             _ => {
                 return Err(format!(
                     "allowlist line {}: expected `RULE path token  # reason`, got `{raw_line}`",
@@ -185,7 +234,7 @@ fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
 pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
     let mut violations = Vec::new();
     let mut files_scanned = 0usize;
-    let mut scanned: Vec<ScannedFile> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
 
     let crates_dir = cfg.root.join("crates");
     let mut crate_dirs: Vec<PathBuf> =
@@ -206,25 +255,26 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
             files_scanned += 1;
             let rel = rel_path(&cfg.root, file);
             let source = fs::read_to_string(file)?;
-            let tokens = lex(&source);
-            let test_mask = mask_test_mods(&tokens);
+            let pf = ParsedFile::parse(&rel, &crate_name, source);
             let is_lib_rs =
                 file.file_name().is_some_and(|n| n == "lib.rs") && file.parent().is_some_and(|p| p == src);
             saw_lib_rs |= is_lib_rs;
 
-            let is_bin = rel.contains("/src/bin/");
-            if cfg.sim_crates.contains(&crate_name) && !is_bin {
-                rule_r1(&rel, &tokens, &test_mask, &mut violations);
-                rule_r2(&rel, &tokens, &test_mask, &mut violations);
+            if cfg.sim_crates.contains(&crate_name) && !pf.is_bin {
+                rule_r1(&pf, &mut violations);
+                rule_r2(&pf, &mut violations);
             }
-            rule_r3_file(cfg, &crate_name, &rel, is_lib_rs, &tokens, &mut violations);
+            rule_r3_file(cfg, &crate_name, is_lib_rs, &pf, &mut violations);
             if cfg.doc_crates.contains(&crate_name) {
-                rule_r4(&rel, &tokens, &test_mask, &mut violations);
+                rule_r4(&pf, &mut violations);
             }
-            if !cfg.print_crates.contains(&crate_name) && !is_bin {
-                rule_r5(&rel, &tokens, &test_mask, &mut violations);
+            if !cfg.print_crates.contains(&crate_name) && !pf.is_bin {
+                rule_r5(&pf, &mut violations);
             }
-            scanned.push(ScannedFile { rel, source, tokens, test_mask });
+            if cfg.sim_crates.contains(&crate_name) && !pf.is_bin {
+                rule_r8_file(cfg, &pf, &mut violations);
+            }
+            parsed.push(pf);
         }
         if !saw_lib_rs && !files.is_empty() {
             violations.push(Violation {
@@ -237,7 +287,9 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
         }
     }
 
-    rule_r6(&scanned, &mut violations);
+    rule_r6(&parsed, &mut violations);
+    rule_r7(cfg, &parsed, &mut violations);
+    rule_r9(cfg, &parsed, &mut violations);
 
     // Apply the allowlist.
     let allow_path = cfg.root.join(&cfg.allowlist);
@@ -284,93 +336,16 @@ fn rel_path(root: &Path, file: &Path) -> String {
         .join("/")
 }
 
-/// Marks every token inside an item annotated `#[cfg(test)]` (almost always
-/// a `mod tests { ... }` block).
-fn mask_test_mods(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if let Some(attr_end) = cfg_test_attr_end(tokens, i) {
-            // Mask the attribute and the item that follows: through the
-            // matching close brace of its body, or a top-level `;`.
-            let mut j = attr_end + 1;
-            let mut depth = 0i32;
-            while j < tokens.len() {
-                match tokens[j].kind {
-                    TokenKind::Punct('{') => depth += 1,
-                    TokenKind::Punct('}') => {
-                        depth -= 1;
-                        if depth <= 0 {
-                            break;
-                        }
-                    }
-                    TokenKind::Punct(';') if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-            let end = j.min(tokens.len().saturating_sub(1));
-            for m in mask.iter_mut().take(end + 1).skip(i) {
-                *m = true;
-            }
-            i = end + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// If `tokens[i]` starts a `#[cfg(test)]`-containing attribute, returns the
-/// index of its closing `]`.
-fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
-    if !tokens[i].is_punct('#') {
-        return None;
-    }
-    let open = next_significant(tokens, i + 1)?;
-    if !tokens[open].is_punct('[') {
-        return None;
-    }
-    let mut depth = 0i32;
-    let mut saw_cfg = false;
-    let mut saw_test = false;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        match &t.kind {
-            TokenKind::Punct('[') => depth += 1,
-            TokenKind::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return (saw_cfg && saw_test).then_some(j);
-                }
-            }
-            TokenKind::Ident(s) if s == "cfg" => saw_cfg = true,
-            TokenKind::Ident(s) if s == "test" => saw_test = true,
-            _ => {}
-        }
-    }
-    None
-}
-
-fn next_significant(tokens: &[Token], mut i: usize) -> Option<usize> {
-    while i < tokens.len() {
-        if !tokens[i].is_comment() {
-            return Some(i);
-        }
-        i += 1;
-    }
-    None
-}
-
 /// R1: banned hash collections in simulation crates.
-fn rule_r1(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if test_mask[i] {
+fn rule_r1(f: &ParsedFile, out: &mut Vec<Violation>) {
+    for (i, t) in f.tokens.iter().enumerate() {
+        if f.test_mask[i] {
             continue;
         }
         if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
             out.push(Violation {
                 rule: "R1",
-                path: path.to_string(),
+                path: f.rel.clone(),
                 line: t.line,
                 token: name.to_string(),
                 hint: format!(
@@ -384,16 +359,16 @@ fn rule_r1(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
 }
 
 /// R2: wall-clock, threads and environment-dependent I/O in sim crates.
-fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
+fn rule_r2(f: &ParsedFile, out: &mut Vec<Violation>) {
     // Single banned identifiers.
-    for (i, t) in tokens.iter().enumerate() {
-        if test_mask[i] {
+    for (i, t) in f.tokens.iter().enumerate() {
+        if f.test_mask[i] {
             continue;
         }
         if let Some(name @ ("Instant" | "SystemTime")) = t.ident() {
             out.push(Violation {
                 rule: "R2",
-                path: path.to_string(),
+                path: f.rel.clone(),
                 line: t.line,
                 token: name.to_string(),
                 hint: "wall-clock breaks seeded reproducibility; model time with rambda_des::SimTime"
@@ -403,7 +378,7 @@ fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
     }
     // Banned `a::b` paths (matched on significant tokens so whitespace and
     // comments between segments cannot hide them).
-    let sig: Vec<(usize, &Token)> = tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+    let sig: Vec<(usize, &Token)> = f.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
     let banned_paths: [(&str, &str, &str); 3] = [
         ("thread", "spawn", "real threads have no place inside a deterministic simulation"),
         ("std", "env", "environment access makes runs machine-dependent; pass configuration explicitly"),
@@ -411,14 +386,14 @@ fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
     ];
     for w in sig.windows(4) {
         let [(i0, a), (_, c1), (_, c2), (_, b)] = w else { continue };
-        if test_mask[*i0] || !c1.is_punct(':') || !c2.is_punct(':') {
+        if f.test_mask[*i0] || !c1.is_punct(':') || !c2.is_punct(':') {
             continue;
         }
         for (first, second, why) in &banned_paths {
             if a.ident() == Some(first) && b.ident() == Some(second) {
                 out.push(Violation {
                     rule: "R2",
-                    path: path.to_string(),
+                    path: f.rel.clone(),
                     line: a.line,
                     token: format!("{first}::{second}"),
                     hint: (*why).to_string(),
@@ -429,17 +404,17 @@ fn rule_r2(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
 }
 
 /// R5: print-family macros outside driver binaries and the bench crate.
-fn rule_r5(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
-    let sig: Vec<(usize, &Token)> = tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+fn rule_r5(f: &ParsedFile, out: &mut Vec<Violation>) {
+    let sig: Vec<(usize, &Token)> = f.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
     for w in sig.windows(2) {
         let [(i0, mac), (_, bang)] = w else { continue };
-        if test_mask[*i0] || !bang.is_punct('!') {
+        if f.test_mask[*i0] || !bang.is_punct('!') {
             continue;
         }
         if let Some(name @ ("println" | "eprintln" | "print" | "eprint")) = mac.ident() {
             out.push(Violation {
                 rule: "R5",
-                path: path.to_string(),
+                path: f.rel.clone(),
                 line: mac.line,
                 token: format!("{name}!"),
                 hint: "simulation crates stay silent; print from a src/bin driver or the bench tables"
@@ -449,132 +424,43 @@ fn rule_r5(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Viola
     }
 }
 
-/// One scanned source file, retained for the cross-file R6 pass.
-struct ScannedFile {
-    rel: String,
-    source: String,
-    tokens: Vec<Token>,
-    test_mask: Vec<bool>,
-}
-
-/// Marks every token belonging to a `use ...;` item (including `pub use`):
-/// re-exporting a deprecated shim keeps it reachable without endorsing it.
-fn mask_use_statements(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].ident() == Some("use") {
-            while i < tokens.len() {
-                mask[i] = true;
-                if tokens[i].is_punct(';') {
-                    break;
-                }
-                i += 1;
-            }
-        }
-        i += 1;
-    }
-    mask
-}
-
 /// R6: deprecated runner shims point at `SimBuilder`, and nothing in-tree
 /// outside a shim's own file still calls one.
 ///
-/// Two passes. The first collects every `#[deprecated] pub fn` and checks
-/// that the attribute's raw text contains `use SimBuilder` (the lexer
-/// discards string-literal contents, so the note is checked against the
-/// source lines of the attribute). The second flags any identifier use of a
-/// collected name outside its defining file(s), skipping test modules and
-/// `use` statements.
-fn rule_r6(files: &[ScannedFile], out: &mut Vec<Violation>) {
-    use std::collections::BTreeMap;
+/// Two passes over the parse layer. The first collects every
+/// `#[deprecated] pub fn` item and checks its attribute text for
+/// `use SimBuilder`. The second flags any identifier use of a collected
+/// name outside its defining file(s), skipping test modules and `use`
+/// statements.
+fn rule_r6(files: &[ParsedFile], out: &mut Vec<Violation>) {
     // name -> files defining a deprecated fn of that name.
     let mut deprecated: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
 
     for f in files {
-        let sig: Vec<(usize, &Token)> =
-            f.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
-        for (si, &(ti, t)) in sig.iter().enumerate() {
-            if f.test_mask[ti] || !t.is_punct('#') {
+        for item in &f.items {
+            if item.kind != ItemKind::Fn || item.vis != Vis::Pub || !item.deprecated || item.in_test {
                 continue;
             }
-            let (Some(&(_, open)), Some(&(_, kw))) = (sig.get(si + 1), sig.get(si + 2)) else { continue };
-            if !open.is_punct('[') || kw.ident() != Some("deprecated") {
-                continue;
-            }
-            // The attribute's closing `]`.
-            let mut depth = 0i32;
-            let mut close = None;
-            for (sj, &(_, u)) in sig.iter().enumerate().skip(si + 1) {
-                match u.kind {
-                    TokenKind::Punct('[') => depth += 1,
-                    TokenKind::Punct(']') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            close = Some(sj);
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            let Some(close) = close else { continue };
-            // Skip any further attributes, then expect `pub fn <name>`.
-            let mut sj = close + 1;
-            while sig.get(sj).is_some_and(|&(_, u)| u.is_punct('#')) {
-                let mut depth = 0i32;
-                sj += 1;
-                while let Some(&(_, u)) = sig.get(sj) {
-                    sj += 1;
-                    match u.kind {
-                        TokenKind::Punct('[') => depth += 1,
-                        TokenKind::Punct(']') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            let name = match (sig.get(sj), sig.get(sj + 1), sig.get(sj + 2)) {
-                (Some(&(_, p)), Some(&(_, kw_fn)), Some(&(_, n)))
-                    if p.ident() == Some("pub") && kw_fn.ident() == Some("fn") =>
-                {
-                    match n.ident() {
-                        Some(name) => name,
-                        None => continue,
-                    }
-                }
-                _ => continue,
-            };
-            // The note must route callers to the replacement. Check the raw
-            // source lines of the attribute (string contents are not in the
-            // token stream).
-            let first = t.line as usize;
-            let last = sig[close].1.end_line as usize;
-            let attr_text =
-                f.source.lines().skip(first - 1).take(last - first + 1).collect::<Vec<_>>().join("\n");
-            if !attr_text.contains("use SimBuilder") {
+            // The note must route callers to the replacement; the parse
+            // layer retains the attributes' raw source text.
+            if !item.attr_text.contains("use SimBuilder") {
                 out.push(Violation {
                     rule: "R6",
                     path: f.rel.clone(),
-                    line: t.line,
-                    token: name.to_string(),
+                    line: f.tokens[item.span.0].line,
+                    token: item.name.clone(),
                     hint: "deprecated runner shims must carry note = \"use SimBuilder ...\" so every \
                            caller is routed to the replacement"
                         .to_string(),
                 });
             }
-            deprecated.entry(name).or_default().push(&f.rel);
+            deprecated.entry(&item.name).or_default().push(&f.rel);
         }
     }
 
     for f in files {
-        let use_mask = mask_use_statements(&f.tokens);
         for (i, t) in f.tokens.iter().enumerate() {
-            if f.test_mask[i] || use_mask[i] {
+            if f.test_mask[i] || f.use_mask[i] {
                 continue;
             }
             let Some(name) = t.ident() else { continue };
@@ -594,16 +480,355 @@ fn rule_r6(files: &[ScannedFile], out: &mut Vec<Violation>) {
     }
 }
 
+/// The shared-ownership / interior-mutability markers R7 refuses on
+/// machine-reachable types: each one lets two partitions alias the same
+/// mutable cell (or, for `Rc`, pins the type to one thread).
+const SHARED_CELLS: [&str; 8] = ["Rc", "Arc", "RefCell", "Cell", "UnsafeCell", "OnceCell", "Mutex", "RwLock"];
+
+/// R7: partition safety for parallel DES. Flags process-global mutable
+/// state (`static mut`, `thread_local!`) in sim crates, and shared-cell
+/// fields on any type reachable from the machine type through the
+/// workspace field-type graph — each diagnostic carries the reachability
+/// path that makes the sharing concrete.
+fn rule_r7(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
+    let sim: Vec<&ParsedFile> =
+        files.iter().filter(|f| cfg.sim_crates.contains(&f.crate_name) && !f.is_bin).collect();
+
+    for f in &sim {
+        for item in &f.items {
+            if item.in_test {
+                continue;
+            }
+            if item.kind == ItemKind::Static && item.mutable {
+                out.push(Violation {
+                    rule: "R7",
+                    path: f.rel.clone(),
+                    line: item.line,
+                    token: format!("static mut {}", item.name),
+                    hint: "process-global mutable state is shared by every simulated machine; own it \
+                           per machine so partitions stay independent"
+                        .to_string(),
+                });
+            }
+            if item.kind == ItemKind::MacroCall && item.name == "thread_local" {
+                out.push(Violation {
+                    rule: "R7",
+                    path: f.rel.clone(),
+                    line: item.line,
+                    token: "thread_local!".to_string(),
+                    hint: "thread-local state silently diverges once partitions run on worker threads; \
+                           own the state per machine instead"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    let graph = TypeGraph::build(sim.iter().copied());
+    let reach = graph.reachable(std::slice::from_ref(&cfg.machine_type));
+    for (ty, path) in &reach {
+        for def in graph.defs.get(ty).into_iter().flatten() {
+            if !cfg.sim_crates.contains(&def.crate_name) {
+                continue;
+            }
+            for field in &def.fields {
+                let Some(marker) = field.ty_idents.iter().find(|t| SHARED_CELLS.contains(&t.as_str())) else {
+                    continue;
+                };
+                out.push(Violation {
+                    rule: "R7",
+                    path: def.rel.clone(),
+                    line: field.line,
+                    token: format!("{ty}.{}: {marker}", field.name),
+                    hint: format!(
+                        "{marker} on a type reachable from a simulated machine ({path}) aliases state \
+                         across partitions; give each machine exclusive ownership"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Ambient entropy sources R8 bans: any of these severs a run's output
+/// from its seed.
+const ENTROPY_SOURCES: [&str; 5] = ["thread_rng", "from_entropy", "OsRng", "getrandom", "RandomState"];
+
+/// R8 (per file): RNG provenance. `SimRng::seed` calls outside the RNG's
+/// own `impl` must take an argument that names a seed; entropy sources and
+/// RNG `.clone()` are banned outright.
+fn rule_r8_file(cfg: &Config, f: &ParsedFile, out: &mut Vec<Violation>) {
+    // Constructions inside `impl SimRng` are the primitives themselves
+    // (`fork` and `stream` both bottom out in `seed`).
+    let own_impl: Vec<(usize, usize)> = f
+        .items
+        .iter()
+        .filter(|i| i.kind == ItemKind::Impl && i.name == "SimRng")
+        .filter_map(|i| i.body)
+        .collect();
+    let in_own_impl = |idx: usize| own_impl.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let sig: Vec<(usize, &Token)> = f.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+
+    for (si, &(i0, t)) in sig.iter().enumerate() {
+        if f.test_mask[i0] {
+            continue;
+        }
+        // Entropy sources, anywhere in live code.
+        if let Some(name) = t.ident() {
+            if ENTROPY_SOURCES.contains(&name) {
+                out.push(Violation {
+                    rule: "R8",
+                    path: f.rel.clone(),
+                    line: t.line,
+                    token: name.to_string(),
+                    hint: "ambient entropy severs the run from its seed; all randomness flows from the \
+                           workload seed via SimRng::stream(seed, salt)"
+                        .to_string(),
+                });
+            }
+        }
+        // `SimRng::seed(args)` with args that don't mention a seed.
+        if t.ident() == Some("SimRng") && !in_own_impl(i0) {
+            let path_call = (
+                sig.get(si + 1).map(|&(_, u)| u.is_punct(':')),
+                sig.get(si + 2).map(|&(_, u)| u.is_punct(':')),
+                sig.get(si + 3).and_then(|&(_, u)| u.ident()),
+                sig.get(si + 4).map(|&(_, u)| u.is_punct('(')),
+            );
+            if let (Some(true), Some(true), Some("seed"), Some(true)) = path_call {
+                let args = call_args(&sig, si + 4);
+                let arg_idents: Vec<String> =
+                    args.iter().filter_map(|t| t.ident()).map(str::to_lowercase).collect();
+                if arg_idents.is_empty() {
+                    out.push(Violation {
+                        rule: "R8",
+                        path: f.rel.clone(),
+                        line: t.line,
+                        token: "SimRng::seed".to_string(),
+                        hint: "literal seed severs provenance from the workload seed; derive the stream \
+                               with SimRng::stream(cfg.seed, SALT) or fork an existing RNG"
+                            .to_string(),
+                    });
+                } else if !arg_idents.iter().any(|id| id.contains("seed") || id.contains("salt")) {
+                    out.push(Violation {
+                        rule: "R8",
+                        path: f.rel.clone(),
+                        line: t.line,
+                        token: "SimRng::seed".to_string(),
+                        hint: "the seed argument does not flow from a workload seed; thread the run's \
+                               seed through and salt it (SimRng::stream / fork)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        // `rng.clone()` duplicates a stream: both copies emit the same
+        // draws, which is never what a partitioned simulation wants.
+        if let Some(name) = t.ident() {
+            let is_rng = name == "rng" || name.ends_with("_rng") || name.ends_with("Rng");
+            let cloned = sig.get(si + 1).is_some_and(|&(_, u)| u.is_punct('.'))
+                && sig.get(si + 2).is_some_and(|&(_, u)| u.ident() == Some("clone"))
+                && sig.get(si + 3).is_some_and(|&(_, u)| u.is_punct('('));
+            if is_rng && cloned && !in_own_impl(i0) {
+                out.push(Violation {
+                    rule: "R8",
+                    path: f.rel.clone(),
+                    line: t.line,
+                    token: format!("{name}.clone()"),
+                    hint: "cloning an RNG duplicates its stream across owners; fork() a salted child \
+                           stream instead"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Structural half: one RNG owned beside multiple machines serves both
+    // sides of a future partition boundary.
+    for item in &f.items {
+        if !matches!(item.kind, ItemKind::Struct | ItemKind::Union) || item.in_test {
+            continue;
+        }
+        let machines: usize = item
+            .fields
+            .iter()
+            .map(|fl| {
+                if !fl.ty_idents.iter().any(|t| t == &cfg.machine_type) {
+                    0
+                } else if fl.ty_idents.iter().any(|t| matches!(t.as_str(), "Vec" | "VecDeque" | "BTreeMap")) {
+                    2 // a collection of machines is always "more than one"
+                } else {
+                    1
+                }
+            })
+            .sum();
+        if machines < 2 {
+            continue;
+        }
+        for fl in &item.fields {
+            if fl.ty_idents.iter().any(|t| t == "SimRng") {
+                out.push(Violation {
+                    rule: "R8",
+                    path: f.rel.clone(),
+                    line: fl.line,
+                    token: format!("{}.{}: SimRng", item.name, fl.name),
+                    hint: format!(
+                        "one RNG owned beside {machines} machines feeds both sides of a partition \
+                         boundary; fork() a salted per-machine stream instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The argument tokens of a call whose `(` sits at significant index
+/// `open` — everything up to the matching `)`.
+fn call_args<'a>(sig: &[(usize, &'a Token)], open: usize) -> Vec<&'a Token> {
+    let mut depth = 0i32;
+    let mut args = Vec::new();
+    for &(_, t) in &sig[open..] {
+        match t.kind {
+            TokenKind::Punct('(') => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        args.push(t);
+    }
+    args
+}
+
+/// R9: identity coverage. Every counter suffix published from a stats
+/// crate's `publish_metrics` must appear in some `validate_*` string
+/// literal in the metrics crate — the conservation identities read
+/// counters by suffix, so an unmentioned suffix is an unguarded counter.
+fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
+    struct Published {
+        rel: String,
+        line: u32,
+        suffix: String,
+    }
+
+    // Collect `m.set("...")` format strings inside `publish_metrics` fns.
+    let mut published: Vec<Published> = Vec::new();
+    for f in files.iter().filter(|f| cfg.stats_crates.contains(&f.crate_name)) {
+        for item in &f.items {
+            if item.kind != ItemKind::Fn || item.name != "publish_metrics" || item.in_test {
+                continue;
+            }
+            let Some((b0, b1)) = item.body else { continue };
+            let body = &f.tokens[b0..=b1.min(f.tokens.len().saturating_sub(1))];
+            let sig: Vec<&Token> = body.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in sig.iter().enumerate() {
+                if t.ident() != Some("set")
+                    || !sig.get(i.wrapping_sub(1)).is_some_and(|u| u.is_punct('.'))
+                    || !sig.get(i + 1).is_some_and(|u| u.is_punct('('))
+                {
+                    continue;
+                }
+                // The first string literal among the arguments is the
+                // counter name (possibly a `format!` template).
+                let mut depth = 0i32;
+                for u in &sig[i + 1..] {
+                    match u.kind {
+                        TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if let Some(text) = u.str_text() {
+                        let suffix = strip_placeholders(text);
+                        let suffix = suffix.trim_start_matches('.');
+                        if !suffix.is_empty() {
+                            published.push(Published {
+                                rel: f.rel.clone(),
+                                line: u.line,
+                                suffix: suffix.to_string(),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect every suffix-like string literal in `validate_*` fns.
+    let mut covered: Vec<String> = Vec::new();
+    for f in files.iter().filter(|f| cfg.identity_crates.contains(&f.crate_name)) {
+        for item in &f.items {
+            if item.kind != ItemKind::Fn || !item.name.starts_with("validate") || item.in_test {
+                continue;
+            }
+            let Some((b0, b1)) = item.body else { continue };
+            for t in &f.tokens[b0..=b1.min(f.tokens.len().saturating_sub(1))] {
+                let Some(text) = t.str_text() else { continue };
+                let n = strip_placeholders(text);
+                // Error-message literals contain spaces; counter suffixes
+                // don't.
+                if !n.is_empty() && !n.contains(char::is_whitespace) {
+                    covered.push(n);
+                }
+            }
+        }
+    }
+
+    for p in &published {
+        let hit = covered
+            .iter()
+            .any(|c| c.trim_start_matches('.') == p.suffix || c.ends_with(&format!(".{}", p.suffix)));
+        if !hit {
+            out.push(Violation {
+                rule: "R9",
+                path: p.rel.clone(),
+                line: p.line,
+                token: p.suffix.clone(),
+                hint: format!(
+                    "counter `{}` is published into the MetricSet but no validate_* conservation \
+                     identity mentions it; add one to the metrics report validation",
+                    p.suffix
+                ),
+            });
+        }
+    }
+}
+
+/// Removes `{...}` format placeholders from a format-string literal:
+/// `"{prefix}.doorbells"` becomes `".doorbells"`.
+fn strip_placeholders(text: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// R3, per file: unsafe confinement, SAFETY comments, lint attributes.
-fn rule_r3_file(
-    cfg: &Config,
-    crate_name: &str,
-    path: &str,
-    is_lib_rs: bool,
-    tokens: &[Token],
-    out: &mut Vec<Violation>,
-) {
+fn rule_r3_file(cfg: &Config, crate_name: &str, is_lib_rs: bool, f: &ParsedFile, out: &mut Vec<Violation>) {
     let is_unsafe_crate = crate_name == cfg.unsafe_crate;
+    let tokens = &f.tokens;
+    let path = &f.rel;
 
     if !is_unsafe_crate {
         for t in tokens {
@@ -689,132 +914,52 @@ fn has_ident_pair(tokens: &[Token], first: &str, second: &str) -> bool {
     })
 }
 
-const ITEM_KEYWORDS: [&str; 9] = ["fn", "struct", "enum", "trait", "union", "const", "static", "type", "mod"];
-
-/// R4: every `pub` item carries a doc comment.
-fn rule_r4(path: &str, tokens: &[Token], test_mask: &[bool], out: &mut Vec<Violation>) {
-    let mut has_doc = false;
-    let mut i = 0;
-    while i < tokens.len() {
-        if test_mask[i] {
-            has_doc = false;
-            i += 1;
+/// R4: every `pub` item carries a doc comment. Re-hosted on the parse
+/// layer: an item is documented iff a `///` doc comment or `#[doc]`
+/// attribute sits in its preamble; `pub(crate)`, `pub use`, modules
+/// (documented by `//!` inside their own file) and struct fields are
+/// exempt.
+fn rule_r4(f: &ParsedFile, out: &mut Vec<Violation>) {
+    for item in &f.items {
+        if item.vis != Vis::Pub || item.in_test || item.docd {
             continue;
         }
-        let t = &tokens[i];
-        match &t.kind {
-            TokenKind::DocComment { inner: false, .. } => {
-                has_doc = true;
-                i += 1;
-            }
-            TokenKind::LineComment(_) | TokenKind::BlockComment(_) | TokenKind::DocComment { .. } => {
-                i += 1;
-            }
-            TokenKind::Punct('#') => {
-                // Skip an attribute without clearing pending doc state;
-                // `#[doc = "..."]` counts as documentation.
-                let Some(open) = next_significant(tokens, i + 1) else { break };
-                if tokens[open].is_punct('[') {
-                    let mut depth = 0i32;
-                    let mut j = open;
-                    let mut saw_doc_attr = false;
-                    while j < tokens.len() {
-                        match &tokens[j].kind {
-                            TokenKind::Punct('[') => depth += 1,
-                            TokenKind::Punct(']') => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    break;
-                                }
-                            }
-                            TokenKind::Ident(s) if s == "doc" => saw_doc_attr = true,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                    has_doc |= saw_doc_attr;
-                    i = j + 1;
-                } else {
-                    has_doc = false;
-                    i += 1;
-                }
-            }
-            TokenKind::Ident(kw) if kw == "pub" => {
-                if let Some((line, item)) = pub_item(tokens, i) {
-                    if !has_doc {
-                        out.push(Violation {
-                            rule: "R4",
-                            path: path.to_string(),
-                            line,
-                            token: item,
-                            hint: "document every public item in the foundation crates (/// ...)".to_string(),
-                        });
-                    }
-                }
-                has_doc = false;
-                i += 1;
-            }
-            _ => {
-                has_doc = false;
-                i += 1;
-            }
-        }
+        let kw = match item.kind {
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Trait => "trait",
+            ItemKind::Union => "union",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+            ItemKind::TypeAlias => "type",
+            ItemKind::Mod | ItemKind::Impl | ItemKind::Use | ItemKind::MacroCall => continue,
+        };
+        out.push(Violation {
+            rule: "R4",
+            path: f.rel.clone(),
+            line: item.line,
+            token: format!("pub {kw} {}", item.name),
+            hint: "document every public item in the foundation crates (/// ...)".to_string(),
+        });
     }
-}
-
-/// If `tokens[i]` (known to be `pub`) heads a documentable public item,
-/// returns its line and a `pub <kind> <name>` description. `pub(crate)`,
-/// `pub use` and struct fields return `None`.
-fn pub_item(tokens: &[Token], i: usize) -> Option<(u32, String)> {
-    let mut j = next_significant(tokens, i + 1)?;
-    if tokens[j].is_punct('(') {
-        return None; // pub(crate) / pub(super): not public API
-    }
-    // Skip qualifiers (`const fn`, `unsafe fn`, `async fn`, `extern "C" fn`).
-    let mut kind: Option<&str> = None;
-    for _ in 0..4 {
-        match tokens[j].ident() {
-            Some("use") => return None,
-            Some(w @ ("const" | "static")) => {
-                kind = Some(w);
-                j = next_significant(tokens, j + 1)?;
-                // `pub const fn` / `pub const unsafe fn`: keep scanning.
-                if !matches!(tokens[j].ident(), Some("fn" | "unsafe" | "async" | "extern")) {
-                    break;
-                }
-            }
-            Some(w) if ITEM_KEYWORDS.contains(&w) => {
-                kind = Some(w);
-                j = next_significant(tokens, j + 1)?;
-                break;
-            }
-            Some("unsafe" | "async" | "extern") => {
-                j = next_significant(tokens, j + 1)?;
-            }
-            _ => break,
-        }
-    }
-    let kind = kind?;
-    if kind == "mod" {
-        return None; // module docs live as //! inside the module file
-    }
-    // The item's name: the next identifier (skip `extern "C"` strings).
-    let name = tokens[j..].iter().take(4).find_map(|t| t.ident()).unwrap_or("?");
-    Some((tokens[i].line, format!("pub {kind} {name}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse("test.rs", "kvs", src.to_string())
+    }
+
     fn run_rule<F>(src: &str, f: F) -> Vec<Violation>
     where
-        F: Fn(&str, &[Token], &[bool], &mut Vec<Violation>),
+        F: Fn(&ParsedFile, &mut Vec<Violation>),
     {
-        let tokens = lex(src);
-        let mask = mask_test_mods(&tokens);
+        let pf = parse(src);
         let mut out = Vec::new();
-        f("test.rs", &tokens, &mask, &mut out);
+        f(&pf, &mut out);
         out
     }
 
@@ -831,7 +976,7 @@ mod tests {
     #[test]
     fn r2_flags_wallclock_threads_and_env() {
         let v = run_rule(
-            "use std::time::Instant;\nstd::thread::spawn(f);\nlet h = std::env::var(\"HOME\");",
+            "use std::time::Instant;\nfn f() { std::thread::spawn(f); let h = std::env::var(\"HOME\"); }",
             rule_r2,
         );
         let tokens: Vec<&str> = v.iter().map(|v| v.token.as_str()).collect();
@@ -843,9 +988,9 @@ mod tests {
 
     fn run_r3(src: &str, crate_name: &str, is_lib: bool) -> Vec<Violation> {
         let cfg = Config::rambda(PathBuf::from("."));
-        let tokens = lex(src);
+        let pf = ParsedFile::parse("test.rs", crate_name, src.to_string());
         let mut out = Vec::new();
-        rule_r3_file(&cfg, crate_name, "test.rs", is_lib, &tokens, &mut out);
+        rule_r3_file(&cfg, crate_name, is_lib, &pf, &mut out);
         out
     }
 
@@ -894,6 +1039,9 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].token, "pub const X");
         assert_eq!(v[1].token, "pub fn f");
+        // Methods inside impl blocks are covered too.
+        let v = run_rule("pub struct S;\nimpl S { pub fn m(&self) {} }", rule_r4);
+        assert!(v.iter().any(|v| v.token == "pub fn m"), "{v:?}");
     }
 
     #[test]
@@ -909,15 +1057,14 @@ mod tests {
         assert!(run_rule("fn print() {} fn g() { print(); }", rule_r5).is_empty());
     }
 
-    fn scanned(rel: &str, src: &str) -> ScannedFile {
-        let tokens = lex(src);
-        let test_mask = mask_test_mods(&tokens);
-        ScannedFile { rel: rel.to_string(), source: src.to_string(), tokens, test_mask }
+    fn parsed(rel: &str, src: &str) -> ParsedFile {
+        let crate_name = rel.split('/').nth(1).unwrap_or("kvs");
+        ParsedFile::parse(rel, crate_name, src.to_string())
     }
 
     #[test]
     fn r6_requires_a_simbuilder_note_on_deprecated_shims() {
-        let good = scanned(
+        let good = parsed(
             "crates/kvs/src/designs.rs",
             "#[deprecated(note = \"use SimBuilder with Design::kvs_rambda\")]\npub fn run_old() {}",
         );
@@ -925,7 +1072,7 @@ mod tests {
         rule_r6(&[good], &mut out);
         assert!(out.is_empty(), "a routed note must pass: {out:?}");
 
-        let bad = scanned(
+        let bad = parsed(
             "crates/kvs/src/designs.rs",
             "#[deprecated(note = \"old entry point\")]\npub fn run_old() {}",
         );
@@ -938,20 +1085,174 @@ mod tests {
 
     #[test]
     fn r6_flags_external_callers_but_not_reexports_tests_or_the_shim_itself() {
-        let def = scanned(
+        let def = parsed(
             "crates/kvs/src/designs.rs",
             "#[deprecated(note = \"use SimBuilder\")]\npub fn run_old() {}\nfn helper() { run_old(); }",
         );
-        let reexport = scanned(
+        let reexport = parsed(
             "crates/kvs/src/lib.rs",
             "#[allow(deprecated)]\npub use designs::run_old;\n#[cfg(test)]\nmod t { fn f() { run_old(); } }",
         );
-        let caller = scanned("crates/bench/src/harness.rs", "fn sweep() { let r = run_old(); }");
+        let caller = parsed("crates/bench/src/harness.rs", "fn sweep() { let r = run_old(); }");
         let mut out = Vec::new();
         rule_r6(&[def, reexport, caller], &mut out);
         assert_eq!(out.len(), 1, "only the live external caller may trip: {out:?}");
         assert_eq!(out[0].path, "crates/bench/src/harness.rs");
         assert_eq!(out[0].token, "run_old");
+    }
+
+    fn run_cross<F>(files: Vec<ParsedFile>, f: F) -> Vec<Violation>
+    where
+        F: Fn(&Config, &[ParsedFile], &mut Vec<Violation>),
+    {
+        let cfg = Config::rambda(PathBuf::from("."));
+        let mut out = Vec::new();
+        f(&cfg, &files, &mut out);
+        out
+    }
+
+    #[test]
+    fn r7_flags_globals_and_reachable_cells_with_paths() {
+        let v = run_cross(
+            vec![parsed(
+                "crates/kvs/src/lib.rs",
+                "pub static mut TICKS: u64 = 0;\nthread_local! { static S: u64 = 0; }",
+            )],
+            rule_r7,
+        );
+        let tokens: Vec<&str> = v.iter().map(|v| v.token.as_str()).collect();
+        assert!(tokens.contains(&"static mut TICKS"), "{v:?}");
+        assert!(tokens.contains(&"thread_local!"), "{v:?}");
+
+        // A RefCell two hops from Machine is flagged, with the path.
+        let v = run_cross(
+            vec![
+                parsed("crates/core/src/machine.rs", "pub struct Machine { pub cache: CacheModel }"),
+                parsed(
+                    "crates/mem/src/cache.rs",
+                    "use std::rc::Rc;\npub struct CacheModel { pub lines: Rc<RefCell<u64>> }",
+                ),
+            ],
+            rule_r7,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].token.contains("CacheModel.lines"), "{v:?}");
+        assert!(v[0].hint.contains("Machine"), "the hint carries the path: {v:?}");
+
+        // The same cell on an unreachable type is NOT flagged.
+        let v = run_cross(
+            vec![parsed("crates/mem/src/cache.rs", "pub struct Island { pub c: RefCell<u64> }")],
+            rule_r7,
+        );
+        assert!(v.is_empty(), "unreachable types are not partition hazards: {v:?}");
+
+        // Test modules are exempt.
+        let v = run_cross(
+            vec![parsed("crates/kvs/src/lib.rs", "#[cfg(test)]\nmod t { pub static mut X: u64 = 0; }")],
+            rule_r7,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r8_flags_literal_seeds_entropy_and_clones() {
+        let cfg = Config::rambda(PathBuf::from("."));
+        let run = |src: &str| {
+            let pf = parsed("crates/kvs/src/lib.rs", src);
+            let mut out = Vec::new();
+            rule_r8_file(&cfg, &pf, &mut out);
+            out
+        };
+        let v = run("fn f() { let rng = SimRng::seed(42); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].token, "SimRng::seed");
+        // A seed that flows from the workload config passes.
+        assert!(run("fn f(params: &P) { let rng = SimRng::seed(params.seed); }").is_empty());
+        assert!(run("fn f(cfg: &C) { let rng = SimRng::seed(cfg.seed ^ SALT); }").is_empty());
+        // A non-seed argument is an unsalted root.
+        let v = run("fn f(tick: u64) { let rng = SimRng::seed(tick); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Entropy sources and clones.
+        let v = run("fn f() { let s = RandomState::new(); }");
+        assert_eq!(v[0].token, "RandomState");
+        let v = run("fn f(rng: &SimRng) { let dup = rng.clone(); }");
+        assert_eq!(v[0].token, "rng.clone()");
+        // Inside `impl SimRng`, seed() calls are the primitive itself.
+        assert!(
+            run("impl SimRng { pub fn fork(&mut self) -> Self { SimRng::seed(self.next()) } }").is_empty()
+        );
+        // Tests may seed literally.
+        assert!(run("#[cfg(test)]\nmod t { fn f() { let r = SimRng::seed(42); } }").is_empty());
+    }
+
+    #[test]
+    fn r8_flags_one_rng_owned_beside_multiple_machines() {
+        let cfg = Config::rambda(PathBuf::from("."));
+        let pf = parsed(
+            "crates/txn/src/designs.rs",
+            "struct World { client: rambda::Machine, server: rambda::Machine, rng: SimRng }",
+        );
+        let mut out = Vec::new();
+        rule_r8_file(&cfg, &pf, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].token, "World.rng: SimRng");
+
+        // One machine + one RNG is fine; a Vec of machines is not.
+        let one = parsed("crates/txn/src/designs.rs", "struct W { m: Machine, rng: SimRng }");
+        let mut out = Vec::new();
+        rule_r8_file(&cfg, &one, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let many = parsed("crates/txn/src/designs.rs", "struct W { ms: Vec<Machine>, rng: SimRng }");
+        let mut out = Vec::new();
+        rule_r8_file(&cfg, &many, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn r9_uncovered_counters_are_flagged() {
+        let rnic = parsed(
+            "crates/rnic/src/endpoint.rs",
+            "impl E { pub fn publish_metrics(&self, m: &mut M, prefix: &str) {\n\
+             m.set(&format!(\"{prefix}.doorbells\"), self.d);\n\
+             m.set(&format!(\"{prefix}.wqes\"), self.w);\n } }",
+        );
+        let metrics = parsed(
+            "crates/metrics/src/report.rs",
+            "impl R { fn validate_rnic(&self) { let w = self.sum(\".wqes\"); } }",
+        );
+        let v = run_cross(vec![rnic, metrics], rule_r9);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "doorbells");
+        assert_eq!(v[0].path, "crates/rnic/src/endpoint.rs");
+    }
+
+    #[test]
+    fn r9_covered_counters_pass_and_error_strings_do_not_cover() {
+        let rnic = parsed(
+            "crates/rnic/src/endpoint.rs",
+            "impl E { pub fn publish_metrics(&self, m: &mut M, p: &str) {\n\
+             m.set(&format!(\"{p}.cqes\"), self.c);\n } }",
+        );
+        // An error-message literal mentioning the counter does NOT count as
+        // an identity; a suffix literal does.
+        let vague = parsed(
+            "crates/metrics/src/report.rs",
+            "impl R { fn validate_x(&self) { let e = \"too many cqes in flight\"; } }",
+        );
+        let v = run_cross(vec![rnic, vague], rule_r9);
+        assert_eq!(v.len(), 1, "prose must not satisfy coverage: {v:?}");
+
+        let exact = parsed(
+            "crates/metrics/src/report.rs",
+            "impl R { fn validate_rnic(&self) { let c = self.sum(\".cqes\"); } }",
+        );
+        let rnic2 = parsed(
+            "crates/rnic/src/endpoint.rs",
+            "impl E { pub fn publish_metrics(&self, m: &mut M, p: &str) {\n\
+             m.set(&format!(\"{p}.cqes\"), self.c);\n } }",
+        );
+        let v = run_cross(vec![rnic2, exact], rule_r9);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
@@ -961,5 +1262,13 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].rule, "R1");
         assert!(parse_allowlist("R1 only-two").is_err());
+    }
+
+    #[test]
+    fn allowlist_entries_without_a_reason_are_errors() {
+        let err = parse_allowlist("R1 crates/des/src/detmap.rs HashMap\n").unwrap_err();
+        assert!(err.contains("no `# reason`"), "{err}");
+        let err = parse_allowlist("R1 crates/des/src/detmap.rs HashMap  #   \n").unwrap_err();
+        assert!(err.contains("no `# reason`"), "{err}");
     }
 }

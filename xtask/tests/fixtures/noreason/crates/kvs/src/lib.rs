@@ -1,0 +1,17 @@
+//! Fixture for `cargo xtask analyze`: a clean simulation crate paired with
+//! an allowlist entry that carries no `# reason` — the analyzer must refuse
+//! to run. Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic state: B-tree iteration is key-sorted.
+pub struct Shard {
+    entries: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Number of live entries.
+pub fn live(shard: &Shard) -> usize {
+    shard.entries.len()
+}

@@ -1,0 +1,25 @@
+//! Negative fixture for rule R7 (partition safety): process-global mutable
+//! state and a shared cell reachable from the machine type. Never compiled —
+//! scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+static mut EPOCH: u64 = 0;
+
+thread_local! {
+    static TICKS: u64 = 0;
+}
+
+pub struct Machine {
+    pub state: SharedState,
+    pub cycles: u64,
+}
+
+pub struct SharedState {
+    pub cache: Rc<RefCell<Vec<u8>>>,
+}
+
+pub fn advance(m: &mut Machine) {
+    m.cycles += 1;
+    let _ = &m.state;
+}

@@ -1,0 +1,26 @@
+//! Clean fixture for rule R7: every machine owns its state exclusively, and
+//! the one shared cell in the crate is NOT reachable from the machine type
+//! (reachability gating must keep it silent). Never compiled — scanned by
+//! xtask/tests.
+
+#![forbid(unsafe_code)]
+
+pub struct Machine {
+    pub state: OwnedState,
+    pub cycles: u64,
+}
+
+pub struct OwnedState {
+    pub cache: Vec<u8>,
+}
+
+/// Host-side bookkeeping, never owned by a simulated machine: a Cell here
+/// must not trip R7 because no machine can reach it.
+pub struct HostTelemetry {
+    pub polls: Cell<u64>,
+}
+
+pub fn advance(m: &mut Machine) {
+    m.cycles += 1;
+    let _ = &m.state.cache;
+}

@@ -1,0 +1,18 @@
+//! Negative fixture for rule R9: the conservation identity only mentions
+//! `.wqes`, so `.doorbells` and `.cqes` published by the rnic fixture are
+//! unguarded. The error prose names "doorbells" but contains whitespace, so
+//! it must NOT count as coverage. Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Summed counters grouped by suffix.
+pub struct Totals;
+
+/// Checks WQE accounting only: doorbells and cqes are left unguarded.
+pub fn validate_rnic(totals: &Totals) -> Result<(), String> {
+    let wqes = totals.sum(".wqes");
+    if wqes > 1_000_000 {
+        return Err(format!("{wqes} WQEs posted but the doorbells disagree"));
+    }
+    Ok(())
+}

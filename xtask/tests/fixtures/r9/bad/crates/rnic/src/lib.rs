@@ -1,0 +1,11 @@
+//! Negative fixture for rule R9 (identity coverage): `publish_metrics`
+//! publishes three counters but the metrics crate's validate fixture only
+//! guards one of them. Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+pub fn publish_metrics(m: &mut MetricSet, prefix: &str) {
+    m.set(&format!("{prefix}.doorbells"), 7);
+    m.set(&format!("{prefix}.wqes"), 9);
+    m.set(&format!("{prefix}.cqes"), 9);
+}

@@ -1,0 +1,20 @@
+//! Clean fixture for rule R9: the conservation identities mention every
+//! counter suffix the rnic fixture publishes. Never compiled — scanned by
+//! xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Summed counters grouped by suffix.
+pub struct Totals;
+
+/// Doorbell and completion accounting over the published counters.
+pub fn validate_rnic(totals: &Totals) -> Result<(), String> {
+    let wqes = totals.sum(".wqes");
+    if totals.sum(".doorbells") > wqes {
+        return Err(format!("more doorbells than WQEs"));
+    }
+    if totals.sum(".cqes") > wqes {
+        return Err(format!("more completions than WQEs"));
+    }
+    Ok(())
+}

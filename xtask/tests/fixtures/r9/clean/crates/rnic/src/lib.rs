@@ -1,0 +1,11 @@
+//! Clean fixture for rule R9: every counter published here is mentioned by
+//! a validate_* identity in the metrics fixture. Never compiled — scanned
+//! by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+pub fn publish_metrics(m: &mut MetricSet, prefix: &str) {
+    m.set(&format!("{prefix}.doorbells"), 7);
+    m.set(&format!("{prefix}.wqes"), 9);
+    m.set(&format!("{prefix}.cqes"), 9);
+}
