@@ -10,6 +10,12 @@
 //! and `<name>.tail.json` (tail-latency attribution for the `--worst <n>`
 //! slowest requests, default 10).
 //!
+//! With `--profile <dir>` it runs one quick-mode runner (`--profile-runner
+//! <name|all>`, default `kvs.rambda`) with both profiler sides attached and
+//! writes `<name>.profile.json` (deterministic: event-core telemetry,
+//! critical-path/parallelism analysis, lookahead bounds) plus a shared
+//! `host.folded` (wall-clock flamegraph input, non-deterministic).
+//!
 //! With `--loss <rate>` a seeded lossy fault plan is injected into the
 //! fabric. In headline mode this prints a clean-vs-lossy comparison of the
 //! KVS Rambda design (recovery counters, tail cost); in trace mode the
@@ -30,7 +36,7 @@ use rambda_kvs::designs as kvs;
 use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::{Json, RunReport};
 use rambda_power::{kop_per_watt, Design as PowerDesign, PowerConfig};
-use rambda_trace::Tracer;
+use rambda_trace::{profile_json, HostProf, Tracer};
 use rambda_txn::{run_hyperloop, run_rambda_tx, TxnDesigns, TxnParams};
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
@@ -53,8 +59,19 @@ const RUNNERS: [&str; 9] = [
 
 fn usage() -> ! {
     eprintln!("usage: report [--trace <dir>] [--trace-runner <name|all>] [--worst <n>] [--loss <rate>]");
+    eprintln!("              [--profile <dir>] [--profile-runner <name|all>]");
     eprintln!("runners: {}", RUNNERS.join(", "));
     exit(2);
+}
+
+/// Fail-fast runner-name validation shared by `--trace-runner` and
+/// `--profile-runner`: rejects an unknown name with the valid-runner
+/// listing before any runner executes or any output directory is created.
+fn check_runner(flag: &str, name: &str) {
+    if name != "all" && !RUNNERS.contains(&name) {
+        eprintln!("unknown runner `{name}` for {flag} — valid runners: all, {}", RUNNERS.join(", "));
+        exit(2);
+    }
 }
 
 fn main() {
@@ -62,6 +79,9 @@ fn main() {
     let mut trace_dir = std::env::var("RAMBDA_TRACE").ok();
     let mut runner = "kvs.rambda".to_string();
     let mut trace_flags_seen = false;
+    let mut profile_dir: Option<String> = None;
+    let mut profile_runner = "kvs.rambda".to_string();
+    let mut profile_flags_seen = false;
     let mut worst = 10usize;
     let mut loss = 0.0f64;
     let mut i = 0;
@@ -82,6 +102,15 @@ fn main() {
                 trace_flags_seen = true;
                 i += 2;
             }
+            "--profile" => {
+                profile_dir = Some(value(i));
+                i += 2;
+            }
+            "--profile-runner" => {
+                profile_runner = value(i);
+                profile_flags_seen = true;
+                i += 2;
+            }
             "--loss" => {
                 loss = value(i).parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&loss) {
@@ -95,12 +124,14 @@ fn main() {
     }
     // Fail fast on a bad or pointless selection, before any runner executes
     // or any output directory is created.
-    if runner != "all" && !RUNNERS.contains(&runner.as_str()) {
-        eprintln!("unknown runner `{runner}` — valid runners: all, {}", RUNNERS.join(", "));
-        exit(2);
-    }
+    check_runner("--trace-runner", &runner);
+    check_runner("--profile-runner", &profile_runner);
     if trace_flags_seen && trace_dir.is_none() {
         eprintln!("--trace-runner/--worst have no effect without --trace <dir> (or RAMBDA_TRACE=<dir>)");
+        exit(2);
+    }
+    if profile_flags_seen && profile_dir.is_none() {
+        eprintln!("--profile-runner has no effect without --profile <dir>");
         exit(2);
     }
 
@@ -108,6 +139,10 @@ fn main() {
     let faults = FaultConfig::lossy(FAULT_SEED, loss);
     if let Some(dir) = trace_dir {
         trace_exports(&tb, &dir, &runner, worst, &faults);
+        return;
+    }
+    if let Some(dir) = profile_dir {
+        profile_exports(&tb, &dir, &profile_runner);
         return;
     }
     if faults.is_active() {
@@ -338,6 +373,63 @@ fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize, faults: &F
         t.print();
         println!("{name}: {} -> {dir}/{name}.trace.json (+ .trace.bin, .tail.json)", tracer.summary());
     }
+}
+
+/// Runs the selected runner(s) with both profiler sides attached and writes
+/// two artifacts per runner plus one per invocation:
+///
+/// * `<name>.profile.json` — the deterministic profile (event-core
+///   telemetry, critical-path/parallelism analysis, per-machine-pair
+///   lookahead bounds); byte-identical across same-seed runs.
+/// * `host.folded` — folded-stack wall-clock attribution across all
+///   profiled runners (`<name>;<phase> <ns>` lines for `flamegraph.pl`);
+///   non-deterministic by nature, git-ignored, never golden-tested.
+fn profile_exports(tb: &Testbed, dir: &str, runner: &str) {
+    fs::create_dir_all(dir).expect("create profile output dir");
+    // The wall-clock side: `Instant` is fine here (binaries are exempt from
+    // the determinism rules); the sim crates only ever see the closure.
+    let t0 = std::time::Instant::now();
+    let mut prof = HostProf::new(move || t0.elapsed().as_nanos() as u64);
+    let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
+    let mut t = Table::new(
+        "parallel-DES readiness — deterministic profile",
+        &["runner", "parallelism", "lookahead min us", "events dispatched"],
+    );
+    for name in names {
+        let mut tracer = Tracer::flight_recorder();
+        let report = prof.time(&format!("{name};run"), || {
+            SimBuilder::new(design_for(name)).config(tb).tracer(&mut tracer).profile().run()
+        });
+        prof.time(&format!("{name};validate"), || {
+            report.validate().expect("inconsistent run report");
+            if let Err(e) = tracer.cross_validate(&report) {
+                eprintln!("{name}: trace/report cross-validation failed: {e}");
+                exit(1);
+            }
+        });
+        let doc = prof.time(&format!("{name};render"), || profile_json(&report, &tracer));
+        fs::write(format!("{dir}/{name}.profile.json"), &doc).expect("write profile json");
+
+        let cp = tracer.critical_path().expect("flight recorder analyzes the critical path");
+        let lookahead_min = report
+            .resources
+            .counters()
+            .filter(|(n, _)| n.contains(".lookahead.") && n.ends_with(".min_ps"))
+            .map(|(_, v)| v)
+            .min();
+        let dispatched = report.event_core.as_ref().map_or(0, |ec| ec.dispatched);
+        t.row(vec![
+            name.into(),
+            format!("{:.2}x", cp.parallelism_ratio()),
+            lookahead_min.map_or("-".into(), |ps| format!("{:.2}", ps as f64 / 1.0e6)),
+            dispatched.to_string(),
+        ]);
+        println!("{name}: profile -> {dir}/{name}.profile.json");
+    }
+    fs::write(format!("{dir}/host.folded"), prof.export_folded()).expect("write folded stacks");
+    t.print();
+    println!("Wall-clock attribution (non-deterministic): {dir}/host.folded");
+    println!("Readiness summary with partition-safety status: cargo xtask profile");
 }
 
 /// Renders a run report's critical-path stage breakdown as a table.

@@ -21,6 +21,7 @@ use rambda::{micro, Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
 use rambda_fabric::FaultConfig;
 use rambda_metrics::{Json, RunReport};
+use rambda_trace::Tracer;
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
 use crate::Table;
@@ -65,6 +66,14 @@ pub struct BenchPoint {
     pub peak_window_p99_ps: u64,
     /// Largest per-window utilization across all resources.
     pub peak_utilization: f64,
+    /// Whole-run parallelism ratio (total busy work ÷ critical path) from
+    /// the deterministic profiler; `None` unless the sweep ran with
+    /// `--profile`. Omitted from the JSON when `None`, so baselines
+    /// written before the profiler existed stay byte-identical.
+    pub parallelism_ratio: Option<f64>,
+    /// Events dispatched by the run's event core (scheduler telemetry);
+    /// `None` unless the sweep ran with `--profile`.
+    pub events_dispatched: Option<u64>,
 }
 
 impl BenchPoint {
@@ -92,6 +101,8 @@ impl BenchPoint {
             window_completed: tl.windows.iter().map(|w| w.count).collect(),
             peak_window_p99_ps: tl.peak_p99_ps(),
             peak_utilization: tl.peak_utilization(),
+            parallelism_ratio: None,
+            events_dispatched: None,
         })
     }
 
@@ -110,6 +121,12 @@ impl BenchPoint {
         o.push("window_completed", Json::Arr(self.window_completed.iter().map(|&v| Json::U64(v)).collect()));
         o.push("peak_window_p99_ps", Json::U64(self.peak_window_p99_ps));
         o.push("peak_utilization", Json::F64(self.peak_utilization));
+        if let Some(ratio) = self.parallelism_ratio {
+            o.push("parallelism_ratio", Json::F64(ratio));
+        }
+        if let Some(dispatched) = self.events_dispatched {
+            o.push("events_dispatched", Json::U64(dispatched));
+        }
         o
     }
 
@@ -128,8 +145,47 @@ impl BenchPoint {
             window_completed: get_u64_arr(j, "window_completed")?,
             peak_window_p99_ps: get_u64(j, "peak_window_p99_ps")?,
             peak_utilization: get_f64(j, "peak_utilization")?,
+            parallelism_ratio: match j.get("parallelism_ratio") {
+                Some(Json::F64(v)) => Some(*v),
+                Some(Json::U64(v)) => Some(*v as f64),
+                _ => None,
+            },
+            events_dispatched: match j.get("events_dispatched") {
+                Some(Json::U64(v)) => Some(*v),
+                _ => None,
+            },
         })
     }
+}
+
+/// Runs one sweep point, optionally under the deterministic profiler.
+///
+/// With `profile` set, the run carries a flight-recorder tracer and the
+/// builder's `profile()` telemetry, and the point records the whole-run
+/// parallelism ratio plus the event core's dispatch count. Profiling only
+/// observes — it never perturbs the simulated events — so the headline
+/// numbers are identical either way.
+fn run_point(
+    design: Design,
+    name: &str,
+    x: &str,
+    tb: &Testbed,
+    faults: Option<FaultConfig>,
+    profile: bool,
+) -> Result<BenchPoint, String> {
+    let mut builder = SimBuilder::new(design).config(tb);
+    if let Some(f) = faults {
+        builder = builder.faults(f);
+    }
+    if !profile {
+        return BenchPoint::from_report(name, x, &builder.run());
+    }
+    let mut tracer = Tracer::flight_recorder();
+    let report = builder.tracer(&mut tracer).profile().run();
+    let mut point = BenchPoint::from_report(name, x, &report)?;
+    point.parallelism_ratio = tracer.critical_path().map(|cp| cp.parallelism_ratio());
+    point.events_dispatched = report.event_core.as_ref().map(|ec| ec.dispatched);
+    Ok(point)
 }
 
 /// A complete sweep: its identity, mode, tolerance, and curve points.
@@ -189,22 +245,32 @@ impl SweepResult {
     }
 
     /// Renders the sweep as an ASCII table with a per-run throughput
-    /// sparkline (completions per timeline window).
+    /// sparkline (completions per timeline window). Profiled sweeps gain
+    /// parallelism-ratio and event-dispatch columns.
     pub fn render_table(&self) -> String {
-        let mut t = Table::new(
-            &format!("{} [{}]", self.sweep, self.mode),
-            &["design", "x", "Mops", "p50 us", "p99 us", "peak util", "throughput/window"],
-        );
+        let profiled = self.points.iter().any(|p| p.parallelism_ratio.is_some());
+        let mut headers = vec!["design", "x", "Mops", "p50 us", "p99 us", "peak util"];
+        if profiled {
+            headers.push("par");
+            headers.push("events");
+        }
+        headers.push("throughput/window");
+        let mut t = Table::new(&format!("{} [{}]", self.sweep, self.mode), &headers);
         for p in &self.points {
-            t.row(vec![
+            let mut cells = vec![
                 p.design.clone(),
                 p.x.clone(),
                 format!("{:.3}", p.throughput_ops / 1.0e6),
                 format!("{:.2}", p.p50_ps as f64 / 1.0e6),
                 format!("{:.2}", p.p99_ps as f64 / 1.0e6),
                 format!("{:.2}", p.peak_utilization),
-                sparkline(&p.window_completed),
-            ]);
+            ];
+            if profiled {
+                cells.push(p.parallelism_ratio.map_or_else(|| "-".to_string(), |r| format!("{r:.2}x")));
+                cells.push(p.events_dispatched.map_or_else(|| "-".to_string(), |n| n.to_string()));
+            }
+            cells.push(sparkline(&p.window_completed));
+            t.row(cells);
         }
         t.render()
     }
@@ -279,20 +345,22 @@ pub fn is_gating(name: &str) -> bool {
     name != "faults_sweep"
 }
 
-/// Runs one sweep end to end.
+/// Runs one sweep end to end. With `profile` set, every point also runs
+/// the deterministic profiler (parallelism-ratio and event-core rows in
+/// the sweep JSON and table).
 ///
 /// # Errors
 ///
 /// Returns an unknown-sweep message (listing valid names), or the first
 /// report that failed its telemetry validation.
-pub fn run_sweep(name: &str, quick: bool) -> Result<SweepResult, String> {
+pub fn run_sweep(name: &str, quick: bool, profile: bool) -> Result<SweepResult, String> {
     let mode = if quick { "quick" } else { "full" };
     let points = match name {
-        "micro_designs" => micro_designs(quick)?,
-        "kvs_load" => kvs_load(quick)?,
-        "txn_latency" => txn_latency(quick)?,
-        "dlrm_load" => dlrm_load(quick)?,
-        "faults_sweep" => faults_sweep(quick)?,
+        "micro_designs" => micro_designs(quick, profile)?,
+        "kvs_load" => kvs_load(quick, profile)?,
+        "txn_latency" => txn_latency(quick, profile)?,
+        "dlrm_load" => dlrm_load(quick, profile)?,
+        "faults_sweep" => faults_sweep(quick, profile)?,
         other => return Err(format!("unknown sweep `{other}` — valid sweeps: {}", sweep_names().join(", "))),
     };
     let tolerance = Tolerance { max_throughput_drop: 0.05, max_p99_rise: 0.10 };
@@ -301,7 +369,7 @@ pub fn run_sweep(name: &str, quick: bool) -> Result<SweepResult, String> {
 
 /// Fig. 7-style design comparison: CPU core scaling vs. the Rambda
 /// variants on the pointer-chase microbenchmark.
-fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
+fn micro_designs(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     let tb = Testbed::default();
     let p = if quick {
         micro::MicroParams { requests: 6_000, ..micro::MicroParams::quick() }
@@ -310,8 +378,14 @@ fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
     };
     let mut points = Vec::new();
     for cores in [1usize, 8, 16] {
-        let report = SimBuilder::new(Design::micro_cpu(p, cores, 16)).config(&tb).run();
-        points.push(BenchPoint::from_report(&format!("cpu-{cores}"), "micro", &report)?);
+        points.push(run_point(
+            Design::micro_cpu(p, cores, 16),
+            &format!("cpu-{cores}"),
+            "micro",
+            &tb,
+            None,
+            profile,
+        )?);
     }
     let variants: [(&str, DataLocation, bool); 4] = [
         ("rambda-polling", DataLocation::HostDram, false),
@@ -320,14 +394,20 @@ fn micro_designs(quick: bool) -> Result<Vec<BenchPoint>, String> {
         ("rambda-lh", DataLocation::LocalHbm, true),
     ];
     for (design, location, cpoll) in variants {
-        let report = SimBuilder::new(Design::micro_rambda(p, location, cpoll, 1)).config(&tb).run();
-        points.push(BenchPoint::from_report(design, "micro", &report)?);
+        points.push(run_point(
+            Design::micro_rambda(p, location, cpoll, 1),
+            design,
+            "micro",
+            &tb,
+            None,
+            profile,
+        )?);
     }
     Ok(points)
 }
 
 /// Fig. 9-style KVS offered-load sweep: per-client pipeline window × design.
-fn kvs_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
+fn kvs_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     let tb = Testbed::default();
     let base = if quick { KvsParams { requests: 8_000, ..KvsParams::quick() } } else { KvsParams::paper() };
@@ -335,19 +415,23 @@ fn kvs_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
     for window in [1usize, 4, 16] {
         let p = KvsParams { window, ..base.clone() };
         let x = format!("window={window}");
-        let cpu = SimBuilder::new(Design::kvs_cpu(p.clone())).config(&tb).run();
-        points.push(BenchPoint::from_report("cpu", &x, &cpu)?);
-        let rambda = SimBuilder::new(Design::kvs_rambda(p.clone(), DataLocation::HostDram)).config(&tb).run();
-        points.push(BenchPoint::from_report("rambda", &x, &rambda)?);
-        let smartnic = SimBuilder::new(Design::kvs_smartnic(p.clone())).config(&tb).run();
-        points.push(BenchPoint::from_report("smartnic", &x, &smartnic)?);
+        points.push(run_point(Design::kvs_cpu(p.clone()), "cpu", &x, &tb, None, profile)?);
+        points.push(run_point(
+            Design::kvs_rambda(p.clone(), DataLocation::HostDram),
+            "rambda",
+            &x,
+            &tb,
+            None,
+            profile,
+        )?);
+        points.push(run_point(Design::kvs_smartnic(p.clone()), "smartnic", &x, &tb, None, profile)?);
     }
     Ok(points)
 }
 
 /// Fig. 12-style replicated-transaction comparison: HyperLoop chain vs.
 /// Rambda-Tx, for write-only and read-write transactions.
-fn txn_latency(quick: bool) -> Result<Vec<BenchPoint>, String> {
+fn txn_latency(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
     let specs: [(&str, TxnSpec); 2] =
@@ -356,33 +440,49 @@ fn txn_latency(quick: bool) -> Result<Vec<BenchPoint>, String> {
     for (x, spec) in specs {
         let p =
             if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
-        let hl = SimBuilder::new(Design::txn_hyperloop(p.clone())).config(&tb).run();
-        points.push(BenchPoint::from_report("hyperloop", x, &hl)?);
-        let rt = SimBuilder::new(Design::txn_rambda_tx(p.clone())).config(&tb).run();
-        points.push(BenchPoint::from_report("rambda_tx", x, &rt)?);
+        points.push(run_point(Design::txn_hyperloop(p.clone()), "hyperloop", x, &tb, None, profile)?);
+        points.push(run_point(Design::txn_rambda_tx(p.clone()), "rambda_tx", x, &tb, None, profile)?);
     }
     Ok(points)
 }
 
 /// Fig. 13-style DLRM serving comparison on the Books embedding profile.
-fn dlrm_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
+fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_dlrm::{DlrmDesigns, DlrmParams};
     let tb = Testbed::default();
-    let profile = DlrmProfile::by_name("Books").ok_or("Books DLRM profile missing")?;
+    let embeddings = DlrmProfile::by_name("Books").ok_or("Books DLRM profile missing")?;
     let p = if quick {
-        DlrmParams { queries: 1_500, ..DlrmParams::quick(profile) }
+        DlrmParams { queries: 1_500, ..DlrmParams::quick(embeddings) }
     } else {
-        DlrmParams::paper(profile)
+        DlrmParams::paper(embeddings)
     };
     let mut points = Vec::new();
     for cores in [1usize, 8] {
-        let report = SimBuilder::new(Design::dlrm_cpu(p.clone(), cores)).config(&tb).run();
-        points.push(BenchPoint::from_report(&format!("cpu-{cores}"), "Books", &report)?);
+        points.push(run_point(
+            Design::dlrm_cpu(p.clone(), cores),
+            &format!("cpu-{cores}"),
+            "Books",
+            &tb,
+            None,
+            profile,
+        )?);
     }
-    let report = SimBuilder::new(Design::dlrm_rambda(p.clone(), DataLocation::HostDram)).config(&tb).run();
-    points.push(BenchPoint::from_report("rambda", "Books", &report)?);
-    let report = SimBuilder::new(Design::dlrm_rambda(p.clone(), DataLocation::LocalHbm)).config(&tb).run();
-    points.push(BenchPoint::from_report("rambda-lh", "Books", &report)?);
+    points.push(run_point(
+        Design::dlrm_rambda(p.clone(), DataLocation::HostDram),
+        "rambda",
+        "Books",
+        &tb,
+        None,
+        profile,
+    )?);
+    points.push(run_point(
+        Design::dlrm_rambda(p.clone(), DataLocation::LocalHbm),
+        "rambda-lh",
+        "Books",
+        &tb,
+        None,
+        profile,
+    )?);
     Ok(points)
 }
 
@@ -390,7 +490,7 @@ fn dlrm_load(quick: bool) -> Result<Vec<BenchPoint>, String> {
 /// Rambda designs under increasing injected packet loss. The zero-loss point
 /// anchors each curve; the lossy points show the recovery layer's cost
 /// (retransmissions push the tail up while throughput barely moves).
-fn faults_sweep(quick: bool) -> Result<Vec<BenchPoint>, String> {
+fn faults_sweep(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
@@ -399,16 +499,22 @@ fn faults_sweep(quick: bool) -> Result<Vec<BenchPoint>, String> {
     let xp = if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
     let mut points = Vec::new();
     for (x, loss) in [("loss=0", 0.0), ("loss=1e-4", 1e-4), ("loss=1e-3", 1e-3)] {
-        let kvs = SimBuilder::new(Design::kvs_rambda(kp.clone(), DataLocation::HostDram))
-            .config(&tb)
-            .faults(FaultConfig::lossy(0xFA17, loss))
-            .run();
-        points.push(BenchPoint::from_report("kvs_rambda", x, &kvs)?);
-        let txn = SimBuilder::new(Design::txn_rambda_tx(xp.clone()))
-            .config(&tb)
-            .faults(FaultConfig::lossy(0xFA17, loss))
-            .run();
-        points.push(BenchPoint::from_report("txn_rambda_tx", x, &txn)?);
+        points.push(run_point(
+            Design::kvs_rambda(kp.clone(), DataLocation::HostDram),
+            "kvs_rambda",
+            x,
+            &tb,
+            Some(FaultConfig::lossy(0xFA17, loss)),
+            profile,
+        )?);
+        points.push(run_point(
+            Design::txn_rambda_tx(xp.clone()),
+            "txn_rambda_tx",
+            x,
+            &tb,
+            Some(FaultConfig::lossy(0xFA17, loss)),
+            profile,
+        )?);
     }
     Ok(points)
 }
@@ -471,6 +577,8 @@ mod tests {
                 window_completed: vec![100, 120, 130, 120, 110, 100, 120, 100, 50, 50],
                 peak_window_p99_ps: 10_000_000,
                 peak_utilization: 0.85,
+                parallelism_ratio: None,
+                events_dispatched: None,
             }],
         }
     }
@@ -527,10 +635,35 @@ mod tests {
 
     #[test]
     fn unknown_sweep_lists_valid_names() {
-        let err = run_sweep("nope", true).unwrap_err();
+        let err = run_sweep("nope", true, false).unwrap_err();
         for name in sweep_names() {
             assert!(err.contains(name), "{err}");
         }
+    }
+
+    #[test]
+    fn profile_fields_are_optional_and_round_trip() {
+        // A point without profile data serializes without the keys, so
+        // pre-profiler baselines stay byte-identical and still parse.
+        let bare = tiny_sweep().to_json_string();
+        assert!(!bare.contains("parallelism_ratio"), "{bare}");
+        assert!(!bare.contains("events_dispatched"), "{bare}");
+        let parsed = SweepResult::from_json_str(&bare).expect("parses");
+        assert_eq!(parsed.points[0].parallelism_ratio, None);
+        assert_eq!(parsed.points[0].events_dispatched, None);
+
+        let mut profiled = tiny_sweep();
+        profiled.points[0].parallelism_ratio = Some(1.25);
+        profiled.points[0].events_dispatched = Some(30_000);
+        let text = profiled.to_json_string();
+        let back = SweepResult::from_json_str(&text).expect("parses");
+        assert_eq!(back, profiled);
+        assert_eq!(back.to_json_string(), text);
+        let table = profiled.render_table();
+        assert!(table.contains("1.25x"), "{table}");
+        assert!(table.contains("events"), "{table}");
+        // An unprofiled sweep keeps the original table shape.
+        assert!(!tiny_sweep().render_table().contains("par"), "no profile columns");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (after a warm-up) and latency as the full issue→response span, so
 //! queueing at every modelled resource shows up in the tail.
 
-use rambda_des::{EventQueue, Histogram, SimTime, Span};
+use rambda_des::{EventCoreStats, EventQueue, Histogram, SimTime, Span};
 use serde::{Deserialize, Serialize};
 
 /// Driver parameters.
@@ -48,6 +48,9 @@ pub struct RunStats {
     /// Simulated time of the last completion (the run's makespan) — the
     /// denominator for resource-utilization figures in run reports.
     pub makespan: Span,
+    /// Event-core telemetry captured from the driver's event queue after the
+    /// run drains (dispatch counts, wheel-tier hits, sim-time dwell).
+    pub event_core: EventCoreStats,
 }
 
 impl RunStats {
@@ -81,6 +84,8 @@ where
 {
     assert!(cfg.clients > 0 && cfg.window > 0 && cfg.requests > 0, "empty driver config");
     let mut queue: EventQueue<(usize, SimTime)> = EventQueue::new();
+    let prime_kind = queue.kind("prime");
+    let serve_kind = queue.kind("serve");
     let mut issued = 0u64;
 
     // Prime every client's window.
@@ -92,7 +97,7 @@ where
             // Tiny stagger keeps initial issues deterministic but ordered.
             let t0 = SimTime::from_ps(issued);
             let done = serve(c, t0);
-            queue.push(done, (c, t0));
+            queue.push_kind(done, prime_kind, (c, t0));
             issued += 1;
         }
     }
@@ -116,7 +121,7 @@ where
         }
         if issued < cfg.requests {
             let next = serve(client, done);
-            queue.push(next, (client, done));
+            queue.push_kind(next, serve_kind, (client, done));
             issued += 1;
         }
     }
@@ -128,6 +133,7 @@ where
         throughput_ops: throughput,
         latency,
         makespan: window_end.saturating_since(SimTime::ZERO),
+        event_core: queue.stats().clone(),
     }
 }
 

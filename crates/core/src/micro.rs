@@ -153,7 +153,7 @@ fn run_cpu_inner(
     batch: usize,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _ } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _ } = ctx;
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
@@ -241,7 +241,7 @@ fn run_rambda_inner(
     seed: u64,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _ } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _ } = ctx;
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
         (_, l) => l,

@@ -55,6 +55,10 @@ pub struct SimCtx<'a> {
     /// Fault plan to install on the run's `Network` (disabled by default).
     /// Single-machine designs without a network ignore it.
     pub faults: &'a FaultConfig,
+    /// Whether the run is being profiled: designs with a network record
+    /// per-machine-pair lookahead bounds and publish them, and the builder
+    /// attaches event-core telemetry to the report.
+    pub profile: bool,
 }
 
 /// Builds a throwaway [`SimCtx`] (disabled recorder, tracer and fault
@@ -68,8 +72,13 @@ macro_rules! rambda_stats_only_ctx {
         let mut resources = ::rambda_metrics::MetricSet::new();
         let mut tracer = ::rambda_trace::Tracer::disabled();
         let faults = ::rambda_fabric::FaultConfig::disabled();
-        let $ctx =
-            $crate::SimCtx { rec: &mut rec, resources: &mut resources, tracer: &mut tracer, faults: &faults };
+        let $ctx = $crate::SimCtx {
+            rec: &mut rec,
+            resources: &mut resources,
+            tracer: &mut tracer,
+            faults: &faults,
+            profile: false,
+        };
     };
 }
 
@@ -124,13 +133,20 @@ pub struct SimBuilder<'a> {
     testbed: Testbed,
     faults: FaultConfig,
     tracer: Option<&'a mut Tracer>,
+    profile: bool,
 }
 
 impl<'a> SimBuilder<'a> {
     /// Starts a run of `design` on the default Tab. II testbed, with
     /// faults disabled and no flight recorder.
     pub fn new(design: Design) -> Self {
-        SimBuilder { design, testbed: Testbed::default(), faults: FaultConfig::disabled(), tracer: None }
+        SimBuilder {
+            design,
+            testbed: Testbed::default(),
+            faults: FaultConfig::disabled(),
+            tracer: None,
+            profile: false,
+        }
     }
 
     /// Uses `testbed` instead of the default configuration.
@@ -154,15 +170,33 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Enables deterministic profiling: the report gains an `event_core`
+    /// section (scheduler telemetry with validated conservation identities)
+    /// and network designs publish per-machine-pair lookahead bounds.
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Runs the design and assembles its [`RunReport`].
     pub fn run(self) -> RunReport {
         let mut rec = StageRecorder::active();
         let mut resources = MetricSet::new();
         let mut no_tracer = Tracer::disabled();
         let tracer = self.tracer.unwrap_or(&mut no_tracer);
-        let ctx = SimCtx { rec: &mut rec, resources: &mut resources, tracer, faults: &self.faults };
+        let ctx = SimCtx {
+            rec: &mut rec,
+            resources: &mut resources,
+            tracer,
+            faults: &self.faults,
+            profile: self.profile,
+        };
         let stats = (self.design.run)(&self.testbed, ctx);
-        build_report(self.design.name, self.design.seed, &stats, &mut rec, resources)
+        let mut report = build_report(self.design.name, self.design.seed, &stats, &mut rec, resources);
+        if self.profile {
+            report.attach_event_core(rambda_metrics::EventCoreSummary::of(&stats.event_core, 0));
+        }
+        report
     }
 }
 
@@ -174,7 +208,7 @@ mod tests {
 
     fn toy_design(seed: u64) -> Design {
         Design::from_runner("toy", seed, |_tb, ctx| {
-            let SimCtx { rec, resources, tracer, faults } = ctx;
+            let SimCtx { rec, resources, tracer, faults, profile: _ } = ctx;
             assert!(!faults.is_active(), "toy design runs healthy");
             let mut server = Server::new(2);
             let stats = run_closed_loop(&DriverConfig::new(2, 2_000), |_c, at| {

@@ -50,7 +50,7 @@ mod time;
 
 pub use detmap::{DetHashMap, DetHashSet};
 pub use hist::Histogram;
-pub use queue::EventQueue;
+pub use queue::{EventCoreStats, EventKind, EventQueue, KindStats};
 pub use resource::{Link, Server, Throttle, Transfer};
 pub use rng::SimRng;
 pub use sampler::SampleClock;

@@ -19,11 +19,66 @@ const BUCKETS: usize = 256;
 /// models. The width re-adapts on every re-anchor.
 const INITIAL_WIDTH_SHIFT: u32 = 20;
 
-/// A scheduled-event ticket: time, global insertion sequence, arena slot.
+/// A scheduled-event ticket: time, global insertion sequence, arena slot,
+/// event-kind index.
 ///
-/// Tickets are `Copy` and 24 bytes, so sorting a bucket never moves event
+/// Tickets are `Copy` and small, so sorting a bucket never moves event
 /// payloads — those stay put in the arena until popped.
-type Ticket = (SimTime, u64, u32);
+type Ticket = (SimTime, u64, u32, u8);
+
+/// A registered event-kind handle, returned by [`EventQueue::kind`] and
+/// accepted by [`EventQueue::push_kind`]. Kind `0` is the pre-registered
+/// default every plain [`EventQueue::push`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKind(u8);
+
+/// Per-event-kind telemetry: how many events of this kind were scheduled
+/// and fired, and their cumulative sim-time dwell (enqueue→fire).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Kind name as registered via [`EventQueue::kind`].
+    pub name: &'static str,
+    /// Events of this kind scheduled.
+    pub pushes: u64,
+    /// Events of this kind dispatched.
+    pub pops: u64,
+    /// Cumulative scheduled-ahead sim time (fire time minus the queue's
+    /// current time at push), picoseconds.
+    pub held_ps: u64,
+}
+
+/// Deterministic event-core telemetry, accumulated by every push/pop.
+///
+/// All counters are pure functions of the event sequence, so same-seed runs
+/// produce identical stats. The conservation identities the metrics layer
+/// checks (`validate_event_core`): `dispatched == enqueued − cancelled −
+/// pending`, and the tier hits telescope to the total enqueues
+/// (`drain_hits + near_hits + far_hits == enqueued`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCoreStats {
+    /// Total events scheduled.
+    pub enqueued: u64,
+    /// Total events fired.
+    pub dispatched: u64,
+    /// Total events cancelled before firing (reserved; the queue has no
+    /// cancel API yet, so this is always zero today).
+    pub cancelled: u64,
+    /// Cumulative enqueue→fire sim-time dwell across all events,
+    /// picoseconds.
+    pub dwell_ps: u64,
+    /// Pushes routed into the already-drained time range.
+    pub drain_hits: u64,
+    /// Pushes routed into the near wheel.
+    pub near_hits: u64,
+    /// Pushes routed into the far overflow.
+    pub far_hits: u64,
+    /// Wheel re-anchor events (near range exhausted, overflow redistributed).
+    pub reanchors: u64,
+    /// Tickets redistributed from the far overflow across all re-anchors.
+    pub redistributed: u64,
+    /// Per-kind breakdown, in registration order (kind 0 first).
+    pub kinds: Vec<KindStats>,
+}
 
 /// A deterministic time-ordered queue of events.
 ///
@@ -77,6 +132,11 @@ pub struct EventQueue<E> {
     floor: SimTime,
     /// Far overflow: unsorted tickets at or beyond the wheel horizon.
     far: Vec<Ticket>,
+    /// Time of the most recent pop — the queue's notion of "now", used to
+    /// charge each push its enqueue→fire dwell.
+    last_pop: SimTime,
+    /// Always-on deterministic telemetry (see [`EventCoreStats`]).
+    stats: EventCoreStats,
 }
 
 impl<E> EventQueue<E> {
@@ -97,7 +157,29 @@ impl<E> EventQueue<E> {
             cursor: 0,
             floor: SimTime::ZERO,
             far: Vec::new(),
+            last_pop: SimTime::ZERO,
+            stats: EventCoreStats {
+                kinds: vec![KindStats { name: "event", ..KindStats::default() }],
+                ..EventCoreStats::default()
+            },
         }
+    }
+
+    /// Registers (or looks up) an event kind by name, for per-kind
+    /// telemetry. Returns the existing handle when the name is already
+    /// registered. At most 256 kinds per queue.
+    pub fn kind(&mut self, name: &'static str) -> EventKind {
+        if let Some(i) = self.stats.kinds.iter().position(|k| k.name == name) {
+            return EventKind(i as u8);
+        }
+        assert!(self.stats.kinds.len() < 256, "event-kind registry is full");
+        self.stats.kinds.push(KindStats { name, ..KindStats::default() });
+        EventKind((self.stats.kinds.len() - 1) as u8)
+    }
+
+    /// The telemetry accumulated so far.
+    pub fn stats(&self) -> &EventCoreStats {
+        &self.stats
     }
 
     /// `start + BUCKETS·2^shift`, saturating. When saturated, every
@@ -129,27 +211,41 @@ impl<E> EventQueue<E> {
         event
     }
 
-    /// Schedules `event` at `at`.
+    /// Schedules `event` at `at` under the default kind.
     pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_kind(at, EventKind(0), event);
+    }
+
+    /// Schedules `event` at `at`, attributing it to `kind` in the telemetry.
+    pub fn push_kind(&mut self, at: SimTime, kind: EventKind, event: E) {
         let seq = self.seq;
         self.seq += 1;
         let idx = self.alloc(event);
-        let ticket = (at, seq, idx);
+        let ticket = (at, seq, idx, kind.0);
         self.len += 1;
+        let held = at.as_ps().saturating_sub(self.last_pop.as_ps());
+        self.stats.enqueued += 1;
+        self.stats.dwell_ps += held;
+        let ks = &mut self.stats.kinds[kind.0 as usize];
+        ks.pushes += 1;
+        ks.held_ps += held;
         if at < self.floor {
             // Push into the already-drained time range (e.g. zero-span
             // rescheduling at `now`): keep the drain sorted. `partition_point`
             // finds where the descending (time, seq) order admits the new
             // ticket; same-time events sort after lower sequences, keeping
             // FIFO ties exact.
-            let pos = self.drain.partition_point(|&(t, s, _)| (t, s) > (at, seq));
+            self.stats.drain_hits += 1;
+            let pos = self.drain.partition_point(|&(t, s, _, _)| (t, s) > (at, seq));
             self.drain.insert(pos, ticket);
         } else if at < self.horizon {
+            self.stats.near_hits += 1;
             let bucket = ((at.as_ps() - self.near_start.as_ps()) >> self.width_shift) as usize;
             self.near[bucket].push(ticket);
             self.occupied[bucket / 64] |= 1 << (bucket % 64);
             self.near_len += 1;
         } else {
+            self.stats.far_hits += 1;
             self.far.push(ticket);
         }
     }
@@ -190,7 +286,7 @@ impl<E> EventQueue<E> {
                 // Descending (time, seq): pop() takes from the back, so the
                 // earliest event — lowest time, then lowest sequence — leaves
                 // first.
-                self.drain.sort_unstable_by_key(|&(at, seq, _)| std::cmp::Reverse((at, seq)));
+                self.drain.sort_unstable_by_key(|&(at, seq, _, _)| std::cmp::Reverse((at, seq)));
                 return true;
             }
             if self.far.is_empty() {
@@ -199,6 +295,8 @@ impl<E> EventQueue<E> {
             // Re-anchor: size the wheel so the whole overflow fits, then
             // redistribute it. Width must exceed span/BUCKETS so the maximum
             // lands strictly inside the last bucket.
+            self.stats.reanchors += 1;
+            self.stats.redistributed += self.far.len() as u64;
             let (mut min, mut max) = (self.far[0].0, self.far[0].0);
             for t in &self.far[1..] {
                 min = min.min(t.0);
@@ -225,14 +323,17 @@ impl<E> EventQueue<E> {
         if self.drain.is_empty() && !self.refill_drain() {
             return None;
         }
-        let (at, _, idx) = self.drain.pop().expect("drain was just refilled");
+        let (at, _, idx, kind) = self.drain.pop().expect("drain was just refilled");
         self.len -= 1;
+        self.last_pop = at;
+        self.stats.dispatched += 1;
+        self.stats.kinds[kind as usize].pops += 1;
         Some((at, self.release(idx)))
     }
 
     /// The time of the earliest event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        if let Some(&(at, _, _)) = self.drain.last() {
+        if let Some(&(at, _, _, _)) = self.drain.last() {
             return Some(at);
         }
         if let Some(b) = self.next_occupied(self.cursor) {
@@ -346,6 +447,39 @@ mod tests {
         assert_eq!(q.far.len(), 1);
         assert_eq!(q.pop().unwrap(), (SimTime::from_ps(horizon - 1), "before"));
         assert_eq!(q.pop().unwrap(), (SimTime::from_ps(horizon), "on"));
+    }
+
+    #[test]
+    fn event_core_stats_identities_hold() {
+        let mut q = EventQueue::new();
+        let serve = q.kind("serve");
+        assert_eq!(q.kind("serve"), serve, "re-registering a kind returns the same handle");
+        q.push(SimTime::from_ns(10), "a");
+        q.push_kind(SimTime::from_ns(20), serve, "b");
+        q.push(SimTime::from_us(500_000), "far");
+        assert_eq!(q.pop().unwrap().1, "a");
+        let s = q.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.dispatched, 1);
+        assert_eq!(s.drain_hits + s.near_hits + s.far_hits, s.enqueued);
+        assert_eq!(s.far_hits, 1, "the far-future push overflows the wheel");
+        assert_eq!(s.dispatched, s.enqueued - s.cancelled - q.len() as u64);
+        // Dwell is charged at push relative to the queue's current time
+        // (zero before any pop), total and per kind.
+        assert_eq!(s.dwell_ps, 10_000 + 20_000 + 500_000_000_000);
+        assert_eq!(s.kinds[0].name, "event");
+        assert_eq!(s.kinds[0].pushes, 2);
+        assert_eq!(s.kinds[1].name, "serve");
+        assert_eq!(s.kinds[1].pushes, 1);
+        assert_eq!(s.kinds[1].held_ps, 20_000);
+        assert_eq!(s.kinds.iter().map(|k| k.pushes).sum::<u64>(), s.enqueued);
+        // Drain the rest: the re-anchor redistributes the overflow ticket.
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.dispatched, s.enqueued);
+        assert_eq!(s.kinds.iter().map(|k| k.pops).sum::<u64>(), s.dispatched);
+        assert_eq!(s.reanchors, 1);
+        assert_eq!(s.redistributed, 1);
     }
 
     #[test]

@@ -231,9 +231,12 @@ pub fn run_cpu_report_traced(
 }
 
 fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
+    if profile {
+        net.enable_lookahead();
+    }
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut world = DlrmWorld::new(params);
@@ -303,6 +306,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimC
         resources.observe_server("cores", &core_pool);
         resources.observe_link("gather", &gather);
         net.publish_metrics(resources, "net");
+        net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -342,9 +346,12 @@ fn run_rambda_inner(
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
+    if profile {
+        net.enable_lookahead();
+    }
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
     let mut server = rambda::Machine::new(SERVER, testbed, false);
     let mut engine = AccelEngine::new(testbed.accel_config(location, true));
@@ -448,6 +455,7 @@ fn run_rambda_inner(
         preprocess_cores.publish_metrics(resources, "preprocess");
         resources.observe_server("apu_dispatch", &dispatch);
         net.publish_metrics(resources, "net");
+        net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

@@ -51,6 +51,10 @@ pub struct Network {
     ingress: BTreeMap<NodeId, Link>,
     messages: u64,
     faults: Option<FaultPlan>,
+    /// Per-(from, to) minimum observed one-way delivery latency, recorded
+    /// only when profiling enabled it — the empirical lookahead bound a
+    /// conservative parallel DES could exploit between the two machines.
+    lookahead: Option<BTreeMap<(NodeId, NodeId), Span>>,
 }
 
 /// The verdict of one fault-aware data-path transmission
@@ -81,7 +85,38 @@ pub enum TxOutcome {
 impl Network {
     /// Creates an empty network; ports materialize on first use.
     pub fn new(cfg: NetConfig) -> Self {
-        Network { cfg, egress: BTreeMap::new(), ingress: BTreeMap::new(), messages: 0, faults: None }
+        Network {
+            cfg,
+            egress: BTreeMap::new(),
+            ingress: BTreeMap::new(),
+            messages: 0,
+            faults: None,
+            lookahead: None,
+        }
+    }
+
+    /// Starts recording per-machine-pair minimum delivery latencies
+    /// (profiling only — disabled networks skip the bookkeeping entirely,
+    /// keeping unprofiled runs byte-identical).
+    pub fn enable_lookahead(&mut self) {
+        self.lookahead = Some(BTreeMap::new());
+    }
+
+    /// Folds one delivered frame's latency into the pair's minimum.
+    fn note_lookahead(&mut self, from: NodeId, to: NodeId, latency: Span) {
+        if let Some(map) = self.lookahead.as_mut() {
+            map.entry((from, to)).and_modify(|m| *m = (*m).min(latency)).or_insert(latency);
+        }
+    }
+
+    /// Publishes the recorded lookahead bounds as
+    /// `{prefix}.lookahead.<from>.<to>.min_ps` counters; publishes nothing
+    /// when [`Network::enable_lookahead`] was never called.
+    pub fn publish_lookahead(&self, m: &mut rambda_metrics::MetricSet, prefix: &str) {
+        let Some(map) = self.lookahead.as_ref() else { return };
+        for ((from, to), latency) in map {
+            m.set(&format!("{prefix}.lookahead.{}.{}.min_ps", from.0, to.0), latency.as_ps());
+        }
     }
 
     /// The active configuration.
@@ -142,6 +177,7 @@ impl Network {
         let on_wire = out + self.cfg.wire_latency;
         let arrived = Self::port(&mut self.ingress, &self.cfg, to).transfer(on_wire, framed).depart;
         self.messages += 1;
+        self.note_lookahead(from, to, arrived - at);
         arrived
     }
 
@@ -166,11 +202,13 @@ impl Network {
             Some(FaultKind::Corrupted) => {
                 let on_wire = out + self.cfg.wire_latency;
                 let arrived = Self::port(&mut self.ingress, &self.cfg, to).transfer(on_wire, framed).depart;
+                self.note_lookahead(from, to, arrived - at);
                 TxOutcome::Corrupted { at: arrived }
             }
             None => {
                 let on_wire = out + self.cfg.wire_latency;
                 let arrived = Self::port(&mut self.ingress, &self.cfg, to).transfer(on_wire, framed).depart;
+                self.note_lookahead(from, to, arrived - at);
                 TxOutcome::Delivered { at: arrived }
             }
         }
@@ -228,6 +266,9 @@ impl Network {
         self.egress.clear();
         self.ingress.clear();
         self.messages = 0;
+        if let Some(map) = self.lookahead.as_mut() {
+            map.clear();
+        }
         if let Some(p) = &self.faults {
             self.faults = Some(FaultPlan::new(p.config().clone()));
         }
@@ -351,6 +392,30 @@ mod tests {
         net.reset();
         let second = run(&mut net);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn lookahead_records_the_pair_minimum_only_when_enabled() {
+        let mut off = Network::new(NetConfig::default());
+        off.send(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        let mut m = rambda_metrics::MetricSet::new();
+        off.publish_lookahead(&mut m, "net");
+        assert_eq!(m.counters().count(), 0, "disabled recorder publishes nothing");
+
+        let mut net = Network::new(NetConfig::default());
+        net.enable_lookahead();
+        // A large frame, then a minimal one: the minimum must win.
+        net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let small = net.send(SimTime::from_us(500), NodeId(0), NodeId(1), 0);
+        let expect = (small - SimTime::from_us(500)).as_ps();
+        net.publish_lookahead(&mut m, "net");
+        assert_eq!(m.counter("net.lookahead.0.1.min_ps"), Some(expect));
+        assert!(expect >= NetConfig::default().wire_latency.as_ps());
+        // transmit() feeds the same recorder.
+        net.transmit(SimTime::ZERO, NodeId(1), NodeId(0), 64);
+        let mut m2 = rambda_metrics::MetricSet::new();
+        net.publish_lookahead(&mut m2, "net");
+        assert!(m2.counter("net.lookahead.1.0.min_ps").is_some());
     }
 
     #[test]

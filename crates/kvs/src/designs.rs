@@ -238,9 +238,12 @@ pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut
 }
 
 fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
+    if profile {
+        net.enable_lookahead();
+    }
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), params.cores, params.batch);
@@ -321,6 +324,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
         server.publish_metrics(resources, "server");
         cpu.publish_metrics(resources, "cpu");
         net.publish_metrics(resources, "net");
+        net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -358,9 +362,12 @@ fn run_rambda_inner(
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
+    if profile {
+        net.enable_lookahead();
+    }
     // Adaptive DDIO: global DDIO off, TPH per region (all DRAM here).
     let mut client = rambda::Machine::new(CLIENT, testbed, false);
     let mut server = rambda::Machine::new(SERVER, testbed, false);
@@ -460,6 +467,7 @@ fn run_rambda_inner(
         engine.publish_metrics(resources, "accel");
         resources.observe_server("sq", &sq);
         net.publish_metrics(resources, "net");
+        net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -487,12 +495,15 @@ pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer:
 }
 
 fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     // The Smart NIC path models raw Ethernet sends (its RPC transport hides
     // recovery in firmware), so only degrade windows of the fault plan
     // reach it — drop/corrupt verdicts apply to RC-QP `transmit`s.
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
+    if profile {
+        net.enable_lookahead();
+    }
     let mut client = rambda::Machine::new(CLIENT, testbed, true);
     let mut server = rambda::Machine::new(SERVER, testbed, true);
     let mut nic = SmartNic::new(testbed.smartnic.clone());
@@ -561,6 +572,7 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
         nic.publish_metrics(resources, "smartnic");
         nic_mem.publish_metrics(resources, "nic_mem");
         net.publish_metrics(resources, "net");
+        net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event_core;
 pub mod json;
 mod report;
 mod set;
 mod timeline;
 
+pub use event_core::{EventCoreSummary, EventKindSummary};
 pub use json::Json;
 pub use report::{HistSummary, ReqTrace, RunReport, StageRecorder};
 pub use set::MetricSet;

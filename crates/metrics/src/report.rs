@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use rambda_des::{Histogram, SimTime, Span};
 
+use crate::event_core::EventCoreSummary;
 use crate::json::Json;
 use crate::set::MetricSet;
 use crate::timeline::{wait_counter, Timeline, TimelineSummary};
@@ -248,6 +249,9 @@ pub struct RunReport {
     /// Windowed time series (per-window latency + per-resource busy/wait
     /// deltas), when the recorder's timeline was finalized.
     pub timeline: Option<TimelineSummary>,
+    /// Deterministic event-core scheduler telemetry, attached via
+    /// [`RunReport::attach_event_core`] when profiling is enabled.
+    pub event_core: Option<EventCoreSummary>,
 }
 
 impl RunReport {
@@ -274,9 +278,19 @@ impl RunReport {
             stages: rec.stages().map(|(n, h)| (n.to_string(), HistSummary::of(h))).collect(),
             resources,
             timeline: rec.timeline_summary().cloned(),
+            event_core: None,
         };
         report.publish_utilization();
         report
+    }
+
+    /// Attaches the event-core telemetry section: stores the summary and
+    /// publishes its counters under the `event_core` prefix so
+    /// `validate_event_core` can cross-check them. Runs without profiling
+    /// never call this, keeping their JSON byte-identical to the goldens.
+    pub fn attach_event_core(&mut self, summary: EventCoreSummary) {
+        summary.publish_metrics(&mut self.resources, "event_core");
+        self.event_core = Some(summary);
     }
 
     /// Derives `*.utilization` gauges from published `*.busy_ps` counters
@@ -354,7 +368,98 @@ impl RunReport {
         }
         self.validate_faults()?;
         self.validate_rnic()?;
+        self.validate_event_core()?;
         self.validate_timeline()
+    }
+
+    /// Checks the event-core conservation identities (analyzer rule R9
+    /// keeps this list in sync with the `event_core` publisher):
+    ///
+    /// - `dispatched == enqueued − cancelled − pending`: every scheduled
+    ///   event is fired, cancelled, or still pending — none vanish;
+    /// - the tier hits telescope to the total pushes
+    ///   (`drain_hits + near_hits + far_hits == enqueued`), and only
+    ///   tickets that overflowed to the far tier can be redistributed;
+    /// - the per-kind breakdown partitions pushes, pops, and dwell exactly;
+    /// - the counters published under the `event_core` prefix mirror the
+    ///   structured section value for value.
+    ///
+    /// A report without an attached section (every non-profiled run)
+    /// reduces to `Ok(())`.
+    fn validate_event_core(&self) -> Result<(), String> {
+        let Some(ec) = &self.event_core else { return Ok(()) };
+        let accounted = ec.cancelled + ec.pending;
+        if accounted > ec.enqueued || ec.dispatched != ec.enqueued - accounted {
+            return Err(format!(
+                "event core dispatched {} events, but {} enqueued − {} cancelled − {} pending",
+                ec.dispatched, ec.enqueued, ec.cancelled, ec.pending
+            ));
+        }
+        let tier_hits = ec.drain_hits + ec.near_hits + ec.far_hits;
+        if tier_hits != ec.enqueued {
+            return Err(format!(
+                "event-core tier hits ({} drain + {} near + {} far) do not telescope to {} enqueues",
+                ec.drain_hits, ec.near_hits, ec.far_hits, ec.enqueued
+            ));
+        }
+        if ec.redistributed > ec.far_hits {
+            return Err(format!(
+                "event core redistributed {} tickets but only {} overflowed to the far tier",
+                ec.redistributed, ec.far_hits
+            ));
+        }
+        let pushes: u64 = ec.kinds.iter().map(|k| k.pushes).sum();
+        let pops: u64 = ec.kinds.iter().map(|k| k.pops).sum();
+        let held: u64 = ec.kinds.iter().map(|k| k.held_ps).sum();
+        if pushes != ec.enqueued || pops != ec.dispatched || held != ec.dwell_ps {
+            return Err(format!(
+                "event-core kinds partition {pushes} pushes / {pops} pops / {held} ps dwell, totals \
+                 say {} / {} / {} ps",
+                ec.enqueued, ec.dispatched, ec.dwell_ps
+            ));
+        }
+        // The published counters must mirror the structured section.
+        let counter = |name: &str| self.resources.counter(name).unwrap_or(0);
+        let mirror: [(&str, u64); 10] = [
+            ("event_core.enqueued", ec.enqueued),
+            ("event_core.dispatched", ec.dispatched),
+            ("event_core.cancelled", ec.cancelled),
+            ("event_core.pending", ec.pending),
+            ("event_core.dwell_ps", ec.dwell_ps),
+            ("event_core.tier.drain_hits", ec.drain_hits),
+            ("event_core.tier.near_hits", ec.near_hits),
+            ("event_core.tier.far_hits", ec.far_hits),
+            ("event_core.tier.reanchors", ec.reanchors),
+            ("event_core.tier.redistributed", ec.redistributed),
+        ];
+        for (name, expect) in mirror {
+            if counter(name) != expect {
+                return Err(format!(
+                    "published counter {name} = {} does not mirror the event_core section ({expect})",
+                    counter(name)
+                ));
+            }
+        }
+        let kind_sum = |suffix: &str| -> u64 {
+            self.resources
+                .counters()
+                .filter(|(name, _)| name.starts_with("event_core.kind.") && name.ends_with(suffix))
+                .map(|(_, v)| v)
+                .sum()
+        };
+        if kind_sum(".pushes") != ec.enqueued
+            || kind_sum(".pops") != ec.dispatched
+            || kind_sum(".held_ps") != ec.dwell_ps
+        {
+            return Err(format!(
+                "published event_core.kind.* counters ({} pushes / {} pops / {} ps held) do not \
+                 mirror the section totals",
+                kind_sum(".pushes"),
+                kind_sum(".pops"),
+                kind_sum(".held_ps")
+            ));
+        }
+        Ok(())
     }
 
     /// Checks the cross-layer fault/recovery identities. Every injected
@@ -526,6 +631,9 @@ impl RunReport {
         if let Some(tl) = &self.timeline {
             out.push("timeline", tl.to_json());
         }
+        if let Some(ec) = &self.event_core {
+            out.push("event_core", ec.to_json());
+        }
         out
     }
 
@@ -678,6 +786,47 @@ mod tests {
         report.resources.set("net.faults.dropped", 9);
         let err = report.validate().unwrap_err();
         assert!(err.contains("timeout detections"), "{err}");
+    }
+
+    #[test]
+    fn event_core_identities_are_checked() {
+        use crate::event_core::{EventCoreSummary, EventKindSummary};
+        let mut report = sample_report(false);
+        report.validate().expect("no section, nothing to check");
+        let ec = EventCoreSummary {
+            enqueued: 10,
+            dispatched: 9,
+            cancelled: 0,
+            pending: 1,
+            dwell_ps: 500,
+            drain_hits: 2,
+            near_hits: 7,
+            far_hits: 1,
+            reanchors: 1,
+            redistributed: 1,
+            kinds: vec![EventKindSummary { name: "event".to_string(), pushes: 10, pops: 9, held_ps: 500 }],
+        };
+        report.attach_event_core(ec);
+        report.validate().expect("consistent event-core section");
+        assert!(report.to_json_string().contains("\"event_core\""));
+
+        // A published counter that drifts from the section fails the mirror.
+        report.resources.set("event_core.enqueued", 11);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("mirror"), "{err}");
+        report.resources.set("event_core.enqueued", 10);
+        report.validate().expect("restored");
+
+        // Losing a pending event breaks the dispatch conservation identity.
+        report.event_core.as_mut().unwrap().pending = 0;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("dispatched"), "{err}");
+        report.event_core.as_mut().unwrap().pending = 1;
+
+        // Tier hits must telescope to the enqueues.
+        report.event_core.as_mut().unwrap().near_hits = 6;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("telescope"), "{err}");
     }
 
     #[test]

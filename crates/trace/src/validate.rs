@@ -140,6 +140,12 @@ impl Tracer {
         }
         let finals: BTreeMap<&str, u64> = self.final_counters().collect();
         for (name, value) in report.resources.counters() {
+            // `event_core.*` counters are attached by the profiler after
+            // the run's final sample (`SimBuilder::run`); their own mirror
+            // identity is enforced by `RunReport::validate_event_core`.
+            if name.starts_with("event_core.") {
+                continue;
+            }
             if finals.get(name).copied() != Some(value) {
                 return Err(format!(
                     "resource counter {name}: report says {value}, final trace sample says {:?}",

@@ -171,9 +171,12 @@ pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer
 }
 
 fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut w = TxnWorld::new(testbed, params);
     w.net.install_faults(faults);
+    if profile {
+        w.net.enable_lookahead();
+    }
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let nvm1 = w.port1.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let spec = params.spec;
@@ -254,6 +257,7 @@ fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
         w.port0.publish_metrics(resources, "port0");
         w.port1.publish_metrics(resources, "port1");
         w.net.publish_metrics(resources, "net");
+        w.net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -284,9 +288,12 @@ pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer
 }
 
 fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
     let mut w = TxnWorld::new(testbed, params);
     w.net.install_faults(faults);
+    if profile {
+        w.net.enable_lookahead();
+    }
     // Request rings live in NVM and double as the redo log (Sec. IV-B).
     let ring0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let ring1 = w.port1.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
@@ -394,6 +401,7 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
         accel0.publish_metrics(resources, "accel0");
         accel1.publish_metrics(resources, "accel1");
         w.net.publish_metrics(resources, "net");
+        w.net.publish_lookahead(resources, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

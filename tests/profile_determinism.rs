@@ -1,0 +1,82 @@
+//! The deterministic profiler is a pure function of the seed: same-seed
+//! runs render byte-identical profile JSON (mirroring `determinism.rs` for
+//! reports), the event-core identities validate, the measured parallelism
+//! ratio is exploitable (> 1.0) on the paper's two headline designs, and
+//! profiling never perturbs the simulated run it observes.
+
+use rambda::{Design, SimBuilder, Testbed};
+use rambda_accel::DataLocation;
+use rambda_kvs::{KvsDesigns, KvsParams};
+use rambda_metrics::RunReport;
+use rambda_trace::{profile_json, Tracer};
+use rambda_txn::{TxnDesigns, TxnParams};
+use rambda_workloads::TxnSpec;
+
+/// Runs `design` once under the profiler and renders its profile JSON.
+fn profiled(design: Design) -> (RunReport, String, f64) {
+    let tb = Testbed::default();
+    let mut tracer = Tracer::flight_recorder();
+    let report = SimBuilder::new(design).config(&tb).tracer(&mut tracer).profile().run();
+    report.validate().expect("profiled report validates its event-core identities");
+    tracer.cross_validate(&report).expect("trace agrees with the report");
+    let ratio = tracer.critical_path().expect("enabled tracer accumulates the critical path");
+    let json = profile_json(&report, &tracer);
+    (report, json, ratio.parallelism_ratio())
+}
+
+fn kvs_design() -> Design {
+    Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram)
+}
+
+fn txn_design() -> Design {
+    Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64)))
+}
+
+#[test]
+fn same_seed_profiles_are_byte_identical() {
+    for design in [kvs_design, txn_design] {
+        let (_, a, _) = profiled(design());
+        let (_, b, _) = profiled(design());
+        assert_eq!(a, b, "same-seed profile JSON must be byte-identical");
+    }
+}
+
+#[test]
+fn headline_designs_show_exploitable_parallelism() {
+    for (name, design) in [("kvs.rambda", kvs_design()), ("txn.rambda_tx", txn_design())] {
+        let (report, json, ratio) = profiled(design);
+        assert!(
+            ratio > 1.0 && ratio.is_finite(),
+            "{name}: parallelism ratio {ratio} must be finite and > 1.0"
+        );
+        let ec = report.event_core.as_ref().expect("profiled report carries event-core telemetry");
+        assert!(ec.dispatched > 0, "{name}: the scheduler dispatched work");
+        assert!(json.contains("\"event_core\""), "{name}: profile embeds the event-core section");
+        assert!(json.contains("\"critical_path\""), "{name}: profile embeds the critical path");
+        // Per-machine-pair lookahead bounds (the conservative parallel-DES
+        // synchronization horizon) are present and positive.
+        let lookahead: Vec<u64> = report
+            .resources
+            .counters()
+            .filter(|(n, _)| n.contains(".lookahead.") && n.ends_with(".min_ps"))
+            .map(|(_, v)| v)
+            .collect();
+        assert!(!lookahead.is_empty(), "{name}: lookahead bounds are published");
+        assert!(lookahead.iter().all(|&ps| ps > 0), "{name}: lookahead bounds are positive");
+    }
+}
+
+#[test]
+fn profiling_never_perturbs_the_run_it_observes() {
+    let tb = Testbed::default();
+    let plain = SimBuilder::new(kvs_design()).config(&tb).run();
+    let (profiled_report, _, _) = profiled(kvs_design());
+    assert_eq!(plain.completed, profiled_report.completed);
+    assert_eq!(plain.elapsed_ps, profiled_report.elapsed_ps);
+    assert_eq!(plain.latency.p99_ps, profiled_report.latency.p99_ps);
+    // The unprofiled report stays exactly as before the profiler existed:
+    // no event-core section, no lookahead counters — goldens are safe.
+    assert!(plain.event_core.is_none());
+    assert!(plain.resources.counters().all(|(n, _)| !n.contains(".lookahead.")));
+    assert!(plain.resources.counters().all(|(n, _)| !n.starts_with("event_core.")));
+}

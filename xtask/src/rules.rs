@@ -127,7 +127,7 @@ impl Config {
             doc_crates: vec!["des".to_string(), "metrics".to_string(), "trace".to_string()],
             print_crates: vec!["bench".to_string()],
             machine_type: "Machine".to_string(),
-            stats_crates: vec!["rnic".to_string()],
+            stats_crates: vec!["rnic".to_string(), "metrics".to_string()],
             identity_crates: vec!["metrics".to_string()],
             allowlist: PathBuf::from("xtask/analyze.allow"),
         }
@@ -1253,6 +1253,22 @@ mod tests {
         );
         let v = run_cross(vec![rnic2, exact], rule_r9);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r9_scans_the_metrics_crate_publisher_too() {
+        // The event-core summary publishes from the metrics crate itself;
+        // its counters need identity coverage like any stats crate's.
+        let metrics = parsed(
+            "crates/metrics/src/event_core.rs",
+            "impl S { pub fn publish_metrics(&self, m: &mut M, p: &str) {\n\
+             m.set(&format!(\"{p}.dwell_ps\"), self.d);\n } }\n\
+             fn validate_event_core() { let _ = \".enqueued\"; }",
+        );
+        let v = run_cross(vec![metrics], rule_r9);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "dwell_ps");
+        assert_eq!(v[0].path, "crates/metrics/src/event_core.rs");
     }
 
     #[test]

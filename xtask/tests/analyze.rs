@@ -148,6 +148,24 @@ fn r9_fixture_trips_unguarded_counters_and_clean_twin_passes() {
 }
 
 #[test]
+fn r9_covers_the_metrics_crate_event_core_publisher() {
+    // The metrics crate is itself a stats crate now: the event-core
+    // summary's `publish_metrics` (an impl method, not a free fn) must be
+    // scanned, and an identity that skips one of its suffixes must fire.
+    let analysis = analyze(&Config::rambda(fixture_root("r9ec/bad"))).expect("fixture scans");
+    let hits: Vec<(&str, &str, &str)> =
+        analysis.violations.iter().map(|v| (v.rule, v.path.as_str(), v.token.as_str())).collect();
+    let metrics = "crates/metrics/src/lib.rs";
+    assert!(hits.contains(&("R9", metrics, "dwell_ps")), "unguarded scheduler counter fires: {hits:#?}");
+    assert!(!hits.contains(&("R9", metrics, "enqueued")), "guarded counter must not fire: {hits:#?}");
+    assert!(!hits.contains(&("R9", metrics, "dispatched")), "guarded counter must not fire: {hits:#?}");
+    assert_eq!(hits.len(), 1, "exactly the unguarded counter fires: {hits:#?}");
+
+    let clean = analyze(&Config::rambda(fixture_root("r9ec/clean"))).expect("fixture scans");
+    assert!(clean.is_clean(), "fully guarded event-core publisher passes: {:#?}", clean.violations);
+}
+
+#[test]
 fn json_output_through_the_binary() {
     let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
         .args(["analyze", "--json", "--root"])

@@ -1,0 +1,28 @@
+//! Negative fixture for rule R9 over the metrics crate's own event-core
+//! publisher: `publish_metrics` emits three scheduler counters but the
+//! conservation identity only mentions `.enqueued` and `.dispatched`, so
+//! `.dwell_ps` is unguarded. Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Event-core telemetry summary.
+pub struct EventCoreSummary;
+
+impl EventCoreSummary {
+    /// Publishes the scheduler counters under `prefix`.
+    pub fn publish_metrics(&self, m: &mut MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.enqueued"), 3);
+        m.set(&format!("{prefix}.dispatched"), 3);
+        m.set(&format!("{prefix}.dwell_ps"), 41);
+    }
+}
+
+/// Checks dispatch conservation only: dwell time is left unguarded.
+pub fn validate_event_core(m: &MetricSet) -> Result<(), String> {
+    let enq = m.counter(".enqueued").unwrap_or(0);
+    let disp = m.counter(".dispatched").unwrap_or(0);
+    if disp > enq {
+        return Err(format!("{disp} dispatched but only {enq} enqueued"));
+    }
+    Ok(())
+}

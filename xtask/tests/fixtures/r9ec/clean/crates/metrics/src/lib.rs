@@ -1,0 +1,31 @@
+//! Clean fixture for rule R9 over the metrics crate's own event-core
+//! publisher: the conservation identity mentions every scheduler counter
+//! suffix `publish_metrics` emits. Never compiled — scanned by
+//! xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Event-core telemetry summary.
+pub struct EventCoreSummary;
+
+impl EventCoreSummary {
+    /// Publishes the scheduler counters under `prefix`.
+    pub fn publish_metrics(&self, m: &mut MetricSet, prefix: &str) {
+        m.set(&format!("{prefix}.enqueued"), 3);
+        m.set(&format!("{prefix}.dispatched"), 3);
+        m.set(&format!("{prefix}.dwell_ps"), 41);
+    }
+}
+
+/// Dispatch and dwell accounting over the published counters.
+pub fn validate_event_core(m: &MetricSet) -> Result<(), String> {
+    let enq = m.counter(".enqueued").unwrap_or(0);
+    let disp = m.counter(".dispatched").unwrap_or(0);
+    if disp > enq {
+        return Err(format!("{disp} dispatched but only {enq} enqueued"));
+    }
+    if disp == 0 && m.counter(".dwell_ps").unwrap_or(0) > 0 {
+        return Err("dwell time accrued with nothing dispatched".to_string());
+    }
+    Ok(())
+}
