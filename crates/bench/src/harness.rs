@@ -20,7 +20,7 @@
 use rambda::{micro, Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
 use rambda_fabric::FaultConfig;
-use rambda_metrics::{Json, RunReport};
+use rambda_metrics::{Json, RunReport, ScopeConfig};
 use rambda_trace::Tracer;
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
@@ -74,6 +74,11 @@ pub struct BenchPoint {
     /// Events dispatched by the run's event core (scheduler telemetry);
     /// `None` unless the sweep ran with `--profile`.
     pub events_dispatched: Option<u64>,
+    /// Hottest scope's share of the run's recorded requests, from the
+    /// scoped-metrics registry (DESIGN.md §15); `None` unless the sweep
+    /// ran with `--scopes`. Omitted from the JSON when `None`, so
+    /// baselines written before scoped metrics existed stay byte-identical.
+    pub hot_fraction: Option<f64>,
 }
 
 impl BenchPoint {
@@ -103,6 +108,7 @@ impl BenchPoint {
             peak_utilization: tl.peak_utilization(),
             parallelism_ratio: None,
             events_dispatched: None,
+            hot_fraction: None,
         })
     }
 
@@ -126,6 +132,9 @@ impl BenchPoint {
         }
         if let Some(dispatched) = self.events_dispatched {
             o.push("events_dispatched", Json::U64(dispatched));
+        }
+        if let Some(hot) = self.hot_fraction {
+            o.push("hot_fraction", Json::F64(hot));
         }
         o
     }
@@ -154,17 +163,25 @@ impl BenchPoint {
                 Some(Json::U64(v)) => Some(*v),
                 _ => None,
             },
+            hot_fraction: match j.get("hot_fraction") {
+                Some(Json::F64(v)) => Some(*v),
+                Some(Json::U64(v)) => Some(*v as f64),
+                _ => None,
+            },
         })
     }
 }
 
-/// Runs one sweep point, optionally under the deterministic profiler.
+/// Runs one sweep point, optionally under the deterministic profiler
+/// and/or the scoped-metrics registry.
 ///
 /// With `profile` set, the run carries a flight-recorder tracer and the
 /// builder's `profile()` telemetry, and the point records the whole-run
-/// parallelism ratio plus the event core's dispatch count. Profiling only
-/// observes — it never perturbs the simulated events — so the headline
-/// numbers are identical either way.
+/// parallelism ratio plus the event core's dispatch count. With `scopes`
+/// set, the run attributes requests to per-entity metric scopes and the
+/// point records the hottest scope's request share. Both only observe —
+/// they never perturb the simulated events — so the headline numbers are
+/// identical either way.
 fn run_point(
     design: Design,
     name: &str,
@@ -172,19 +189,27 @@ fn run_point(
     tb: &Testbed,
     faults: Option<FaultConfig>,
     profile: bool,
+    scopes: bool,
 ) -> Result<BenchPoint, String> {
     let mut builder = SimBuilder::new(design).config(tb);
     if let Some(f) = faults {
         builder = builder.faults(f);
     }
+    if scopes {
+        builder = builder.scopes(ScopeConfig::default());
+    }
     if !profile {
-        return BenchPoint::from_report(name, x, &builder.run());
+        let report = builder.run();
+        let mut point = BenchPoint::from_report(name, x, &report)?;
+        point.hot_fraction = report.scopes.as_ref().map(|sc| sc.hot_fraction());
+        return Ok(point);
     }
     let mut tracer = Tracer::flight_recorder();
     let report = builder.tracer(&mut tracer).profile().run();
     let mut point = BenchPoint::from_report(name, x, &report)?;
     point.parallelism_ratio = tracer.critical_path().map(|cp| cp.parallelism_ratio());
     point.events_dispatched = report.event_core.as_ref().map(|ec| ec.dispatched);
+    point.hot_fraction = report.scopes.as_ref().map(|sc| sc.hot_fraction());
     Ok(point)
 }
 
@@ -246,13 +271,18 @@ impl SweepResult {
 
     /// Renders the sweep as an ASCII table with a per-run throughput
     /// sparkline (completions per timeline window). Profiled sweeps gain
-    /// parallelism-ratio and event-dispatch columns.
+    /// parallelism-ratio and event-dispatch columns; scoped sweeps gain a
+    /// hottest-scope request-share column.
     pub fn render_table(&self) -> String {
         let profiled = self.points.iter().any(|p| p.parallelism_ratio.is_some());
+        let scoped = self.points.iter().any(|p| p.hot_fraction.is_some());
         let mut headers = vec!["design", "x", "Mops", "p50 us", "p99 us", "peak util"];
         if profiled {
             headers.push("par");
             headers.push("events");
+        }
+        if scoped {
+            headers.push("hot frac");
         }
         headers.push("throughput/window");
         let mut t = Table::new(&format!("{} [{}]", self.sweep, self.mode), &headers);
@@ -268,6 +298,9 @@ impl SweepResult {
             if profiled {
                 cells.push(p.parallelism_ratio.map_or_else(|| "-".to_string(), |r| format!("{r:.2}x")));
                 cells.push(p.events_dispatched.map_or_else(|| "-".to_string(), |n| n.to_string()));
+            }
+            if scoped {
+                cells.push(p.hot_fraction.map_or_else(|| "-".to_string(), |h| format!("{h:.3}")));
             }
             cells.push(sparkline(&p.window_completed));
             t.row(cells);
@@ -347,20 +380,22 @@ pub fn is_gating(name: &str) -> bool {
 
 /// Runs one sweep end to end. With `profile` set, every point also runs
 /// the deterministic profiler (parallelism-ratio and event-core rows in
-/// the sweep JSON and table).
+/// the sweep JSON and table). With `scopes` set, every point runs under
+/// the scoped-metrics registry and records its hottest scope's request
+/// share.
 ///
 /// # Errors
 ///
 /// Returns an unknown-sweep message (listing valid names), or the first
 /// report that failed its telemetry validation.
-pub fn run_sweep(name: &str, quick: bool, profile: bool) -> Result<SweepResult, String> {
+pub fn run_sweep(name: &str, quick: bool, profile: bool, scopes: bool) -> Result<SweepResult, String> {
     let mode = if quick { "quick" } else { "full" };
     let points = match name {
-        "micro_designs" => micro_designs(quick, profile)?,
-        "kvs_load" => kvs_load(quick, profile)?,
-        "txn_latency" => txn_latency(quick, profile)?,
-        "dlrm_load" => dlrm_load(quick, profile)?,
-        "faults_sweep" => faults_sweep(quick, profile)?,
+        "micro_designs" => micro_designs(quick, profile, scopes)?,
+        "kvs_load" => kvs_load(quick, profile, scopes)?,
+        "txn_latency" => txn_latency(quick, profile, scopes)?,
+        "dlrm_load" => dlrm_load(quick, profile, scopes)?,
+        "faults_sweep" => faults_sweep(quick, profile, scopes)?,
         other => return Err(format!("unknown sweep `{other}` — valid sweeps: {}", sweep_names().join(", "))),
     };
     let tolerance = Tolerance { max_throughput_drop: 0.05, max_p99_rise: 0.10 };
@@ -369,7 +404,7 @@ pub fn run_sweep(name: &str, quick: bool, profile: bool) -> Result<SweepResult, 
 
 /// Fig. 7-style design comparison: CPU core scaling vs. the Rambda
 /// variants on the pointer-chase microbenchmark.
-fn micro_designs(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
+fn micro_designs(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
     let tb = Testbed::default();
     let p = if quick {
         micro::MicroParams { requests: 6_000, ..micro::MicroParams::quick() }
@@ -385,6 +420,7 @@ fn micro_designs(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> 
             &tb,
             None,
             profile,
+            scopes,
         )?);
     }
     let variants: [(&str, DataLocation, bool); 4] = [
@@ -401,13 +437,14 @@ fn micro_designs(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> 
             &tb,
             None,
             profile,
+            scopes,
         )?);
     }
     Ok(points)
 }
 
 /// Fig. 9-style KVS offered-load sweep: per-client pipeline window × design.
-fn kvs_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
+fn kvs_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     let tb = Testbed::default();
     let base = if quick { KvsParams { requests: 8_000, ..KvsParams::quick() } } else { KvsParams::paper() };
@@ -415,7 +452,7 @@ fn kvs_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     for window in [1usize, 4, 16] {
         let p = KvsParams { window, ..base.clone() };
         let x = format!("window={window}");
-        points.push(run_point(Design::kvs_cpu(p.clone()), "cpu", &x, &tb, None, profile)?);
+        points.push(run_point(Design::kvs_cpu(p.clone()), "cpu", &x, &tb, None, profile, scopes)?);
         points.push(run_point(
             Design::kvs_rambda(p.clone(), DataLocation::HostDram),
             "rambda",
@@ -423,15 +460,16 @@ fn kvs_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
             &tb,
             None,
             profile,
+            scopes,
         )?);
-        points.push(run_point(Design::kvs_smartnic(p.clone()), "smartnic", &x, &tb, None, profile)?);
+        points.push(run_point(Design::kvs_smartnic(p.clone()), "smartnic", &x, &tb, None, profile, scopes)?);
     }
     Ok(points)
 }
 
 /// Fig. 12-style replicated-transaction comparison: HyperLoop chain vs.
 /// Rambda-Tx, for write-only and read-write transactions.
-fn txn_latency(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
+fn txn_latency(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
     let specs: [(&str, TxnSpec); 2] =
@@ -440,14 +478,14 @@ fn txn_latency(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
     for (x, spec) in specs {
         let p =
             if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
-        points.push(run_point(Design::txn_hyperloop(p.clone()), "hyperloop", x, &tb, None, profile)?);
-        points.push(run_point(Design::txn_rambda_tx(p.clone()), "rambda_tx", x, &tb, None, profile)?);
+        points.push(run_point(Design::txn_hyperloop(p.clone()), "hyperloop", x, &tb, None, profile, scopes)?);
+        points.push(run_point(Design::txn_rambda_tx(p.clone()), "rambda_tx", x, &tb, None, profile, scopes)?);
     }
     Ok(points)
 }
 
 /// Fig. 13-style DLRM serving comparison on the Books embedding profile.
-fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
+fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_dlrm::{DlrmDesigns, DlrmParams};
     let tb = Testbed::default();
     let embeddings = DlrmProfile::by_name("Books").ok_or("Books DLRM profile missing")?;
@@ -465,6 +503,7 @@ fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
             &tb,
             None,
             profile,
+            scopes,
         )?);
     }
     points.push(run_point(
@@ -474,6 +513,7 @@ fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
         &tb,
         None,
         profile,
+        scopes,
     )?);
     points.push(run_point(
         Design::dlrm_rambda(p.clone(), DataLocation::LocalHbm),
@@ -482,6 +522,7 @@ fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
         &tb,
         None,
         profile,
+        scopes,
     )?);
     Ok(points)
 }
@@ -490,7 +531,7 @@ fn dlrm_load(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
 /// Rambda designs under increasing injected packet loss. The zero-loss point
 /// anchors each curve; the lossy points show the recovery layer's cost
 /// (retransmissions push the tail up while throughput barely moves).
-fn faults_sweep(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
+fn faults_sweep(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
@@ -506,6 +547,7 @@ fn faults_sweep(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
             &tb,
             Some(FaultConfig::lossy(0xFA17, loss)),
             profile,
+            scopes,
         )?);
         points.push(run_point(
             Design::txn_rambda_tx(xp.clone()),
@@ -514,6 +556,7 @@ fn faults_sweep(quick: bool, profile: bool) -> Result<Vec<BenchPoint>, String> {
             &tb,
             Some(FaultConfig::lossy(0xFA17, loss)),
             profile,
+            scopes,
         )?);
     }
     Ok(points)
@@ -579,6 +622,7 @@ mod tests {
                 peak_utilization: 0.85,
                 parallelism_ratio: None,
                 events_dispatched: None,
+                hot_fraction: None,
             }],
         }
     }
@@ -635,7 +679,7 @@ mod tests {
 
     #[test]
     fn unknown_sweep_lists_valid_names() {
-        let err = run_sweep("nope", true, false).unwrap_err();
+        let err = run_sweep("nope", true, false, false).unwrap_err();
         for name in sweep_names() {
             assert!(err.contains(name), "{err}");
         }
@@ -664,6 +708,29 @@ mod tests {
         assert!(table.contains("events"), "{table}");
         // An unprofiled sweep keeps the original table shape.
         assert!(!tiny_sweep().render_table().contains("par"), "no profile columns");
+    }
+
+    #[test]
+    fn scope_fields_are_optional_and_round_trip() {
+        // A point without scope data serializes without the key, so
+        // baselines written before scoped metrics existed stay
+        // byte-identical and still parse.
+        let bare = tiny_sweep().to_json_string();
+        assert!(!bare.contains("hot_fraction"), "{bare}");
+        let parsed = SweepResult::from_json_str(&bare).expect("parses");
+        assert_eq!(parsed.points[0].hot_fraction, None);
+
+        let mut scoped = tiny_sweep();
+        scoped.points[0].hot_fraction = Some(0.375);
+        let text = scoped.to_json_string();
+        let back = SweepResult::from_json_str(&text).expect("parses");
+        assert_eq!(back, scoped);
+        assert_eq!(back.to_json_string(), text);
+        let table = scoped.render_table();
+        assert!(table.contains("hot frac"), "{table}");
+        assert!(table.contains("0.375"), "{table}");
+        // An unscoped sweep keeps the original table shape.
+        assert!(!tiny_sweep().render_table().contains("hot frac"), "no scope column");
     }
 
     #[test]

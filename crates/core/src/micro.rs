@@ -27,6 +27,10 @@ const SPIN_POLL_TAX: f64 = 1.22;
 /// (75 ns) polling interval.
 const SPIN_POLL_DELAY: Span = Span::from_ps(37_500);
 
+/// Scoped runs bucket the feeding connections into this many scope groups
+/// (fewer when the run has fewer connections).
+const MICRO_SCOPE_GROUPS: usize = 4;
+
 impl Testbed {
     /// Builds an accelerator configuration for this testbed.
     ///
@@ -92,6 +96,18 @@ impl MicroParams {
         }
     }
 
+    /// Scope names for the connection groups a scoped run attributes
+    /// requests to: connections bucket into at most [`MICRO_SCOPE_GROUPS`]
+    /// groups (`conn/0` .. `conn/3` at the paper's 16 connections).
+    fn scope_names(&self) -> Vec<String> {
+        (0..self.connections.min(MICRO_SCOPE_GROUPS)).map(|g| format!("conn/{g}")).collect()
+    }
+
+    /// Scope group of connection `c`.
+    fn scope_of(&self, c: usize) -> usize {
+        c * self.connections.min(MICRO_SCOPE_GROUPS) / self.connections.max(1)
+    }
+
     /// Bytes persisted per request (NVM variant only).
     fn record_bytes(&self) -> u64 {
         if self.nvm {
@@ -153,16 +169,19 @@ fn run_cpu_inner(
     batch: usize,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _, profile: _ } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes } = ctx;
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
     let record = params.record_bytes();
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let scope_names = params.scope_names();
+    let stats = run_closed_loop(&params.driver(), |c, at| {
         let mut tr = tracer.observe(rec, at);
         let done = cpu.serve_request(at, params.chase, record, kind, &mut mem);
         tr.leg("cpu_serve", done);
         tr.finish(done);
+        scopes.record(&scope_names[params.scope_of(c)], at, done);
+        scopes.observe_key(c as u64);
         tracer.sample_with(rec, at, |s| {
             cpu.publish_metrics(s, "cpu");
             mem.publish_metrics(s, "mem");
@@ -241,7 +260,7 @@ fn run_rambda_inner(
     seed: u64,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _, profile: _ } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes } = ctx;
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
         (_, l) => l,
@@ -251,8 +270,9 @@ fn run_rambda_inner(
     let mut rng = SimRng::seed(seed);
     let connections = params.connections;
     let record = params.record_bytes();
+    let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let stats = run_closed_loop(&params.driver(), |c, at| {
         let mut trace = tracer.observe(rec, at);
         // Request written into the ring at `at`; discovery via cpoll (or the
         // slower spin-poll cycle).
@@ -300,6 +320,8 @@ fn run_rambda_inner(
         }
         engine.release_slot(t, now);
         trace.finish(now);
+        scopes.record(&scope_names[params.scope_of(c)], at, now);
+        scopes.observe_key(c as u64);
         tracer.sample_with(rec, at, |s| {
             engine.publish_metrics(s, "accel");
             mem.publish_metrics(s, "mem");

@@ -32,7 +32,7 @@
 //! ```
 
 use rambda_fabric::FaultConfig;
-use rambda_metrics::{MetricSet, RunReport, StageRecorder};
+use rambda_metrics::{MetricSet, RunReport, ScopeConfig, ScopedMetrics, StageRecorder};
 use rambda_trace::Tracer;
 
 use crate::config::Testbed;
@@ -59,6 +59,11 @@ pub struct SimCtx<'a> {
     /// per-machine-pair lookahead bounds and publish them, and the builder
     /// attaches event-core telemetry to the report.
     pub profile: bool,
+    /// Per-entity scoped metrics; `ScopedMetrics::disabled()` unless the
+    /// builder enabled scoping. Designs tag each request with its scope
+    /// (shard, replica, table) and feed hot keys into the sketch; the
+    /// builder folds the registry into the report's `scopes` section.
+    pub scopes: &'a mut ScopedMetrics,
 }
 
 /// Builds a throwaway [`SimCtx`] (disabled recorder, tracer and fault
@@ -72,12 +77,14 @@ macro_rules! rambda_stats_only_ctx {
         let mut resources = ::rambda_metrics::MetricSet::new();
         let mut tracer = ::rambda_trace::Tracer::disabled();
         let faults = ::rambda_fabric::FaultConfig::disabled();
+        let mut scopes = ::rambda_metrics::ScopedMetrics::disabled();
         let $ctx = $crate::SimCtx {
             rec: &mut rec,
             resources: &mut resources,
             tracer: &mut tracer,
             faults: &faults,
             profile: false,
+            scopes: &mut scopes,
         };
     };
 }
@@ -134,6 +141,7 @@ pub struct SimBuilder<'a> {
     faults: FaultConfig,
     tracer: Option<&'a mut Tracer>,
     profile: bool,
+    scopes: Option<ScopeConfig>,
 }
 
 impl<'a> SimBuilder<'a> {
@@ -146,6 +154,7 @@ impl<'a> SimBuilder<'a> {
             faults: FaultConfig::disabled(),
             tracer: None,
             profile: false,
+            scopes: None,
         }
     }
 
@@ -178,23 +187,41 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Enables per-entity scoped metrics: the design tags each request
+    /// with its scope (shard, replica, embedding table), hot keys feed a
+    /// deterministic top-K sketch, and the report gains a `scopes` section
+    /// whose conservation identities `RunReport::validate` checks. Runs
+    /// without this stay byte-identical to pre-scoping reports.
+    pub fn scopes(mut self, config: ScopeConfig) -> Self {
+        self.scopes = Some(config);
+        self
+    }
+
     /// Runs the design and assembles its [`RunReport`].
     pub fn run(self) -> RunReport {
         let mut rec = StageRecorder::active();
         let mut resources = MetricSet::new();
         let mut no_tracer = Tracer::disabled();
         let tracer = self.tracer.unwrap_or(&mut no_tracer);
+        let mut scoped = match self.scopes {
+            Some(config) => ScopedMetrics::active(config),
+            None => ScopedMetrics::disabled(),
+        };
         let ctx = SimCtx {
             rec: &mut rec,
             resources: &mut resources,
             tracer,
             faults: &self.faults,
             profile: self.profile,
+            scopes: &mut scoped,
         };
         let stats = (self.design.run)(&self.testbed, ctx);
         let mut report = build_report(self.design.name, self.design.seed, &stats, &mut rec, resources);
         if self.profile {
             report.attach_event_core(rambda_metrics::EventCoreSummary::of(&stats.event_core, 0));
+        }
+        if scoped.is_active() {
+            report.attach_scopes(scoped.finalize(report.timeline.as_ref()));
         }
         report
     }
@@ -208,15 +235,18 @@ mod tests {
 
     fn toy_design(seed: u64) -> Design {
         Design::from_runner("toy", seed, |_tb, ctx| {
-            let SimCtx { rec, resources, tracer, faults, profile: _ } = ctx;
+            let SimCtx { rec, resources, tracer, faults, profile: _, scopes } = ctx;
             assert!(!faults.is_active(), "toy design runs healthy");
+            let scope_names = ["conn/0", "conn/1"];
             let mut server = Server::new(2);
-            let stats = run_closed_loop(&DriverConfig::new(2, 2_000), |_c, at| {
+            let stats = run_closed_loop(&DriverConfig::new(2, 2_000), |c, at| {
                 let mut tr = tracer.observe(rec, at);
                 let start = server.acquire(at, Span::from_ns(100));
                 let done = start + Span::from_ns(100);
                 tr.leg("cpu_serve", done);
                 tr.finish(done);
+                scopes.record(scope_names[c], at, done);
+                scopes.observe_key(c as u64);
                 done
             });
             resources.observe_server("server", &server);
@@ -233,6 +263,26 @@ mod tests {
         assert_eq!(report.seed, 3);
         assert!(report.completed > 0);
         assert!(report.timeline.is_some(), "builder always records stages");
+    }
+
+    #[test]
+    fn builder_scopes_attach_and_validate() {
+        use rambda_metrics::ScopeConfig;
+        let plain = SimBuilder::new(toy_design(3)).run();
+        let scoped = SimBuilder::new(toy_design(3)).scopes(ScopeConfig::default()).run();
+        scoped.validate().expect("scoped report holds its conservation identities");
+        let section = scoped.scopes.as_ref().expect("scopes section attached");
+        assert_eq!(section.scopes.len(), 2);
+        assert_eq!(section.merged.count, scoped.total.count);
+        // Scoping is passive: the simulated run is unchanged, and the
+        // unscoped report has no scopes section at all.
+        assert_eq!(plain.elapsed_ps, scoped.elapsed_ps);
+        assert_eq!(plain.total, scoped.total);
+        assert!(plain.scopes.is_none());
+        assert!(!plain.to_json_string().contains("\"scopes\""));
+        // Same seed, same scoped run, byte for byte.
+        let again = SimBuilder::new(toy_design(3)).scopes(ScopeConfig::default()).run();
+        assert_eq!(scoped.to_json_string(), again.to_json_string());
     }
 
     #[test]

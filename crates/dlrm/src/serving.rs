@@ -116,6 +116,34 @@ impl DlrmParams {
     fn row_bytes(&self) -> u64 {
         self.dim as u64 * 4
     }
+
+    /// Scoped runs attribute each query to the embedding-table partition
+    /// (`table/{t}`) holding its first looked-up row: the functional rows
+    /// split into [`SCOPE_TABLES`] equal ranges.
+    fn scope_names(&self) -> Vec<String> {
+        (0..SCOPE_TABLES).map(|t| format!("table/{t}")).collect()
+    }
+
+    fn scope_of(&self, plan: &ReductionPlan) -> usize {
+        let row =
+            plan.singles.first().copied().unwrap_or_else(|| plan.memo_pairs.first().map_or(0, |p| p * 2));
+        let t = row as u64 * SCOPE_TABLES as u64 / self.functional_rows.max(1) as u64;
+        t.min(SCOPE_TABLES as u64 - 1) as usize
+    }
+}
+
+/// Embedding-table partitions a scoped run attributes queries to.
+const SCOPE_TABLES: u32 = 4;
+
+/// Feeds every row the reduction plan touches into the hot-key sketch
+/// (memoized pairs count as their even row).
+fn observe_plan(scopes: &mut rambda_metrics::ScopedMetrics, plan: &ReductionPlan) {
+    for &p in &plan.memo_pairs {
+        scopes.observe_key(2 * p as u64);
+    }
+    for &r in &plan.singles {
+        scopes.observe_key(r as u64);
+    }
 }
 
 /// Shared functional state for one run.
@@ -231,7 +259,7 @@ pub fn run_cpu_report_traced(
 }
 
 fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -248,55 +276,64 @@ fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimC
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 16, flags: PostFlags::NONE };
     let row = params.row_bytes();
     let costs = params.costs.clone();
+    let scope_names = params.scope_names();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
-        let delivered = match two_sided_send(
-            at,
-            &mut client.rnic,
-            &mut server.rnic,
-            &mut net,
-            &mut server.mem,
-            rq_mr,
-            wire,
-            opts,
-        ) {
-            Ok(t) => t,
-            Err(e) => return shed(tr, &e),
+        observe_plan(scopes, &plan);
+        let table = params.scope_of(&plan);
+        let fin = 'query: {
+            let delivered = match two_sided_send(
+                at,
+                &mut client.rnic,
+                &mut server.rnic,
+                &mut net,
+                &mut server.mem,
+                rq_mr,
+                wire,
+                opts,
+            ) {
+                Ok(t) => t,
+                Err(e) => break 'query shed(tr, &e),
+            };
+            tr.leg("fabric_request", delivered);
+            let bytes = plan.lookups() as u64 * row;
+            let hold =
+                costs.preprocess + costs.mlp_cpu + Span::from_secs_f64(bytes as f64 / costs.core_gather_bw);
+            let start = core_pool.acquire(delivered, hold);
+            tr.leg("core_queue", start);
+            // Socket roofline: the gather bytes queue on the shared link.
+            let roofline_done = gather.transfer(start, bytes).depart;
+            let done = (start + hold).max(roofline_done);
+            tr.leg("gather_compute", done);
+            let fin = match two_sided_send(
+                done,
+                &mut server.rnic,
+                &mut client.rnic,
+                &mut net,
+                &mut client.mem,
+                client_mr,
+                16,
+                opts,
+            ) {
+                Ok(t) => t,
+                Err(e) => break 'query shed(tr, &e),
+            };
+            tr.leg("fabric_response", fin);
+            tr.finish(fin);
+            tracer.sample_with(rec, at, |s| {
+                client.publish_metrics(s, "client");
+                server.publish_metrics(s, "server");
+                s.observe_server("cores", &core_pool);
+                s.observe_link("gather", &gather);
+                net.publish_metrics(s, "net");
+            });
+            fin
         };
-        tr.leg("fabric_request", delivered);
-        let bytes = plan.lookups() as u64 * row;
-        let hold =
-            costs.preprocess + costs.mlp_cpu + Span::from_secs_f64(bytes as f64 / costs.core_gather_bw);
-        let start = core_pool.acquire(delivered, hold);
-        tr.leg("core_queue", start);
-        // Socket roofline: the gather bytes queue on the shared link.
-        let roofline_done = gather.transfer(start, bytes).depart;
-        let done = (start + hold).max(roofline_done);
-        tr.leg("gather_compute", done);
-        let fin = match two_sided_send(
-            done,
-            &mut server.rnic,
-            &mut client.rnic,
-            &mut net,
-            &mut client.mem,
-            client_mr,
-            16,
-            opts,
-        ) {
-            Ok(t) => t,
-            Err(e) => return shed(tr, &e),
-        };
-        tr.leg("fabric_response", fin);
-        tr.finish(fin);
-        tracer.sample_with(rec, at, |s| {
-            client.publish_metrics(s, "client");
-            server.publish_metrics(s, "server");
-            s.observe_server("cores", &core_pool);
-            s.observe_link("gather", &gather);
-            net.publish_metrics(s, "net");
-        });
+        // Scope attribution covers shed queries too: every traced query
+        // lands in exactly one embedding-table partition.
+        scopes.record(&scope_names[table], at, fin);
         fin
     });
     drain_faults(&mut net, tracer);
@@ -307,6 +344,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimC
         resources.observe_link("gather", &gather);
         net.publish_metrics(resources, "net");
         net.publish_lookahead(resources, "net");
+        net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -346,7 +384,7 @@ fn run_rambda_inner(
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -371,81 +409,90 @@ fn run_rambda_inner(
     let costs = params.costs.clone();
     let clients = params.clients;
     let local_row = (row as f64 * costs.local_gather_overhead) as u64;
+    let scope_names = params.scope_names();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
-        // Request into the accelerator's ring.
-        let out = match rdma_write(
-            at,
-            &mut client.rnic,
-            &mut server.rnic,
-            &mut net,
-            &mut server.mem,
-            &mut client.mem,
-            ring_mr,
-            wire,
-            req_opts,
-        ) {
-            Ok(out) => out,
-            Err(e) => return shed(tr, &e),
+        observe_plan(scopes, &plan);
+        let table = params.scope_of(&plan);
+        let fin = 'query: {
+            // Request into the accelerator's ring.
+            let out = match rdma_write(
+                at,
+                &mut client.rnic,
+                &mut server.rnic,
+                &mut net,
+                &mut server.mem,
+                &mut client.mem,
+                ring_mr,
+                wire,
+                req_opts,
+            ) {
+                Ok(out) => out,
+                Err(e) => break 'query shed(tr, &e),
+            };
+            tr.leg("fabric_request", out.delivered_at);
+            let discovered = engine.discover(out.delivered_at, clients, &mut world.rng);
+            tr.leg("coherence", discovered);
+            let start = engine.claim_slot(discovered);
+            tr.leg("dispatch", start);
+            // Hand the raw request to a host core for pre-processing through
+            // the intra-machine ring, and get the model-ready input back.
+            let sent = engine.ring_write(start, wire, &mut server.mem);
+            tr.leg("ring_write", sent);
+            let preprocessed = preprocess_cores.occupy(sent, costs.preprocess);
+            tr.leg("cpu_preprocess", preprocessed);
+            let input_back = engine.ring_read(preprocessed, wire, &mut server.mem);
+            tr.leg("ring_read", input_back);
+            // Scheduler/(de)serializer occupancy (serial per query).
+            let disp = dispatch.acquire(input_back, costs.apu_dispatch) + costs.apu_dispatch;
+            tr.leg("apu_dispatch", disp);
+            // The embedding reduction: 64 outstanding gathers per query
+            // (Sec. IV-C), bandwidth-bound on the chosen memory.
+            let rows = plan.lookups();
+            let gathered = if location.is_host() {
+                engine.gather(disp, rows, row, &mut server.mem)
+            } else {
+                engine.gather(disp, rows, local_row, &mut server.mem)
+            };
+            tr.leg("gather", gathered);
+            // FC layers on the APU, then respond through the RNIC.
+            let fc_done = gathered + costs.mlp_apu;
+            tr.leg("apu_compute", fc_done);
+            let wqe = engine.sq_write_wqe(fc_done);
+            tr.leg("doorbell", wqe);
+            engine.release_slot(discovered, wqe);
+            let resp = match rdma_write(
+                wqe,
+                &mut server.rnic,
+                &mut client.rnic,
+                &mut net,
+                &mut client.mem,
+                &mut server.mem,
+                client_mr,
+                16,
+                resp_opts,
+            ) {
+                Ok(resp) => resp,
+                Err(e) => break 'query shed(tr, &e),
+            };
+            tr.leg("fabric_response", resp.delivered_at);
+            tr.finish(resp.delivered_at);
+            tracer.sample_with(rec, at, |s| {
+                client.publish_metrics(s, "client");
+                server.publish_metrics(s, "server");
+                engine.publish_metrics(s, "accel");
+                preprocess_cores.publish_metrics(s, "preprocess");
+                s.observe_server("apu_dispatch", &dispatch);
+                net.publish_metrics(s, "net");
+            });
+            resp.delivered_at
         };
-        tr.leg("fabric_request", out.delivered_at);
-        let discovered = engine.discover(out.delivered_at, clients, &mut world.rng);
-        tr.leg("coherence", discovered);
-        let start = engine.claim_slot(discovered);
-        tr.leg("dispatch", start);
-        // Hand the raw request to a host core for pre-processing through
-        // the intra-machine ring, and get the model-ready input back.
-        let sent = engine.ring_write(start, wire, &mut server.mem);
-        tr.leg("ring_write", sent);
-        let preprocessed = preprocess_cores.occupy(sent, costs.preprocess);
-        tr.leg("cpu_preprocess", preprocessed);
-        let input_back = engine.ring_read(preprocessed, wire, &mut server.mem);
-        tr.leg("ring_read", input_back);
-        // Scheduler/(de)serializer occupancy (serial per query).
-        let disp = dispatch.acquire(input_back, costs.apu_dispatch) + costs.apu_dispatch;
-        tr.leg("apu_dispatch", disp);
-        // The embedding reduction: 64 outstanding gathers per query
-        // (Sec. IV-C), bandwidth-bound on the chosen memory.
-        let rows = plan.lookups();
-        let gathered = if location.is_host() {
-            engine.gather(disp, rows, row, &mut server.mem)
-        } else {
-            engine.gather(disp, rows, local_row, &mut server.mem)
-        };
-        tr.leg("gather", gathered);
-        // FC layers on the APU, then respond through the RNIC.
-        let fc_done = gathered + costs.mlp_apu;
-        tr.leg("apu_compute", fc_done);
-        let wqe = engine.sq_write_wqe(fc_done);
-        tr.leg("doorbell", wqe);
-        engine.release_slot(discovered, wqe);
-        let resp = match rdma_write(
-            wqe,
-            &mut server.rnic,
-            &mut client.rnic,
-            &mut net,
-            &mut client.mem,
-            &mut server.mem,
-            client_mr,
-            16,
-            resp_opts,
-        ) {
-            Ok(resp) => resp,
-            Err(e) => return shed(tr, &e),
-        };
-        tr.leg("fabric_response", resp.delivered_at);
-        tr.finish(resp.delivered_at);
-        tracer.sample_with(rec, at, |s| {
-            client.publish_metrics(s, "client");
-            server.publish_metrics(s, "server");
-            engine.publish_metrics(s, "accel");
-            preprocess_cores.publish_metrics(s, "preprocess");
-            s.observe_server("apu_dispatch", &dispatch);
-            net.publish_metrics(s, "net");
-        });
-        resp.delivered_at
+        // Scope attribution covers shed queries too: every traced query
+        // lands in exactly one embedding-table partition.
+        scopes.record(&scope_names[table], at, fin);
+        fin
     });
     drain_faults(&mut net, tracer);
     if rec.is_active() {
@@ -456,6 +503,7 @@ fn run_rambda_inner(
         resources.observe_server("apu_dispatch", &dispatch);
         net.publish_metrics(resources, "net");
         net.publish_lookahead(resources, "net");
+        net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

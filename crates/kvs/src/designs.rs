@@ -165,6 +165,21 @@ impl KvsParams {
 const CLIENT: NodeId = NodeId(0);
 const SERVER: NodeId = NodeId(1);
 
+/// Key-range shards a scoped run attributes requests to: key `k` of a
+/// `pairs`-key store lands in `shard/{k·4/pairs}`. Matches the roadmap's
+/// sharded multi-server direction without changing any serving path.
+const SCOPE_SHARDS: u64 = 4;
+
+impl KvsParams {
+    fn scope_names(&self) -> Vec<String> {
+        (0..SCOPE_SHARDS.min(self.pairs.max(1))).map(|s| format!("shard/{s}")).collect()
+    }
+
+    fn scope_of(&self, key: u64) -> usize {
+        (key * SCOPE_SHARDS.min(self.pairs.max(1)) / self.pairs.max(1)) as usize
+    }
+}
+
 /// Probability of an OS-induced hiccup on a CPU core per request, and its
 /// mean duration — the scheduling/contention noise behind the paper's
 /// "more stable behaviour than the CPU core" tail-latency observation.
@@ -238,7 +253,7 @@ pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut
 }
 
 fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -250,6 +265,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
     let mut store = params.loaded_store();
     let mix = params.mix();
     let mut rng = SimRng::seed(params.seed);
+    let scope_names = params.scope_names();
 
     let rq_mr = server.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
     let client_mr = client.rnic.register_region(MrInfo::adaptive(MemKind::Dram));
@@ -259,63 +275,70 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
-        // Request: two-sided send into the server's posted RQ.
-        let delivered = match two_sided_send(
-            at,
-            &mut client.rnic,
-            &mut server.rnic,
-            &mut net,
-            &mut server.mem,
-            rq_mr,
-            params.request_bytes(&op),
-            opts,
-        ) {
-            Ok(t) => t,
-            Err(e) => return shed(tr, &e),
+        let fin = 'req: {
+            // Request: two-sided send into the server's posted RQ.
+            let delivered = match two_sided_send(
+                at,
+                &mut client.rnic,
+                &mut server.rnic,
+                &mut net,
+                &mut server.mem,
+                rq_mr,
+                params.request_bytes(&op),
+                opts,
+            ) {
+                Ok(t) => t,
+                Err(e) => break 'req shed(tr, &e),
+            };
+            tr.leg("fabric_request", delivered);
+            // Re-post the consumed RECV WQE (extra NIC pipeline work of the
+            // two-sided path).
+            let t = server.rnic.next_in_pipeline(delivered);
+            tr.leg("rnic_pipeline", t);
+            // Application processing on a core.
+            let trace = match op {
+                KvOp::Get { key } => store.get(key).1,
+                KvOp::Put { key, .. } => store.put_slice(key, &put_value),
+            };
+            let mut done = cpu.serve_request(
+                t,
+                trace.bucket_reads + trace.value_reads,
+                trace.writes as u64 * 64,
+                MemKind::Dram,
+                &mut server.mem,
+            );
+            if rng.chance(CPU_JITTER_P) {
+                done += Span::from_ns_f64(1000.0 * rng.exp(CPU_JITTER_MEAN_US));
+            }
+            tr.leg("cpu_serve", done);
+            // Response: two-sided back to the client.
+            let fin = match two_sided_send(
+                done,
+                &mut server.rnic,
+                &mut client.rnic,
+                &mut net,
+                &mut client.mem,
+                client_mr,
+                params.response_bytes(&op),
+                opts,
+            ) {
+                Ok(t) => t,
+                Err(e) => break 'req shed(tr, &e),
+            };
+            tr.leg("fabric_response", fin);
+            tr.finish(fin);
+            tracer.sample_with(rec, at, |s| {
+                client.publish_metrics(s, "client");
+                server.publish_metrics(s, "server");
+                cpu.publish_metrics(s, "cpu");
+                net.publish_metrics(s, "net");
+            });
+            fin
         };
-        tr.leg("fabric_request", delivered);
-        // Re-post the consumed RECV WQE (extra NIC pipeline work of the
-        // two-sided path).
-        let t = server.rnic.next_in_pipeline(delivered);
-        tr.leg("rnic_pipeline", t);
-        // Application processing on a core.
-        let trace = match op {
-            KvOp::Get { key } => store.get(key).1,
-            KvOp::Put { key, .. } => store.put_slice(key, &put_value),
-        };
-        let mut done = cpu.serve_request(
-            t,
-            trace.bucket_reads + trace.value_reads,
-            trace.writes as u64 * 64,
-            MemKind::Dram,
-            &mut server.mem,
-        );
-        if rng.chance(CPU_JITTER_P) {
-            done += Span::from_ns_f64(1000.0 * rng.exp(CPU_JITTER_MEAN_US));
-        }
-        tr.leg("cpu_serve", done);
-        // Response: two-sided back to the client.
-        let fin = match two_sided_send(
-            done,
-            &mut server.rnic,
-            &mut client.rnic,
-            &mut net,
-            &mut client.mem,
-            client_mr,
-            params.response_bytes(&op),
-            opts,
-        ) {
-            Ok(t) => t,
-            Err(e) => return shed(tr, &e),
-        };
-        tr.leg("fabric_response", fin);
-        tr.finish(fin);
-        tracer.sample_with(rec, at, |s| {
-            client.publish_metrics(s, "client");
-            server.publish_metrics(s, "server");
-            cpu.publish_metrics(s, "cpu");
-            net.publish_metrics(s, "net");
-        });
+        // Scope attribution covers shed requests too: every traced request
+        // lands in exactly one key-range shard.
+        scopes.record(&scope_names[params.scope_of(op.key())], at, fin);
+        scopes.observe_key(op.key());
         fin
     });
     drain_faults(&mut net, tracer);
@@ -325,6 +348,7 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
         cpu.publish_metrics(resources, "cpu");
         net.publish_metrics(resources, "net");
         net.publish_lookahead(resources, "net");
+        net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -362,7 +386,7 @@ fn run_rambda_inner(
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -376,6 +400,7 @@ fn run_rambda_inner(
     let mix = params.mix();
     let mut rng = SimRng::seed(params.seed);
     let clients = params.clients;
+    let scope_names = params.scope_names();
 
     let ring_kind = match location {
         DataLocation::LocalDdr => MemKind::AccelDdr,
@@ -394,71 +419,78 @@ fn run_rambda_inner(
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
-        // One-sided write into the request ring (cpoll region).
-        let out = match rdma_write(
-            at,
-            &mut client.rnic,
-            &mut server.rnic,
-            &mut net,
-            &mut server.mem,
-            &mut client.mem,
-            ring_mr,
-            params.request_bytes(&op),
-            req_opts,
-        ) {
-            Ok(out) => out,
-            Err(e) => return shed(tr, &e),
+        let fin = 'req: {
+            // One-sided write into the request ring (cpoll region).
+            let out = match rdma_write(
+                at,
+                &mut client.rnic,
+                &mut server.rnic,
+                &mut net,
+                &mut server.mem,
+                &mut client.mem,
+                ring_mr,
+                params.request_bytes(&op),
+                req_opts,
+            ) {
+                Ok(out) => out,
+                Err(e) => break 'req shed(tr, &e),
+            };
+            tr.leg("fabric_request", out.delivered_at);
+            // cpoll discovery + scheduler dispatch.
+            let discovered = engine.discover(out.delivered_at, clients, &mut rng);
+            tr.leg("coherence", discovered);
+            let start = engine.claim_slot(discovered);
+            tr.leg("dispatch", start);
+            // Fetch the request entry from the ring.
+            let fetched = if location.is_host() {
+                engine.ring_read(start, params.request_bytes(&op), &mut server.mem)
+            } else {
+                engine.mem_access(start, params.request_bytes(&op), false, &mut server.mem)
+            };
+            tr.leg("ring_read", fetched);
+            // APU processing (hash + walk + value).
+            let mut ctx = ApuCtx::new(&mut engine, &mut server.mem, fetched);
+            let _resp = apu.process(params.to_request(&op), &mut ctx);
+            let done = ctx.now();
+            tr.leg("apu_compute", done);
+            // SQ handler: assemble WQE, write it to the WQ, ring the doorbell.
+            let wqe = engine.sq_write_wqe(done);
+            tr.leg("sq_wqe", wqe);
+            let db_start = sq.acquire(wqe, sq_hold);
+            let emitted = db_start + sq_hold;
+            tr.leg("doorbell", emitted);
+            engine.release_slot(discovered, emitted);
+            // Response by one-sided write back to the client's response ring.
+            let resp = match rdma_write(
+                emitted,
+                &mut server.rnic,
+                &mut client.rnic,
+                &mut net,
+                &mut client.mem,
+                &mut server.mem,
+                client_mr,
+                params.response_bytes(&op),
+                resp_opts,
+            ) {
+                Ok(out) => out,
+                Err(e) => break 'req shed(tr, &e),
+            };
+            tr.leg("fabric_response", resp.delivered_at);
+            tr.finish(resp.delivered_at);
+            tracer.sample_with(rec, at, |s| {
+                client.publish_metrics(s, "client");
+                server.publish_metrics(s, "server");
+                engine.publish_metrics(s, "accel");
+                s.observe_server("sq", &sq);
+                net.publish_metrics(s, "net");
+            });
+            resp.delivered_at
         };
-        tr.leg("fabric_request", out.delivered_at);
-        // cpoll discovery + scheduler dispatch.
-        let discovered = engine.discover(out.delivered_at, clients, &mut rng);
-        tr.leg("coherence", discovered);
-        let start = engine.claim_slot(discovered);
-        tr.leg("dispatch", start);
-        // Fetch the request entry from the ring.
-        let fetched = if location.is_host() {
-            engine.ring_read(start, params.request_bytes(&op), &mut server.mem)
-        } else {
-            engine.mem_access(start, params.request_bytes(&op), false, &mut server.mem)
-        };
-        tr.leg("ring_read", fetched);
-        // APU processing (hash + walk + value).
-        let mut ctx = ApuCtx::new(&mut engine, &mut server.mem, fetched);
-        let _resp = apu.process(params.to_request(&op), &mut ctx);
-        let done = ctx.now();
-        tr.leg("apu_compute", done);
-        // SQ handler: assemble WQE, write it to the WQ, ring the doorbell.
-        let wqe = engine.sq_write_wqe(done);
-        tr.leg("sq_wqe", wqe);
-        let db_start = sq.acquire(wqe, sq_hold);
-        let emitted = db_start + sq_hold;
-        tr.leg("doorbell", emitted);
-        engine.release_slot(discovered, emitted);
-        // Response by one-sided write back to the client's response ring.
-        let resp = match rdma_write(
-            emitted,
-            &mut server.rnic,
-            &mut client.rnic,
-            &mut net,
-            &mut client.mem,
-            &mut server.mem,
-            client_mr,
-            params.response_bytes(&op),
-            resp_opts,
-        ) {
-            Ok(out) => out,
-            Err(e) => return shed(tr, &e),
-        };
-        tr.leg("fabric_response", resp.delivered_at);
-        tr.finish(resp.delivered_at);
-        tracer.sample_with(rec, at, |s| {
-            client.publish_metrics(s, "client");
-            server.publish_metrics(s, "server");
-            engine.publish_metrics(s, "accel");
-            s.observe_server("sq", &sq);
-            net.publish_metrics(s, "net");
-        });
-        resp.delivered_at
+        // Scope attribution covers shed requests too: every traced request
+        // lands in exactly one key-range shard.
+        scopes.record(&scope_names[params.scope_of(op.key())], at, fin);
+        scopes.observe_key(op.key());
+        fin
     });
     drain_faults(&mut net, tracer);
     if rec.is_active() {
@@ -468,6 +500,7 @@ fn run_rambda_inner(
         resources.observe_server("sq", &sq);
         net.publish_metrics(resources, "net");
         net.publish_lookahead(resources, "net");
+        net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -495,7 +528,7 @@ pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer:
 }
 
 fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     // The Smart NIC path models raw Ethernet sends (its RPC transport hides
     // recovery in firmware), so only degrade windows of the fault plan
     // reach it — drop/corrupt verdicts apply to RC-QP `transmit`s.
@@ -519,6 +552,7 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
     let hit_rate = params.dist().hot_mass(cache_items);
     let wqe_gap = client.rnic.config().wqe_gap;
     let put_value = vec![0xAB; params.value_bytes as usize];
+    let scope_names = params.scope_names();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut tr = tracer.observe(rec, at);
@@ -556,6 +590,8 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
         let fin = net.send(t, SERVER, CLIENT, params.response_bytes(&op));
         tr.leg("fabric_response", fin);
         tr.finish(fin);
+        scopes.record(&scope_names[params.scope_of(op.key())], at, fin);
+        scopes.observe_key(op.key());
         tracer.sample_with(rec, at, |s| {
             client.publish_metrics(s, "client");
             server.publish_metrics(s, "server");
@@ -573,6 +609,7 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
         nic_mem.publish_metrics(resources, "nic_mem");
         net.publish_metrics(resources, "net");
         net.publish_lookahead(resources, "net");
+        net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

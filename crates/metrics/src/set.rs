@@ -2,8 +2,9 @@
 //!
 //! Names are dotted paths (`"accel.slots.busy_ps"`); storage is a
 //! `BTreeMap`, so iteration — and therefore JSON output — is always sorted
-//! and deterministic. Counters are `u64` and merge by addition; gauges are
-//! `f64` snapshots and merge by overwrite.
+//! and deterministic. Counters are `u64` and merge by saturating addition;
+//! gauges are `f64` snapshots and merge by keep-max (see
+//! [`MetricSet::merge`] for why).
 
 use std::collections::BTreeMap;
 
@@ -70,14 +71,31 @@ impl MetricSet {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Merges another registry in: counters add, gauges overwrite.
+    /// Merges another registry in: counters add (saturating), colliding
+    /// gauges keep the maximum.
+    ///
+    /// Keep-max is the only order-independent choice that makes sense for
+    /// every gauge this workspace publishes (utilizations, burn rates —
+    /// all "pressure" readings where the worst observation is the one
+    /// worth keeping). The previous last-write-wins silently made
+    /// `a.merge(&b)` and `b.merge(&a)` disagree; keep-max is commutative,
+    /// so merge order — e.g. scope iteration order in a rollup — can never
+    /// change the result. NaN never wins a collision (any comparison with
+    /// it is `false`), so a poisoned gauge cannot overwrite a real one.
     pub fn merge(&mut self, other: &MetricSet) {
         for (name, value) in &other.counters {
             let slot = self.counters.entry(name.clone()).or_insert(0);
             *slot = slot.saturating_add(*value);
         }
         for (name, value) in &other.gauges {
-            self.gauges.insert(name.clone(), *value);
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|existing| {
+                    if *value > *existing {
+                        *existing = *value;
+                    }
+                })
+                .or_insert(*value);
         }
     }
 
@@ -140,7 +158,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_adds_counters_and_overwrites_gauges() {
+    fn merge_adds_counters_and_keeps_max_gauges() {
         let mut a = MetricSet::new();
         a.add("x", 1);
         a.gauge("u", 0.25);
@@ -153,6 +171,38 @@ mod tests {
         assert_eq!(a.counter("y"), Some(7));
         assert_eq!(a.gauge_value("u"), Some(0.75));
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn gauge_merge_is_keep_max_hence_commutative() {
+        // The collision case: the incoming gauge is *smaller*. Under the
+        // old last-write-wins it would have clobbered the larger reading;
+        // keep-max retains it, and merge order no longer matters.
+        let mut hi = MetricSet::new();
+        hi.gauge("util", 0.9);
+        let mut lo = MetricSet::new();
+        lo.gauge("util", 0.1);
+        lo.gauge("only_lo", 0.5);
+
+        let mut a = hi.clone();
+        a.merge(&lo);
+        assert_eq!(a.gauge_value("util"), Some(0.9), "smaller incoming gauge must not clobber");
+        assert_eq!(a.gauge_value("only_lo"), Some(0.5));
+
+        let mut b = lo.clone();
+        b.merge(&hi);
+        assert_eq!(b.gauge_value("util"), Some(0.9));
+        assert_eq!(a, b, "gauge merge commutes");
+    }
+
+    #[test]
+    fn nan_gauge_never_wins_a_merge_collision() {
+        let mut a = MetricSet::new();
+        a.gauge("g", 0.5);
+        let mut poisoned = MetricSet::new();
+        poisoned.gauge("g", f64::NAN);
+        a.merge(&poisoned);
+        assert_eq!(a.gauge_value("g"), Some(0.5));
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Deterministic space-saving top-K sketch for hot-key detection.
+//!
+//! The Metwally–Agrawal–Abbadi *space-saving* algorithm keeps at most `k`
+//! monitored keys. A hit on a monitored key increments its counter; a miss
+//! when the sketch is full evicts the minimum-count entry and the new key
+//! inherits that count (recorded as the entry's overestimation error). Two
+//! guarantees follow for a stream of `N` observations:
+//!
+//! - every key whose true frequency exceeds `N / k` is monitored, and
+//! - each monitored count overestimates the true count by at most the
+//!   entry's recorded `err` (itself bounded by `N / k`).
+//!
+//! An entry with `err == 0` was never evicted, so its count is *exact* —
+//! the property the scoped-observability tests verify against brute-force
+//! counts (DESIGN.md §15).
+//!
+//! Determinism is structural: storage is a `BTreeMap` keyed by the observed
+//! key (rule R1), eviction picks the minimum count with the smallest key
+//! breaking ties (`BTreeMap` iteration order), and ranking sorts by count
+//! descending then key ascending. Same observation sequence, same sketch —
+//! byte for byte.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// One monitored entry: the estimated count and its overestimation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    count: u64,
+    err: u64,
+}
+
+/// A ranked row returned by [`TopKSketch::top`]: key, estimated count, and
+/// the count's overestimation bound (`0` means the count is exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// The observed key.
+    pub key: u64,
+    /// Estimated observation count (true count ≤ `count` ≤ true + `err`).
+    pub count: u64,
+    /// Overestimation bound inherited from the evicted predecessor.
+    pub err: u64,
+}
+
+/// Deterministic space-saving sketch over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKSketch {
+    capacity: usize,
+    entries: BTreeMap<u64, Entry>,
+    observed: u64,
+}
+
+impl TopKSketch {
+    /// Creates a sketch monitoring at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a sketch needs at least one slot");
+        TopKSketch { capacity, entries: BTreeMap::new(), observed: 0 }
+    }
+
+    /// Records one observation of `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.observe_n(key, 1);
+    }
+
+    /// Records `weight` observations of `key` at once.
+    pub fn observe_n(&mut self, key: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.observed = self.observed.saturating_add(weight);
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.count = entry.count.saturating_add(weight);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, Entry { count: weight, err: 0 });
+            return;
+        }
+        // Space-saving eviction: replace the minimum-count entry; the
+        // newcomer inherits its count as the overestimation bound.
+        // `min_by_key` returns the first minimum, and `BTreeMap` iterates
+        // keys ascending, so ties break on the smallest key: deterministic.
+        let (&victim, &entry) =
+            self.entries.iter().min_by_key(|(_, e)| e.count).expect("sketch is full, hence non-empty");
+        self.entries.remove(&victim);
+        self.entries.insert(key, Entry { count: entry.count.saturating_add(weight), err: entry.count });
+    }
+
+    /// Total observations fed into the sketch.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of keys currently monitored (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sketch has seen nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Monitored-key capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The estimated count of `key`, if monitored.
+    pub fn count(&self, key: u64) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.count)
+    }
+
+    /// Every monitored key ranked by count descending, key ascending on
+    /// ties — a total, deterministic order.
+    pub fn top(&self) -> Vec<SketchEntry> {
+        let mut rows: Vec<SketchEntry> =
+            self.entries.iter().map(|(&key, e)| SketchEntry { key, count: e.count, err: e.err }).collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        rows
+    }
+
+    /// Renders the ranking as a deterministic JSON array of
+    /// `{"key", "count", "err"}` rows.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.top()
+                .into_iter()
+                .map(|row| {
+                    let mut o = Json::obj();
+                    o.push("key", Json::U64(row.key));
+                    o.push("count", Json::U64(row.count));
+                    o.push("err", Json::U64(row.err));
+                    o
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_below_capacity() {
+        let mut s = TopKSketch::new(8);
+        for _ in 0..5 {
+            s.observe(3);
+        }
+        for _ in 0..2 {
+            s.observe(9);
+        }
+        assert_eq!(s.count(3), Some(5));
+        assert_eq!(s.count(9), Some(2));
+        assert_eq!(s.observed(), 7);
+        let top = s.top();
+        assert_eq!(top[0], SketchEntry { key: 3, count: 5, err: 0 });
+        assert_eq!(top[1], SketchEntry { key: 9, count: 2, err: 0 });
+    }
+
+    #[test]
+    fn eviction_tracks_error_and_never_underestimates() {
+        let mut s = TopKSketch::new(2);
+        s.observe(1);
+        s.observe(1);
+        s.observe(2);
+        // Sketch full: key 3 evicts the minimum (key 2, count 1) and
+        // inherits its count as error.
+        s.observe(3);
+        assert_eq!(s.count(2), None);
+        assert_eq!(s.count(3), Some(2));
+        let row = s.top().into_iter().find(|r| r.key == 3).unwrap();
+        assert_eq!(row.err, 1, "inherited count is the overestimation bound");
+        // True count of 3 is 1; estimate 2; estimate - err == 1 == truth.
+        assert_eq!(row.count - row.err, 1);
+    }
+
+    #[test]
+    fn eviction_tie_breaks_on_smallest_key() {
+        let mut s = TopKSketch::new(2);
+        s.observe(10);
+        s.observe(20); // both count 1
+        s.observe(30); // evicts key 10 (smallest among the minimum counts)
+        assert_eq!(s.count(10), None);
+        assert_eq!(s.count(20), Some(1));
+        assert_eq!(s.count(30), Some(2));
+    }
+
+    #[test]
+    fn hot_keys_survive_a_skewed_stream_with_exact_counts() {
+        // A Zipf-like stream: key 0 dominates. The hot key enters first and
+        // is never the minimum, so its count stays exact (err == 0).
+        let mut s = TopKSketch::new(4);
+        let mut exact = std::collections::BTreeMap::new();
+        for i in 0..1000u64 {
+            let key = if i % 2 == 0 { 0 } else { 1 + (i % 97) };
+            s.observe(key);
+            *exact.entry(key).or_insert(0u64) += 1;
+        }
+        let top = s.top();
+        assert_eq!(top[0].key, 0);
+        assert_eq!(top[0].err, 0, "the dominant key is never evicted");
+        assert_eq!(top[0].count, exact[&0]);
+        // Space-saving bound: every estimate is within err of the truth.
+        for row in &top {
+            let truth = exact.get(&row.key).copied().unwrap_or(0);
+            assert!(row.count >= truth, "never underestimates: {row:?} truth {truth}");
+            assert!(row.count - row.err <= truth, "err bounds the overshoot: {row:?} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn same_stream_same_sketch() {
+        let run = || {
+            let mut s = TopKSketch::new(3);
+            for i in 0..500u64 {
+                s.observe((i * i) % 17);
+            }
+            s.to_json().render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn weighted_observations_accumulate() {
+        let mut s = TopKSketch::new(2);
+        s.observe_n(5, 10);
+        s.observe_n(5, 0); // no-op
+        assert_eq!(s.count(5), Some(10));
+        assert_eq!(s.observed(), 10);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_is_rejected() {
+        TopKSketch::new(0);
+    }
+
+    #[test]
+    fn json_rows_are_ranked() {
+        let mut s = TopKSketch::new(4);
+        s.observe_n(7, 3);
+        s.observe_n(2, 5);
+        let text = s.to_json().render();
+        let two = text.find("\"key\": 2").unwrap();
+        let seven = text.find("\"key\": 7").unwrap();
+        assert!(two < seven, "higher count ranks first: {text}");
+    }
+}

@@ -52,6 +52,20 @@ impl TxnParams {
         // Serial issue: one client, window 1.
         DriverConfig { clients: 1, window: 1, requests: self.txns, warmup: 0.05 }
     }
+
+    /// Scoped runs attribute each transaction to its first key's home
+    /// replica (`replica/{key % 2}`) — the coordinator that would own the
+    /// key in a sharded two-replica deployment.
+    fn scope_names(&self) -> Vec<String> {
+        (0..2u64).map(|r| format!("replica/{r}")).collect()
+    }
+}
+
+/// The home replica a scoped run attributes a transaction to: its first
+/// sampled key, modulo the two Fig. 11 replicas.
+fn scope_of(reads: &[u64], writes: &[TxnWrite]) -> usize {
+    let key = reads.first().copied().unwrap_or_else(|| writes.first().map_or(0, |w| w.key));
+    (key % 2) as usize
 }
 
 /// The shared Fig. 11 world: network, two replica machines (ports), the
@@ -171,7 +185,7 @@ pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer
 }
 
 fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut w = TxnWorld::new(testbed, params);
     w.net.install_faults(faults);
     if profile {
@@ -182,73 +196,87 @@ fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
     let spec = params.spec;
     let value = params.value_bytes as u64;
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::SIGNALED };
+    let scope_names = params.scope_names();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut trace = tracer.observe(rec, at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
-        let mut t = at;
-
-        // Sequential one-sided reads from the head replica's NVM.
-        for _ in 0..reads.len() {
-            let out = match rambda_rnic::rdma_read(
-                t,
-                &mut w.client.rnic,
-                &mut w.port0.rnic,
-                &mut w.net,
-                &mut w.port0.mem,
-                nvm0,
-                value,
-                WriteOpts { flags: PostFlags::NONE, ..opts },
-            ) {
-                Ok(out) => out,
-                Err(e) => return shed(trace, &e),
-            };
-            t = out.data_at;
+        let home = scope_of(&reads, &writes);
+        for &key in &reads {
+            scopes.observe_key(key);
         }
-        trace.leg("read_rtts", t);
-
-        // Sequential group-RDMA writes, one chain round per KV pair.
-        let n_writes = writes.len();
-        for _ in 0..n_writes {
-            // Client -> port0: log-entry write into NVM (single tuple).
-            let entry = 1 + value + 12;
-            let d0 = match rambda_rnic::rdma_write(
-                t,
-                &mut w.client.rnic,
-                &mut w.port0.rnic,
-                &mut w.net,
-                &mut w.port0.mem,
-                &mut w.client.mem,
-                nvm0,
-                entry,
-                WriteOpts { flags: PostFlags::NONE, ..opts },
-            ) {
-                Ok(out) => out,
-                Err(e) => return shed(trace, &e),
-            };
-            // RNIC-triggered forward to the next replica through the ARM.
-            let fwd = w.port0.rnic.rx_process(d0.delivered_at);
-            let at_p1 = w.route(fwd, PORT0, PORT1, entry);
-            let (d1, _) = w.port1.rnic.deliver_write(at_p1, nvm1, entry, &mut w.port1.mem);
-            // Tail ACK back-propagates: port1 -> port0 -> client.
-            let ack_at_p0 = w.route(d1, PORT1, PORT0, 0);
-            let acked = w.net.send(ack_at_p0, PORT0, CLIENT, 0);
-            t = w.client.rnic.complete(acked, &mut w.client.mem);
+        for wr in &writes {
+            scopes.observe_key(wr.key);
         }
-        trace.leg("chain_writes", t);
+        let fin = 'txn: {
+            let mut t = at;
 
-        // Functional effect.
-        let _ = w.chain.execute(&reads, writes);
-        // CQE polled on a client core (cheap).
-        let fin = t + Span::from_ns(100);
-        trace.leg("cqe_poll", fin);
-        trace.finish(fin);
-        tracer.sample_with(rec, at, |s| {
-            w.client.publish_metrics(s, "client");
-            w.port0.publish_metrics(s, "port0");
-            w.port1.publish_metrics(s, "port1");
-            w.net.publish_metrics(s, "net");
-        });
+            // Sequential one-sided reads from the head replica's NVM.
+            for _ in 0..reads.len() {
+                let out = match rambda_rnic::rdma_read(
+                    t,
+                    &mut w.client.rnic,
+                    &mut w.port0.rnic,
+                    &mut w.net,
+                    &mut w.port0.mem,
+                    nvm0,
+                    value,
+                    WriteOpts { flags: PostFlags::NONE, ..opts },
+                ) {
+                    Ok(out) => out,
+                    Err(e) => break 'txn shed(trace, &e),
+                };
+                t = out.data_at;
+            }
+            trace.leg("read_rtts", t);
+
+            // Sequential group-RDMA writes, one chain round per KV pair.
+            let n_writes = writes.len();
+            for _ in 0..n_writes {
+                // Client -> port0: log-entry write into NVM (single tuple).
+                let entry = 1 + value + 12;
+                let d0 = match rambda_rnic::rdma_write(
+                    t,
+                    &mut w.client.rnic,
+                    &mut w.port0.rnic,
+                    &mut w.net,
+                    &mut w.port0.mem,
+                    &mut w.client.mem,
+                    nvm0,
+                    entry,
+                    WriteOpts { flags: PostFlags::NONE, ..opts },
+                ) {
+                    Ok(out) => out,
+                    Err(e) => break 'txn shed(trace, &e),
+                };
+                // RNIC-triggered forward to the next replica through the ARM.
+                let fwd = w.port0.rnic.rx_process(d0.delivered_at);
+                let at_p1 = w.route(fwd, PORT0, PORT1, entry);
+                let (d1, _) = w.port1.rnic.deliver_write(at_p1, nvm1, entry, &mut w.port1.mem);
+                // Tail ACK back-propagates: port1 -> port0 -> client.
+                let ack_at_p0 = w.route(d1, PORT1, PORT0, 0);
+                let acked = w.net.send(ack_at_p0, PORT0, CLIENT, 0);
+                t = w.client.rnic.complete(acked, &mut w.client.mem);
+            }
+            trace.leg("chain_writes", t);
+
+            // Functional effect.
+            let _ = w.chain.execute(&reads, writes);
+            // CQE polled on a client core (cheap).
+            let fin = t + Span::from_ns(100);
+            trace.leg("cqe_poll", fin);
+            trace.finish(fin);
+            tracer.sample_with(rec, at, |s| {
+                w.client.publish_metrics(s, "client");
+                w.port0.publish_metrics(s, "port0");
+                w.port1.publish_metrics(s, "port1");
+                w.net.publish_metrics(s, "net");
+            });
+            fin
+        };
+        // Scope attribution covers shed transactions too: every traced
+        // transaction lands on exactly one home replica.
+        scopes.record(&scope_names[home], at, fin);
         fin
     });
     drain_faults(&mut w.net, tracer);
@@ -258,6 +286,7 @@ fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
         w.port1.publish_metrics(resources, "port1");
         w.net.publish_metrics(resources, "net");
         w.net.publish_lookahead(resources, "net");
+        w.net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats
@@ -288,7 +317,7 @@ pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer
 }
 
 fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
     let mut w = TxnWorld::new(testbed, params);
     w.net.install_faults(faults);
     if profile {
@@ -303,95 +332,109 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
     let spec = params.spec;
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::NONE };
     let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, flags: PostFlags::NONE };
+    let scope_names = params.scope_names();
 
     let stats = run_closed_loop(&params.driver(), |_c, at| {
         let mut trace = tracer.observe(rec, at);
         let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
+        let home = scope_of(&reads, &writes);
+        for &key in &reads {
+            scopes.observe_key(key);
+        }
+        for wr in &writes {
+            scopes.observe_key(wr.key);
+        }
         let entry = spec.log_entry_bytes();
 
-        // One combined request into the head's NVM ring (= redo log write).
-        let d0 = match rambda_rnic::rdma_write(
-            at,
-            &mut w.client.rnic,
-            &mut w.port0.rnic,
-            &mut w.net,
-            &mut w.port0.mem,
-            &mut w.client.mem,
-            ring0,
-            entry,
-            opts,
-        ) {
-            Ok(out) => out,
-            Err(e) => return shed(trace, &e),
+        let fin = 'txn: {
+            // One combined request into the head's NVM ring (= redo log write).
+            let d0 = match rambda_rnic::rdma_write(
+                at,
+                &mut w.client.rnic,
+                &mut w.port0.rnic,
+                &mut w.net,
+                &mut w.port0.mem,
+                &mut w.client.mem,
+                ring0,
+                entry,
+                opts,
+            ) {
+                Ok(out) => out,
+                Err(e) => break 'txn shed(trace, &e),
+            };
+            trace.leg("fabric_request", d0.delivered_at);
+
+            // Head accelerator: on the cpoll signal it forwards the (already
+            // durable) entry down the chain immediately; parsing, concurrency
+            // control and the read set overlap with the chain round trip.
+            let t = accel0.discover(d0.delivered_at, 1, &mut w.rng);
+            trace.leg("coherence", t);
+            let start = accel0.claim_slot(t);
+            trace.leg("dispatch", start);
+            let wqe = accel0.sq_write_wqe(start);
+            let fwd_posted = w.port0.rnic.post(wqe, PostPath::AccelMmio, 1);
+            let at_p1 = w.route(fwd_posted, PORT0, PORT1, entry);
+
+            let mut local = accel0.ring_read(start, entry.min(256), &mut w.port0.mem);
+            local = accel0.compute(local, 2 + spec.ops() as u64); // CC + parse
+            for _ in 0..reads.len() {
+                local = accel0.mem_access(local, params.value_bytes as u64, false, &mut w.port0.mem);
+            }
+            accel0.release_slot(d0.delivered_at, local);
+
+            // Tail accelerator: the entry is durable once delivered into the
+            // NVM ring, so the ACK goes out on discovery; the local apply
+            // happens off the critical path.
+            let (d1, _) = w.port1.rnic.deliver_write(at_p1, ring1, entry, &mut w.port1.mem);
+            let t1 = accel1.discover(d1, 1, &mut w.rng);
+            let start1 = accel1.claim_slot(t1);
+            let wqe1 = accel1.sq_write_wqe(start1);
+            let ack_posted = w.port1.rnic.post(wqe1, PostPath::AccelMmio, 1);
+            let mut tail_local = accel1.ring_read(start1, entry.min(256), &mut w.port1.mem);
+            tail_local = accel1.compute(tail_local, 1 + spec.ops() as u64);
+            accel1.release_slot(d1, tail_local);
+
+            // Tail ACK back through the chain; the head commits once both the
+            // ACK and its own processing are done, then responds to the client.
+            let ack_at_p0 = w.route(ack_posted, PORT1, PORT0, 0);
+            // The chain round trip and the head's local work run in parallel;
+            // the critical path resumes at their join point.
+            trace.leg("chain_round", ack_at_p0.max(local));
+            let commit = accel0.compute(ack_at_p0.max(local), 1);
+            trace.leg("commit", commit);
+            let resp = match rambda_rnic::rdma_write(
+                commit,
+                &mut w.port0.rnic,
+                &mut w.client.rnic,
+                &mut w.net,
+                &mut w.client.mem,
+                &mut w.port0.mem,
+                client_mr,
+                8 + reads.len() as u64 * params.value_bytes as u64,
+                accel_opts,
+            ) {
+                Ok(out) => out,
+                Err(e) => break 'txn shed(trace, &e),
+            };
+            trace.leg("fabric_response", resp.delivered_at);
+
+            // Functional effect.
+            let _ = w.chain.execute(&reads, writes);
+            trace.finish(resp.delivered_at);
+            tracer.sample_with(rec, at, |s| {
+                w.client.publish_metrics(s, "client");
+                w.port0.publish_metrics(s, "port0");
+                w.port1.publish_metrics(s, "port1");
+                accel0.publish_metrics(s, "accel0");
+                accel1.publish_metrics(s, "accel1");
+                w.net.publish_metrics(s, "net");
+            });
+            resp.delivered_at
         };
-        trace.leg("fabric_request", d0.delivered_at);
-
-        // Head accelerator: on the cpoll signal it forwards the (already
-        // durable) entry down the chain immediately; parsing, concurrency
-        // control and the read set overlap with the chain round trip.
-        let t = accel0.discover(d0.delivered_at, 1, &mut w.rng);
-        trace.leg("coherence", t);
-        let start = accel0.claim_slot(t);
-        trace.leg("dispatch", start);
-        let wqe = accel0.sq_write_wqe(start);
-        let fwd_posted = w.port0.rnic.post(wqe, PostPath::AccelMmio, 1);
-        let at_p1 = w.route(fwd_posted, PORT0, PORT1, entry);
-
-        let mut local = accel0.ring_read(start, entry.min(256), &mut w.port0.mem);
-        local = accel0.compute(local, 2 + spec.ops() as u64); // CC + parse
-        for _ in 0..reads.len() {
-            local = accel0.mem_access(local, params.value_bytes as u64, false, &mut w.port0.mem);
-        }
-        accel0.release_slot(d0.delivered_at, local);
-
-        // Tail accelerator: the entry is durable once delivered into the
-        // NVM ring, so the ACK goes out on discovery; the local apply
-        // happens off the critical path.
-        let (d1, _) = w.port1.rnic.deliver_write(at_p1, ring1, entry, &mut w.port1.mem);
-        let t1 = accel1.discover(d1, 1, &mut w.rng);
-        let start1 = accel1.claim_slot(t1);
-        let wqe1 = accel1.sq_write_wqe(start1);
-        let ack_posted = w.port1.rnic.post(wqe1, PostPath::AccelMmio, 1);
-        let mut tail_local = accel1.ring_read(start1, entry.min(256), &mut w.port1.mem);
-        tail_local = accel1.compute(tail_local, 1 + spec.ops() as u64);
-        accel1.release_slot(d1, tail_local);
-
-        // Tail ACK back through the chain; the head commits once both the
-        // ACK and its own processing are done, then responds to the client.
-        let ack_at_p0 = w.route(ack_posted, PORT1, PORT0, 0);
-        // The chain round trip and the head's local work run in parallel;
-        // the critical path resumes at their join point.
-        trace.leg("chain_round", ack_at_p0.max(local));
-        let commit = accel0.compute(ack_at_p0.max(local), 1);
-        trace.leg("commit", commit);
-        let resp = match rambda_rnic::rdma_write(
-            commit,
-            &mut w.port0.rnic,
-            &mut w.client.rnic,
-            &mut w.net,
-            &mut w.client.mem,
-            &mut w.port0.mem,
-            client_mr,
-            8 + reads.len() as u64 * params.value_bytes as u64,
-            accel_opts,
-        ) {
-            Ok(out) => out,
-            Err(e) => return shed(trace, &e),
-        };
-        trace.leg("fabric_response", resp.delivered_at);
-
-        // Functional effect.
-        let _ = w.chain.execute(&reads, writes);
-        trace.finish(resp.delivered_at);
-        tracer.sample_with(rec, at, |s| {
-            w.client.publish_metrics(s, "client");
-            w.port0.publish_metrics(s, "port0");
-            w.port1.publish_metrics(s, "port1");
-            accel0.publish_metrics(s, "accel0");
-            accel1.publish_metrics(s, "accel1");
-            w.net.publish_metrics(s, "net");
-        });
-        resp.delivered_at
+        // Scope attribution covers shed transactions too: every traced
+        // transaction lands on exactly one home replica.
+        scopes.record(&scope_names[home], at, fin);
+        fin
     });
     drain_faults(&mut w.net, tracer);
     if rec.is_active() {
@@ -402,6 +445,7 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
         accel1.publish_metrics(resources, "accel1");
         w.net.publish_metrics(resources, "net");
         w.net.publish_lookahead(resources, "net");
+        w.net.publish_scoped(scopes, "net");
         tracer.final_sample(SimTime::ZERO + stats.makespan, resources);
     }
     stats

@@ -36,6 +36,8 @@ Commands:
             salting call; no literal seeds, entropy sources, or clones
         R9  every counter published by publish_metrics appears in a
             validate_* conservation identity
+        R10 every counter published under the `scope.` or `hot.` prefix
+            appears in the validate_scopes identity specifically
       Violations can be allowlisted in xtask/analyze.allow (one per line:
       `RULE path token  # reason`; the reason is mandatory); stale entries
       are errors.

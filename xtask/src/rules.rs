@@ -1,6 +1,6 @@
 //! The analyzer's rule engine.
 //!
-//! Nine rules, each enforcing one repo invariant (DESIGN.md §8 and §13):
+//! Ten rules, each enforcing one repo invariant (DESIGN.md §8 and §13):
 //!
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: their iteration
 //!   order is randomized per process and can leak into event ordering and
@@ -39,6 +39,12 @@
 //!   publishes from `publish_metrics` into the `MetricSet` must appear in
 //!   some `validate_*` conservation identity in the metrics crate, so new
 //!   counters can't land unguarded.
+//! * **R10** — scope coverage: every counter published under the `scope.`
+//!   or `hot.` prefix (the scoped-metrics mirrors, DESIGN.md §15) must
+//!   appear in the dedicated `validate_scopes` identity specifically —
+//!   coverage by some other `validate_*` function does not count, because
+//!   only the scope conservation identities actually cross-check the
+//!   rollup and sketch invariants those mirrors summarize.
 //!
 //! R1, R2, R4, R5, R7 and R8 skip `#[cfg(test)]` modules: a test may model
 //! against a `HashMap`, spawn threads, seed an RNG literally, or print
@@ -49,7 +55,7 @@
 //! and `use` statements (re-exporting a shim keeps it reachable without
 //! endorsing it) and allows calls within the defining file.
 //!
-//! R1–R5 operate on the token stream; R6–R9 consume the item-level parse
+//! R1–R5 operate on the token stream; R6–R10 consume the item-level parse
 //! layer ([`crate::parse`]): declarations, attribute text, `impl`
 //! membership, struct fields and the workspace type graph. Both views come
 //! from the same [`ParsedFile`], so "test code" means the same thing to
@@ -88,10 +94,10 @@ pub struct Config {
     /// reachability walk and the partition boundary R8 guards.
     pub machine_type: String,
     /// Crate directory names whose `publish_metrics` counter suffixes R9
-    /// collects.
+    /// and R10 collect.
     pub stats_crates: Vec<String>,
-    /// Crate directory names whose `validate_*` functions R9 searches for
-    /// conservation identities.
+    /// Crate directory names whose `validate_*` functions R9 and R10
+    /// search for conservation identities.
     pub identity_crates: Vec<String>,
     /// Path to the allowlist file, relative to `root`.
     pub allowlist: PathBuf,
@@ -137,7 +143,7 @@ impl Config {
 /// One rule violation, pointing at `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`R1`..`R9`).
+    /// Rule id (`R1`..`R10`).
     pub rule: &'static str,
     /// Path relative to the workspace root, with `/` separators.
     pub path: String,
@@ -290,6 +296,7 @@ pub fn analyze(cfg: &Config) -> io::Result<Analysis> {
     rule_r6(&parsed, &mut violations);
     rule_r7(cfg, &parsed, &mut violations);
     rule_r9(cfg, &parsed, &mut violations);
+    rule_r10(cfg, &parsed, &mut violations);
 
     // Apply the allowlist.
     let allow_path = cfg.root.join(&cfg.allowlist);
@@ -709,18 +716,17 @@ fn call_args<'a>(sig: &[(usize, &'a Token)], open: usize) -> Vec<&'a Token> {
     args
 }
 
-/// R9: identity coverage. Every counter suffix published from a stats
-/// crate's `publish_metrics` must appear in some `validate_*` string
-/// literal in the metrics crate — the conservation identities read
-/// counters by suffix, so an unmentioned suffix is an unguarded counter.
-fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
-    struct Published {
-        rel: String,
-        line: u32,
-        suffix: String,
-    }
+/// One counter suffix published from a stats crate's `publish_metrics`,
+/// with the location the diagnostic points at. Shared by R9 and R10.
+struct Published {
+    rel: String,
+    line: u32,
+    suffix: String,
+}
 
-    // Collect `m.set("...")` format strings inside `publish_metrics` fns.
+/// Collects every `m.set("...")` counter suffix inside `publish_metrics`
+/// functions of the stats crates (the shared front half of R9 and R10).
+fn collect_published(cfg: &Config, files: &[ParsedFile]) -> Vec<Published> {
     let mut published: Vec<Published> = Vec::new();
     for f in files.iter().filter(|f| cfg.stats_crates.contains(&f.crate_name)) {
         for item in &f.items {
@@ -767,12 +773,17 @@ fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
             }
         }
     }
+    published
+}
 
-    // Collect every suffix-like string literal in `validate_*` fns.
+/// Collects every suffix-like string literal inside identity-crate
+/// validator functions whose name satisfies `accept` (the shared back half
+/// of R9 and R10).
+fn collect_covered(cfg: &Config, files: &[ParsedFile], accept: impl Fn(&str) -> bool) -> Vec<String> {
     let mut covered: Vec<String> = Vec::new();
     for f in files.iter().filter(|f| cfg.identity_crates.contains(&f.crate_name)) {
         for item in &f.items {
-            if item.kind != ItemKind::Fn || !item.name.starts_with("validate") || item.in_test {
+            if item.kind != ItemKind::Fn || !accept(&item.name) || item.in_test {
                 continue;
             }
             let Some((b0, b1)) = item.body else { continue };
@@ -787,12 +798,23 @@ fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
             }
         }
     }
+    covered
+}
 
+/// Whether any collected identity literal mentions `suffix`.
+fn covers(covered: &[String], suffix: &str) -> bool {
+    covered.iter().any(|c| c.trim_start_matches('.') == suffix || c.ends_with(&format!(".{suffix}")))
+}
+
+/// R9: identity coverage. Every counter suffix published from a stats
+/// crate's `publish_metrics` must appear in some `validate_*` string
+/// literal in the metrics crate — the conservation identities read
+/// counters by suffix, so an unmentioned suffix is an unguarded counter.
+fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
+    let published = collect_published(cfg, files);
+    let covered = collect_covered(cfg, files, |name| name.starts_with("validate"));
     for p in &published {
-        let hit = covered
-            .iter()
-            .any(|c| c.trim_start_matches('.') == p.suffix || c.ends_with(&format!(".{}", p.suffix)));
-        if !hit {
+        if !covers(&covered, &p.suffix) {
             out.push(Violation {
                 rule: "R9",
                 path: p.rel.clone(),
@@ -801,6 +823,32 @@ fn rule_r9(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
                 hint: format!(
                     "counter `{}` is published into the MetricSet but no validate_* conservation \
                      identity mentions it; add one to the metrics report validation",
+                    p.suffix
+                ),
+            });
+        }
+    }
+}
+
+/// R10: scope coverage. Every counter published under the `scope.` / `hot.`
+/// prefixes (the scoped-metrics mirrors) must appear in the dedicated
+/// `validate_scopes` identity — being mentioned by some other `validate_*`
+/// function satisfies R9 but not R10, because only `validate_scopes`
+/// cross-checks the per-scope rollup and hot-key sketch invariants those
+/// mirrors summarize.
+fn rule_r10(cfg: &Config, files: &[ParsedFile], out: &mut Vec<Violation>) {
+    let published = collect_published(cfg, files);
+    let covered = collect_covered(cfg, files, |name| name == "validate_scopes");
+    for p in published.iter().filter(|p| p.suffix.starts_with("scope.") || p.suffix.starts_with("hot.")) {
+        if !covers(&covered, &p.suffix) {
+            out.push(Violation {
+                rule: "R10",
+                path: p.rel.clone(),
+                line: p.line,
+                token: p.suffix.clone(),
+                hint: format!(
+                    "scoped-metrics mirror `{}` is published into the MetricSet but validate_scopes \
+                     never mentions it; extend the scope conservation identities",
                     p.suffix
                 ),
             });
@@ -1269,6 +1317,54 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].token, "dwell_ps");
         assert_eq!(v[0].path, "crates/metrics/src/event_core.rs");
+    }
+
+    #[test]
+    fn r10_scope_mirrors_need_validate_scopes_specifically() {
+        // `scope.count` is covered by a generic validate_* fn — enough for
+        // R9, but R10 demands validate_scopes itself.
+        let publisher = parsed(
+            "crates/metrics/src/scope.rs",
+            "impl S { pub fn publish_metrics(&self, m: &mut M) {\n\
+             m.set(\"scope.count\", self.n);\n\
+             m.set(\"hot.observed\", self.o);\n } }",
+        );
+        let elsewhere = parsed(
+            "crates/metrics/src/report.rs",
+            "impl R { fn validate_other(&self) { let c = self.counter(\"scope.count\"); } }",
+        );
+        let v = run_cross(vec![publisher, elsewhere], rule_r10);
+        let tokens: Vec<&str> = v.iter().map(|v| v.token.as_str()).collect();
+        assert!(tokens.contains(&"scope.count"), "generic coverage must not satisfy R10: {v:?}");
+        assert!(tokens.contains(&"hot.observed"), "{v:?}");
+        assert_eq!(v.len(), 2, "{v:?}");
+
+        // The same mirrors mentioned inside validate_scopes pass.
+        let publisher = parsed(
+            "crates/metrics/src/scope.rs",
+            "impl S { pub fn publish_metrics(&self, m: &mut M) {\n\
+             m.set(\"scope.count\", self.n);\n\
+             m.set(\"hot.observed\", self.o);\n } }",
+        );
+        let guarded = parsed(
+            "crates/metrics/src/report.rs",
+            "impl R { fn validate_scopes(&self) { let _ = (\"scope.count\", \"hot.observed\"); } }",
+        );
+        let v = run_cross(vec![publisher, guarded], rule_r10);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r10_ignores_unprefixed_counters() {
+        // Counters outside the scope./hot. namespaces are R9's business,
+        // never R10's — even when completely unguarded.
+        let publisher = parsed(
+            "crates/rnic/src/endpoint.rs",
+            "impl E { pub fn publish_metrics(&self, m: &mut M, p: &str) {\n\
+             m.set(&format!(\"{p}.doorbells\"), self.d);\n } }",
+        );
+        let v = run_cross(vec![publisher], rule_r10);
+        assert!(v.is_empty(), "unprefixed counters are out of scope: {v:?}");
     }
 
     #[test]

@@ -148,6 +148,26 @@ fn r9_fixture_trips_unguarded_counters_and_clean_twin_passes() {
 }
 
 #[test]
+fn r10_fixture_trips_unguarded_scope_mirrors_and_clean_twin_passes() {
+    // The bad twin satisfies R9 (a generic `validate_totals` names every
+    // mirror) but leaves two of the three `scope.`/`hot.` mirrors out of
+    // the dedicated `validate_scopes` identity — exactly those fire, and
+    // only under R10.
+    let analysis = analyze(&Config::rambda(fixture_root("r10/bad"))).expect("fixture scans");
+    let hits: Vec<(&str, &str, &str)> =
+        analysis.violations.iter().map(|v| (v.rule, v.path.as_str(), v.token.as_str())).collect();
+    let metrics = "crates/metrics/src/lib.rs";
+    assert!(hits.contains(&("R10", metrics, "scope.latency_ps")), "unguarded mirror fires: {hits:#?}");
+    assert!(hits.contains(&("R10", metrics, "hot.top_hits")), "unguarded mirror fires: {hits:#?}");
+    assert!(!hits.contains(&("R10", metrics, "scope.count")), "guarded mirror must not fire: {hits:#?}");
+    assert!(hits.iter().all(|(r, _, _)| *r == "R10"), "generic coverage keeps R9 quiet: {hits:#?}");
+    assert_eq!(hits.len(), 2, "exactly the two unguarded mirrors fire: {hits:#?}");
+
+    let clean = analyze(&Config::rambda(fixture_root("r10/clean"))).expect("fixture scans");
+    assert!(clean.is_clean(), "validate_scopes coverage must pass: {:#?}", clean.violations);
+}
+
+#[test]
 fn r9_covers_the_metrics_crate_event_core_publisher() {
     // The metrics crate is itself a stats crate now: the event-core
     // summary's `publish_metrics` (an impl method, not a free fn) must be

@@ -1,0 +1,37 @@
+//! Negative fixture for rule R10: the scoped-metrics mirrors are published
+//! under the `scope.` and `hot.` prefixes, and a *generic* conservation
+//! identity (`validate_totals`) mentions every one of them — which is enough
+//! to satisfy R9, but R10 requires the dedicated `validate_scopes` fn to
+//! guard them. Only `scope.count` made it there, so `scope.latency_ps` and
+//! `hot.top_hits` must both be flagged — by R10 alone, never R9.
+//! Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Per-scope rollup totals.
+pub struct ScopesSummary;
+
+impl ScopesSummary {
+    /// Mirrors the scoped registry into the flat MetricSet.
+    pub fn publish_metrics(&self, m: &mut MetricSet) {
+        m.set("scope.count", self.scopes);
+        m.set("scope.latency_ps", self.latency_ps);
+        m.set("hot.top_hits", self.top_hits);
+    }
+}
+
+/// Generic identity: names every mirror, so R9 is satisfied — but this is
+/// not `validate_scopes`, so it buys no R10 coverage.
+pub fn validate_totals(totals: &Totals) -> Result<(), String> {
+    let _ = (totals.sum("scope.count"), totals.sum("scope.latency_ps"));
+    let _ = totals.sum("hot.top_hits");
+    Ok(())
+}
+
+/// The dedicated scope identity covers only one of the three mirrors.
+pub fn validate_scopes(totals: &Totals) -> Result<(), String> {
+    if totals.sum("scope.count") == 0 {
+        return Err("scoped run recorded nothing".into());
+    }
+    Ok(())
+}

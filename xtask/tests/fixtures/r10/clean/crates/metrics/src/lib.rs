@@ -1,0 +1,27 @@
+//! Clean twin of the r10 fixture: the same three scoped-metrics mirrors are
+//! published, and the dedicated `validate_scopes` identity names every one
+//! of them, so both R9 and R10 are satisfied.
+//! Never compiled — scanned by xtask/tests.
+
+#![forbid(unsafe_code)]
+
+/// Per-scope rollup totals.
+pub struct ScopesSummary;
+
+impl ScopesSummary {
+    /// Mirrors the scoped registry into the flat MetricSet.
+    pub fn publish_metrics(&self, m: &mut MetricSet) {
+        m.set("scope.count", self.scopes);
+        m.set("scope.latency_ps", self.latency_ps);
+        m.set("hot.top_hits", self.top_hits);
+    }
+}
+
+/// The dedicated scope identity guards all three mirrors.
+pub fn validate_scopes(totals: &Totals) -> Result<(), String> {
+    if totals.sum("scope.count") == 0 {
+        return Err("scoped run recorded nothing".into());
+    }
+    let _ = (totals.sum("scope.latency_ps"), totals.sum("hot.top_hits"));
+    Ok(())
+}
