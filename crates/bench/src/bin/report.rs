@@ -33,12 +33,13 @@
 use std::fs;
 use std::process::exit;
 
+use rambda::designs::RUNNER_NAMES;
 use rambda::micro::{run_rambda as micro_rambda, run_rambda_always_ddio, MicroParams};
-use rambda::{Design, SimBuilder, Testbed};
+use rambda::{Design, Execution, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
 use rambda_bench::Table;
 use rambda_dlrm::serving as dlrm;
-use rambda_dlrm::{DlrmDesigns, DlrmParams};
+use rambda_dlrm::DlrmParams;
 use rambda_fabric::FaultConfig;
 use rambda_kvs::designs as kvs;
 use rambda_kvs::{KvsDesigns, KvsParams};
@@ -52,34 +53,22 @@ use rambda_workloads::{DlrmProfile, TxnSpec};
 /// byte-reproducible.
 const FAULT_SEED: u64 = 0xFA17;
 
-/// The nine named runners, in report order.
-const RUNNERS: [&str; 9] = [
-    "micro.cpu",
-    "micro.rambda",
-    "kvs.cpu",
-    "kvs.rambda",
-    "kvs.smartnic",
-    "txn.hyperloop",
-    "txn.rambda_tx",
-    "dlrm.cpu",
-    "dlrm.rambda",
-];
-
 fn usage() -> ! {
     eprintln!("usage: report [--trace <dir>] [--trace-runner <name|all>] [--worst <n>] [--loss <rate>]");
     eprintln!("              [--profile <dir>] [--profile-runner <name|all>]");
     eprintln!("              [--scopes <name|all>] [--scopes-out <dir>]");
-    eprintln!("runners: {}", RUNNERS.join(", "));
+    eprintln!("              [--report-out <dir>] [--report-runner <name|all>] [--workers <n>]");
+    eprintln!("runners: {}", RUNNER_NAMES.join(", "));
     exit(2);
 }
 
 /// Fail-fast runner-name validation shared by `--trace-runner`,
-/// `--profile-runner`, and `--scopes`: rejects an unknown name with the
-/// valid-runner listing before any runner executes or any output directory
-/// is created.
+/// `--profile-runner`, `--scopes`, and `--report-runner`: rejects an
+/// unknown name with the valid-runner listing before any runner executes
+/// or any output directory is created.
 fn check_runner(flag: &str, name: &str) {
-    if name != "all" && !RUNNERS.contains(&name) {
-        eprintln!("unknown runner `{name}` for {flag} — valid runners: all, {}", RUNNERS.join(", "));
+    if let Err(e) = rambda::designs::check_runner(name) {
+        eprintln!("{e} (for {flag})");
         exit(2);
     }
 }
@@ -94,6 +83,10 @@ fn main() {
     let mut profile_flags_seen = false;
     let mut scopes_runner: Option<String> = None;
     let mut scopes_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut report_runner = "kvs.rambda".to_string();
+    let mut report_flags_seen = false;
+    let mut workers = 1usize;
     let mut worst = 10usize;
     let mut loss = 0.0f64;
     let mut i = 0;
@@ -131,6 +124,19 @@ fn main() {
                 scopes_out = Some(value(i));
                 i += 2;
             }
+            "--report-out" => {
+                report_out = Some(value(i));
+                i += 2;
+            }
+            "--report-runner" => {
+                report_runner = value(i);
+                report_flags_seen = true;
+                i += 2;
+            }
+            "--workers" => {
+                workers = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--loss" => {
                 loss = value(i).parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&loss) {
@@ -146,6 +152,7 @@ fn main() {
     // or any output directory is created.
     check_runner("--trace-runner", &runner);
     check_runner("--profile-runner", &profile_runner);
+    check_runner("--report-runner", &report_runner);
     if let Some(name) = &scopes_runner {
         check_runner("--scopes", name);
     }
@@ -161,23 +168,40 @@ fn main() {
         eprintln!("--scopes-out has no effect without --scopes <name|all>");
         exit(2);
     }
-    if scopes_runner.is_some() && (trace_dir.is_some() || profile_dir.is_some()) {
-        eprintln!("--scopes cannot be combined with --trace or --profile — pick one export mode");
+    if report_flags_seen && report_out.is_none() {
+        eprintln!("--report-runner has no effect without --report-out <dir>");
         exit(2);
     }
+    let modes = [scopes_runner.is_some(), trace_dir.is_some(), profile_dir.is_some(), report_out.is_some()];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        eprintln!(
+            "--trace, --profile, --scopes, and --report-out are mutually exclusive — pick one export mode"
+        );
+        exit(2);
+    }
+
+    // The execution mode every SimBuilder run in the export modes uses:
+    // serial by default, the conservative parallel executor with
+    // `--workers <n>` (n >= 2). RunReports are byte-identical either way —
+    // that is exactly what the CI parallel-smoke job cross-checks.
+    let execution = if workers >= 2 { Execution::Conservative { workers } } else { Execution::Serial };
 
     let tb = Testbed::default();
     let faults = FaultConfig::lossy(FAULT_SEED, loss);
     if let Some(dir) = trace_dir {
-        trace_exports(&tb, &dir, &runner, worst, &faults);
+        trace_exports(&tb, &dir, &runner, worst, &faults, execution);
         return;
     }
     if let Some(dir) = profile_dir {
-        profile_exports(&tb, &dir, &profile_runner);
+        profile_exports(&tb, &dir, &profile_runner, execution);
         return;
     }
     if let Some(name) = scopes_runner {
-        scopes_exports(&tb, &name, scopes_out.as_deref());
+        scopes_exports(&tb, &name, scopes_out.as_deref(), execution);
+        return;
+    }
+    if let Some(dir) = report_out {
+        report_exports(&tb, &dir, &report_runner, execution);
         return;
     }
     if faults.is_active() {
@@ -277,25 +301,33 @@ fn main() {
     println!("Scoped metrics & SLOs: report --scopes <name|all> [--scopes-out <dir>]");
 }
 
-/// Builds the quick-mode [`Design`] for a named runner.
+/// Builds the quick-mode [`Design`] for a named runner from the shared
+/// registry ([`rambda_bench::quick_registry`]) — the same factories the
+/// bench harness and the integration tests use.
 fn design_for(name: &str) -> Design {
-    match name {
-        "micro.cpu" => Design::micro_cpu(MicroParams::quick(), 8, 16),
-        "micro.rambda" => Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1),
-        "kvs.cpu" => Design::kvs_cpu(KvsParams::quick()),
-        "kvs.rambda" => Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram),
-        "kvs.smartnic" => Design::kvs_smartnic(KvsParams::quick()),
-        "txn.hyperloop" => Design::txn_hyperloop(TxnParams::quick(TxnSpec::read_write(64))),
-        "txn.rambda_tx" => Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))),
-        "dlrm.cpu" => Design::dlrm_cpu(DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()), 8),
-        "dlrm.rambda" => Design::dlrm_rambda(
-            DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
-            DataLocation::HostDram,
-        ),
-        other => {
-            eprintln!("unknown runner {other}");
-            usage()
-        }
+    rambda_bench::quick_registry().design(name).unwrap_or_else(|| {
+        eprintln!("unknown runner {name}");
+        usage()
+    })
+}
+
+/// Runs the selected runner(s) under `execution`, validates each report,
+/// and writes `<name>.report.json` — the full deterministic run report.
+/// CI's parallel-smoke job byte-compares these exports across
+/// `--workers 1` and `--workers 2` to prove the conservative executor
+/// changes nothing observable.
+fn report_exports(tb: &Testbed, dir: &str, runner: &str, execution: Execution) {
+    fs::create_dir_all(dir).expect("create report output dir");
+    let names: Vec<&str> = if runner == "all" { RUNNER_NAMES.to_vec() } else { vec![runner] };
+    for name in names {
+        let report = SimBuilder::new(design_for(name)).config(tb).execution(execution).run();
+        report.validate().expect("inconsistent run report");
+        assert_eq!(report.execution, execution.label(), "report must record its execution mode");
+        fs::write(format!("{dir}/{name}.report.json"), report.to_json_string()).expect("write run report");
+        println!(
+            "{name}: {} completions under {} -> {dir}/{name}.report.json",
+            report.completed, report.execution
+        );
     }
 }
 
@@ -359,13 +391,24 @@ fn fault_quickstart(tb: &Testbed, faults: &FaultConfig, loss: f64) {
 /// Runs the selected runner(s) with tracing, self-validates the trace
 /// against the run report, writes the three artifacts per runner, and
 /// prints each runner's tail attribution.
-fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize, faults: &FaultConfig) {
+fn trace_exports(
+    tb: &Testbed,
+    dir: &str,
+    runner: &str,
+    worst: usize,
+    faults: &FaultConfig,
+    execution: Execution,
+) {
     fs::create_dir_all(dir).expect("create trace output dir");
-    let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
+    let names: Vec<&str> = if runner == "all" { RUNNER_NAMES.to_vec() } else { vec![runner] };
     for name in names {
         let mut tracer = Tracer::flight_recorder();
-        let report =
-            SimBuilder::new(design_for(name)).config(tb).faults(faults.clone()).tracer(&mut tracer).run();
+        let report = SimBuilder::new(design_for(name))
+            .config(tb)
+            .execution(execution)
+            .faults(faults.clone())
+            .tracer(&mut tracer)
+            .run();
         report.validate().expect("inconsistent run report");
         if let Err(e) = tracer.cross_validate(&report) {
             eprintln!("{name}: trace/report cross-validation failed: {e}");
@@ -420,13 +463,13 @@ fn trace_exports(tb: &Testbed, dir: &str, runner: &str, worst: usize, faults: &F
 /// * `host.folded` — folded-stack wall-clock attribution across all
 ///   profiled runners (`<name>;<phase> <ns>` lines for `flamegraph.pl`);
 ///   non-deterministic by nature, git-ignored, never golden-tested.
-fn profile_exports(tb: &Testbed, dir: &str, runner: &str) {
+fn profile_exports(tb: &Testbed, dir: &str, runner: &str, execution: Execution) {
     fs::create_dir_all(dir).expect("create profile output dir");
     // The wall-clock side: `Instant` is fine here (binaries are exempt from
     // the determinism rules); the sim crates only ever see the closure.
     let t0 = std::time::Instant::now();
     let mut prof = HostProf::new(move || t0.elapsed().as_nanos() as u64);
-    let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
+    let names: Vec<&str> = if runner == "all" { RUNNER_NAMES.to_vec() } else { vec![runner] };
     let mut t = Table::new(
         "parallel-DES readiness — deterministic profile",
         &["runner", "parallelism", "lookahead min us", "events dispatched"],
@@ -434,7 +477,12 @@ fn profile_exports(tb: &Testbed, dir: &str, runner: &str) {
     for name in names {
         let mut tracer = Tracer::flight_recorder();
         let report = prof.time(&format!("{name};run"), || {
-            SimBuilder::new(design_for(name)).config(tb).tracer(&mut tracer).profile().run()
+            SimBuilder::new(design_for(name))
+                .config(tb)
+                .execution(execution)
+                .tracer(&mut tracer)
+                .profile()
+                .run()
         });
         prof.time(&format!("{name};validate"), || {
             report.validate().expect("inconsistent run report");
@@ -489,16 +537,16 @@ fn scope_config_for(name: &str) -> ScopeConfig {
 /// (the scoped report) and `<name>.unscoped.json` (the same run without
 /// scopes — byte-identical to the committed goldens for the golden-pinned
 /// runners).
-fn scopes_exports(tb: &Testbed, runner: &str, out: Option<&str>) {
+fn scopes_exports(tb: &Testbed, runner: &str, out: Option<&str>, execution: Execution) {
     if let Some(dir) = out {
         fs::create_dir_all(dir).expect("create scopes output dir");
     }
-    let names: Vec<&str> = if runner == "all" { RUNNERS.to_vec() } else { vec![runner] };
+    let names: Vec<&str> = if runner == "all" { RUNNER_NAMES.to_vec() } else { vec![runner] };
     for name in names {
         let config = scope_config_for(name);
-        let scoped = SimBuilder::new(design_for(name)).config(tb).scopes(config).run();
+        let scoped = SimBuilder::new(design_for(name)).config(tb).execution(execution).scopes(config).run();
         scoped.validate().expect("inconsistent scoped run report");
-        let again = SimBuilder::new(design_for(name)).config(tb).scopes(config).run();
+        let again = SimBuilder::new(design_for(name)).config(tb).execution(execution).scopes(config).run();
         if scoped.to_json_string() != again.to_json_string() {
             eprintln!("{name}: same-seed scoped runs serialized differently");
             exit(1);
@@ -544,7 +592,7 @@ fn scopes_exports(tb: &Testbed, runner: &str, out: Option<&str>) {
         println!("{name}: scope conservation identities validated (RunReport::validate)");
 
         if let Some(dir) = out {
-            let unscoped = SimBuilder::new(design_for(name)).config(tb).run();
+            let unscoped = SimBuilder::new(design_for(name)).config(tb).execution(execution).run();
             unscoped.validate().expect("inconsistent unscoped run report");
             fs::write(format!("{dir}/{name}.scopes.json"), scoped.to_json_string())
                 .expect("write scoped report");

@@ -17,7 +17,7 @@
 //! wall-clock, filesystem or environment access (the workspace analyzer's
 //! R2 bans them here). I/O and self-profiling live in `src/bin/bench.rs`.
 
-use rambda::{micro, Design, SimBuilder, Testbed};
+use rambda::{micro, Design, Execution, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
 use rambda_fabric::FaultConfig;
 use rambda_metrics::{Json, RunReport, ScopeConfig};
@@ -25,6 +25,38 @@ use rambda_trace::Tracer;
 use rambda_workloads::{DlrmProfile, TxnSpec};
 
 use crate::Table;
+
+/// The canonical quick-mode design registry: every runner in
+/// [`rambda::designs::RUNNER_NAMES`] mapped to its quick-mode factory.
+///
+/// The framework crate owns the name list but cannot see the application
+/// crates, so this is where the nine factories are installed. The `report`
+/// binary, the bench harness, and the integration test suites all draw
+/// their designs from here, so a new runner lands everywhere by adding it
+/// to `RUNNER_NAMES` and installing its factory below — `is_complete()`
+/// (asserted here) catches a list/registry mismatch at first use.
+pub fn quick_registry() -> rambda::designs::Registry {
+    use rambda_dlrm::{DlrmDesigns, DlrmParams};
+    use rambda_kvs::{KvsDesigns, KvsParams};
+    use rambda_txn::{TxnDesigns, TxnParams};
+    let books = || DlrmProfile::by_name("Books").expect("Books DLRM profile exists");
+    let mut reg = rambda::designs::Registry::new();
+    reg.install("micro.cpu", || Design::micro_cpu(micro::MicroParams::quick(), 8, 16));
+    reg.install("micro.rambda", || {
+        Design::micro_rambda(micro::MicroParams::quick(), DataLocation::HostDram, true, 1)
+    });
+    reg.install("kvs.cpu", || Design::kvs_cpu(KvsParams::quick()));
+    reg.install("kvs.rambda", || Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram));
+    reg.install("kvs.smartnic", || Design::kvs_smartnic(KvsParams::quick()));
+    reg.install("txn.hyperloop", || Design::txn_hyperloop(TxnParams::quick(TxnSpec::read_write(64))));
+    reg.install("txn.rambda_tx", || Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))));
+    reg.install("dlrm.cpu", move || Design::dlrm_cpu(DlrmParams::quick(books()), 8));
+    reg.install("dlrm.rambda", move || {
+        Design::dlrm_rambda(DlrmParams::quick(books()), DataLocation::HostDram)
+    });
+    assert!(reg.is_complete(), "quick registry must cover every runner in RUNNER_NAMES");
+    reg
+}
 
 /// Per-sweep regression budget applied by [`compare`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +214,7 @@ impl BenchPoint {
 /// point records the hottest scope's request share. Both only observe —
 /// they never perturb the simulated events — so the headline numbers are
 /// identical either way.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     design: Design,
     name: &str,
@@ -190,8 +223,9 @@ fn run_point(
     faults: Option<FaultConfig>,
     profile: bool,
     scopes: bool,
+    execution: Execution,
 ) -> Result<BenchPoint, String> {
-    let mut builder = SimBuilder::new(design).config(tb);
+    let mut builder = SimBuilder::new(design).config(tb).execution(execution);
     if let Some(f) = faults {
         builder = builder.faults(f);
     }
@@ -388,14 +422,20 @@ pub fn is_gating(name: &str) -> bool {
 ///
 /// Returns an unknown-sweep message (listing valid names), or the first
 /// report that failed its telemetry validation.
-pub fn run_sweep(name: &str, quick: bool, profile: bool, scopes: bool) -> Result<SweepResult, String> {
+pub fn run_sweep(
+    name: &str,
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<SweepResult, String> {
     let mode = if quick { "quick" } else { "full" };
     let points = match name {
-        "micro_designs" => micro_designs(quick, profile, scopes)?,
-        "kvs_load" => kvs_load(quick, profile, scopes)?,
-        "txn_latency" => txn_latency(quick, profile, scopes)?,
-        "dlrm_load" => dlrm_load(quick, profile, scopes)?,
-        "faults_sweep" => faults_sweep(quick, profile, scopes)?,
+        "micro_designs" => micro_designs(quick, profile, scopes, execution)?,
+        "kvs_load" => kvs_load(quick, profile, scopes, execution)?,
+        "txn_latency" => txn_latency(quick, profile, scopes, execution)?,
+        "dlrm_load" => dlrm_load(quick, profile, scopes, execution)?,
+        "faults_sweep" => faults_sweep(quick, profile, scopes, execution)?,
         other => return Err(format!("unknown sweep `{other}` — valid sweeps: {}", sweep_names().join(", "))),
     };
     let tolerance = Tolerance { max_throughput_drop: 0.05, max_p99_rise: 0.10 };
@@ -404,7 +444,12 @@ pub fn run_sweep(name: &str, quick: bool, profile: bool, scopes: bool) -> Result
 
 /// Fig. 7-style design comparison: CPU core scaling vs. the Rambda
 /// variants on the pointer-chase microbenchmark.
-fn micro_designs(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
+fn micro_designs(
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<Vec<BenchPoint>, String> {
     let tb = Testbed::default();
     let p = if quick {
         micro::MicroParams { requests: 6_000, ..micro::MicroParams::quick() }
@@ -421,6 +466,7 @@ fn micro_designs(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPo
             None,
             profile,
             scopes,
+            execution,
         )?);
     }
     let variants: [(&str, DataLocation, bool); 4] = [
@@ -438,13 +484,19 @@ fn micro_designs(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPo
             None,
             profile,
             scopes,
+            execution,
         )?);
     }
     Ok(points)
 }
 
 /// Fig. 9-style KVS offered-load sweep: per-client pipeline window × design.
-fn kvs_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
+fn kvs_load(
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     let tb = Testbed::default();
     let base = if quick { KvsParams { requests: 8_000, ..KvsParams::quick() } } else { KvsParams::paper() };
@@ -452,7 +504,7 @@ fn kvs_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>,
     for window in [1usize, 4, 16] {
         let p = KvsParams { window, ..base.clone() };
         let x = format!("window={window}");
-        points.push(run_point(Design::kvs_cpu(p.clone()), "cpu", &x, &tb, None, profile, scopes)?);
+        points.push(run_point(Design::kvs_cpu(p.clone()), "cpu", &x, &tb, None, profile, scopes, execution)?);
         points.push(run_point(
             Design::kvs_rambda(p.clone(), DataLocation::HostDram),
             "rambda",
@@ -461,15 +513,30 @@ fn kvs_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>,
             None,
             profile,
             scopes,
+            execution,
         )?);
-        points.push(run_point(Design::kvs_smartnic(p.clone()), "smartnic", &x, &tb, None, profile, scopes)?);
+        points.push(run_point(
+            Design::kvs_smartnic(p.clone()),
+            "smartnic",
+            &x,
+            &tb,
+            None,
+            profile,
+            scopes,
+            execution,
+        )?);
     }
     Ok(points)
 }
 
 /// Fig. 12-style replicated-transaction comparison: HyperLoop chain vs.
 /// Rambda-Tx, for write-only and read-write transactions.
-fn txn_latency(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
+fn txn_latency(
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<Vec<BenchPoint>, String> {
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
     let specs: [(&str, TxnSpec); 2] =
@@ -478,14 +545,37 @@ fn txn_latency(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoin
     for (x, spec) in specs {
         let p =
             if quick { TxnParams { txns: 1_500, ..TxnParams::quick(spec) } } else { TxnParams::paper(spec) };
-        points.push(run_point(Design::txn_hyperloop(p.clone()), "hyperloop", x, &tb, None, profile, scopes)?);
-        points.push(run_point(Design::txn_rambda_tx(p.clone()), "rambda_tx", x, &tb, None, profile, scopes)?);
+        points.push(run_point(
+            Design::txn_hyperloop(p.clone()),
+            "hyperloop",
+            x,
+            &tb,
+            None,
+            profile,
+            scopes,
+            execution,
+        )?);
+        points.push(run_point(
+            Design::txn_rambda_tx(p.clone()),
+            "rambda_tx",
+            x,
+            &tb,
+            None,
+            profile,
+            scopes,
+            execution,
+        )?);
     }
     Ok(points)
 }
 
 /// Fig. 13-style DLRM serving comparison on the Books embedding profile.
-fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
+fn dlrm_load(
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<Vec<BenchPoint>, String> {
     use rambda_dlrm::{DlrmDesigns, DlrmParams};
     let tb = Testbed::default();
     let embeddings = DlrmProfile::by_name("Books").ok_or("Books DLRM profile missing")?;
@@ -504,6 +594,7 @@ fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>
             None,
             profile,
             scopes,
+            execution,
         )?);
     }
     points.push(run_point(
@@ -514,6 +605,7 @@ fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>
         None,
         profile,
         scopes,
+        execution,
     )?);
     points.push(run_point(
         Design::dlrm_rambda(p.clone(), DataLocation::LocalHbm),
@@ -523,6 +615,7 @@ fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>
         None,
         profile,
         scopes,
+        execution,
     )?);
     Ok(points)
 }
@@ -531,7 +624,12 @@ fn dlrm_load(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>
 /// Rambda designs under increasing injected packet loss. The zero-loss point
 /// anchors each curve; the lossy points show the recovery layer's cost
 /// (retransmissions push the tail up while throughput barely moves).
-fn faults_sweep(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoint>, String> {
+fn faults_sweep(
+    quick: bool,
+    profile: bool,
+    scopes: bool,
+    execution: Execution,
+) -> Result<Vec<BenchPoint>, String> {
     use rambda_kvs::{KvsDesigns, KvsParams};
     use rambda_txn::{TxnDesigns, TxnParams};
     let tb = Testbed::default();
@@ -548,6 +646,7 @@ fn faults_sweep(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoi
             Some(FaultConfig::lossy(0xFA17, loss)),
             profile,
             scopes,
+            execution,
         )?);
         points.push(run_point(
             Design::txn_rambda_tx(xp.clone()),
@@ -557,6 +656,7 @@ fn faults_sweep(quick: bool, profile: bool, scopes: bool) -> Result<Vec<BenchPoi
             Some(FaultConfig::lossy(0xFA17, loss)),
             profile,
             scopes,
+            execution,
         )?);
     }
     Ok(points)
@@ -679,7 +779,7 @@ mod tests {
 
     #[test]
     fn unknown_sweep_lists_valid_names() {
-        let err = run_sweep("nope", true, false, false).unwrap_err();
+        let err = run_sweep("nope", true, false, false, Execution::Serial).unwrap_err();
         for name in sweep_names() {
             assert!(err.contains(name), "{err}");
         }

@@ -11,6 +11,8 @@
 
 pub mod harness;
 
+pub use harness::quick_registry;
+
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {

@@ -37,13 +37,14 @@ mod driver;
 mod machine;
 
 pub mod cpu;
+pub mod designs;
 pub mod framework;
 pub mod micro;
 pub mod report;
 pub mod sim;
 
 pub use config::{CpuConfig, Testbed};
-pub use driver::{run_closed_loop, DriverConfig, RunStats};
+pub use driver::{run_closed_loop, run_closed_loop_exec, DriverConfig, ExecStats, Execution, RunStats};
 pub use framework::{AppRegistration, Connection, CpollLayout, Framework, RegisterError, RegisteredApp};
 pub use machine::Machine;
 pub use report::build_report;

@@ -11,13 +11,11 @@ use rambda_accel::{AccelConfig, AccelEngine, DataLocation};
 use rambda_coherence::Notifier;
 use rambda_des::{SimRng, SimTime, Span};
 use rambda_mem::{MemKind, MemorySystem};
-use rambda_metrics::RunReport;
-use rambda_trace::Tracer;
 
 use crate::config::Testbed;
 use crate::cpu::CpuServer;
-use crate::driver::{run_closed_loop, DriverConfig, RunStats};
-use crate::sim::{Design, SimBuilder, SimCtx};
+use crate::driver::{run_closed_loop_exec, DriverConfig, RunStats};
+use crate::sim::{Design, SimCtx};
 
 /// Spin-polling throughput tax relative to cpoll, applied to both the
 /// controller issue rate and the interconnect bandwidth. Calibrated to the
@@ -142,26 +140,6 @@ pub fn run_cpu(testbed: &Testbed, params: MicroParams, cores: usize, batch: usiz
     run_cpu_inner(testbed, params, cores, batch, ctx)
 }
 
-/// [`run_cpu`] with full observability: per-stage latency breakdown and
-/// resource counters.
-#[deprecated(note = "use SimBuilder with Design::micro_cpu")]
-pub fn run_cpu_report(testbed: &Testbed, params: MicroParams, cores: usize, batch: usize) -> RunReport {
-    SimBuilder::new(Design::micro_cpu(params, cores, batch)).config(testbed).run()
-}
-
-/// [`run_cpu_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::micro_cpu")]
-pub fn run_cpu_report_traced(
-    testbed: &Testbed,
-    params: MicroParams,
-    cores: usize,
-    batch: usize,
-    tracer: &mut Tracer,
-) -> RunReport {
-    SimBuilder::new(Design::micro_cpu(params, cores, batch)).config(testbed).tracer(tracer).run()
-}
-
 fn run_cpu_inner(
     testbed: &Testbed,
     params: MicroParams,
@@ -169,13 +147,15 @@ fn run_cpu_inner(
     batch: usize,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes, exec } = ctx;
     let mut mem = MemorySystem::new(testbed.mem.clone(), true);
     let mut cpu = CpuServer::new(testbed.cpu.clone(), cores, batch);
     let kind = params.kind();
     let record = params.record_bytes();
     let scope_names = params.scope_names();
-    let stats = run_closed_loop(&params.driver(), |c, at| {
+    // Single machine, no fabric: zero lookahead opts out of parallel
+    // execution and the driver falls back to serial.
+    let stats = run_closed_loop_exec(&params.driver(), exec, Span::ZERO, |c, at| {
         let mut tr = tracer.observe(rec, at);
         let done = cpu.serve_request(at, params.chase, record, kind, &mut mem);
         tr.leg("cpu_serve", done);
@@ -214,34 +194,6 @@ pub fn run_rambda(
     run_rambda_inner(testbed, params, location, cpoll, true, seed, ctx)
 }
 
-/// [`run_rambda`] with full observability: per-stage latency breakdown
-/// (coherence, dispatch, ring, pointer chase, APU compute, persist) and
-/// accelerator/memory resource counters.
-#[deprecated(note = "use SimBuilder with Design::micro_rambda")]
-pub fn run_rambda_report(
-    testbed: &Testbed,
-    params: MicroParams,
-    location: DataLocation,
-    cpoll: bool,
-    seed: u64,
-) -> RunReport {
-    SimBuilder::new(Design::micro_rambda(params, location, cpoll, seed)).config(testbed).run()
-}
-
-/// [`run_rambda_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::micro_rambda")]
-pub fn run_rambda_report_traced(
-    testbed: &Testbed,
-    params: MicroParams,
-    location: DataLocation,
-    cpoll: bool,
-    seed: u64,
-    tracer: &mut Tracer,
-) -> RunReport {
-    SimBuilder::new(Design::micro_rambda(params, location, cpoll, seed)).config(testbed).tracer(tracer).run()
-}
-
 /// The "Rambda-DDIO" ablation of the NVM microbenchmark: global DDIO stays
 /// on, so persisted records take the LLC-then-evict path with write
 /// amplification.
@@ -260,7 +212,7 @@ fn run_rambda_inner(
     seed: u64,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults: _, profile: _, scopes, exec } = ctx;
     let location = match (params.nvm, location) {
         (true, DataLocation::HostDram) => DataLocation::HostNvm,
         (_, l) => l,
@@ -272,7 +224,9 @@ fn run_rambda_inner(
     let record = params.record_bytes();
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |c, at| {
+    // Single machine, no fabric: zero lookahead opts out of parallel
+    // execution and the driver falls back to serial.
+    let stats = run_closed_loop_exec(&params.driver(), exec, Span::ZERO, |c, at| {
         let mut trace = tracer.observe(rec, at);
         // Request written into the ring at `at`; discovery via cpoll (or the
         // slower spin-poll cycle).

@@ -36,7 +36,7 @@ use rambda_metrics::{MetricSet, RunReport, ScopeConfig, ScopedMetrics, StageReco
 use rambda_trace::Tracer;
 
 use crate::config::Testbed;
-use crate::driver::RunStats;
+use crate::driver::{Execution, RunStats};
 use crate::report::build_report;
 
 /// Everything a runner needs besides its own parameters: the stage
@@ -64,6 +64,11 @@ pub struct SimCtx<'a> {
     /// (shard, replica, table) and feed hot keys into the sketch; the
     /// builder folds the registry into the report's `scopes` section.
     pub scopes: &'a mut ScopedMetrics,
+    /// Requested execution mode. Runners thread this into
+    /// [`run_closed_loop_exec`](crate::run_closed_loop_exec) together with
+    /// their fabric's lookahead bound; designs without a usable lookahead
+    /// pass `Span::ZERO` and the driver falls back to serial.
+    pub exec: Execution,
 }
 
 /// Builds a throwaway [`SimCtx`] (disabled recorder, tracer and fault
@@ -85,6 +90,7 @@ macro_rules! rambda_stats_only_ctx {
             faults: &faults,
             profile: false,
             scopes: &mut scopes,
+            exec: $crate::Execution::Serial,
         };
     };
 }
@@ -142,6 +148,7 @@ pub struct SimBuilder<'a> {
     tracer: Option<&'a mut Tracer>,
     profile: bool,
     scopes: Option<ScopeConfig>,
+    execution: Execution,
 }
 
 impl<'a> SimBuilder<'a> {
@@ -155,7 +162,19 @@ impl<'a> SimBuilder<'a> {
             tracer: None,
             profile: false,
             scopes: None,
+            execution: Execution::Serial,
         }
+    }
+
+    /// Selects the execution mode (default [`Execution::Serial`]).
+    ///
+    /// `Execution::Conservative { workers }` runs the design under the
+    /// lookahead-windowed partitioned executor; the resulting report is
+    /// byte-identical to a serial run of the same design and seed, with the
+    /// mode recorded in [`RunReport::execution`](RunReport).
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Uses `testbed` instead of the default configuration.
@@ -214,11 +233,18 @@ impl<'a> SimBuilder<'a> {
             faults: &self.faults,
             profile: self.profile,
             scopes: &mut scoped,
+            exec: self.execution,
         };
         let stats = (self.design.run)(&self.testbed, ctx);
         let mut report = build_report(self.design.name, self.design.seed, &stats, &mut rec, resources);
+        report.execution = self.execution.label();
         if self.profile {
-            report.attach_event_core(rambda_metrics::EventCoreSummary::of(&stats.event_core, 0));
+            report.attach_event_core(rambda_metrics::EventCoreSummary::of(&stats.event_core, 0).with_exec(
+                stats.exec.partitions,
+                stats.exec.windows,
+                stats.exec.barriers,
+                stats.exec.horizon_stalls,
+            ));
         }
         if scoped.is_active() {
             report.attach_scopes(scoped.finalize(report.timeline.as_ref()));
@@ -235,7 +261,7 @@ mod tests {
 
     fn toy_design(seed: u64) -> Design {
         Design::from_runner("toy", seed, |_tb, ctx| {
-            let SimCtx { rec, resources, tracer, faults, profile: _, scopes } = ctx;
+            let SimCtx { rec, resources, tracer, faults, profile: _, scopes, exec: _ } = ctx;
             assert!(!faults.is_active(), "toy design runs healthy");
             let scope_names = ["conn/0", "conn/1"];
             let mut server = Server::new(2);

@@ -21,5 +21,3 @@ pub mod serving;
 pub use merci::{MemoTable, ReductionPlan};
 pub use model::{DlrmModel, EmbeddingTable, Mlp, ReduceOp};
 pub use serving::{run_cpu, run_rambda, DlrmCosts, DlrmDesigns, DlrmParams};
-#[allow(deprecated)]
-pub use serving::{run_cpu_report, run_cpu_report_traced, run_rambda_report, run_rambda_report_traced};

@@ -8,13 +8,12 @@
 //! (with MERCI memoization) and the lightweight FC layers, and responds
 //! through the RNIC.
 
-use rambda::{cpu::CpuServer, run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
+use rambda::{cpu::CpuServer, run_closed_loop_exec, Design, DriverConfig, RunStats, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::Link;
 use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{AccessKind, MemKind, MemReq, MemorySystem};
-use rambda_metrics::RunReport;
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
 use rambda_trace::{ReqObs, Tracer};
 use rambda_workloads::{DlrmProfile, Zipf};
@@ -212,7 +211,7 @@ fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
 }
 
 /// [`Design`] constructors for the DLRM serving experiments, so
-/// [`SimBuilder`] can run them.
+/// [`SimBuilder`](rambda::SimBuilder) can run them.
 pub trait DlrmDesigns {
     /// The CPU-only MERCI baseline on `cores` cores (`dlrm.cpu`).
     fn dlrm_cpu(params: DlrmParams, cores: usize) -> Design;
@@ -238,28 +237,8 @@ pub fn run_cpu(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunStats
     run_cpu_inner(testbed, params, cores, ctx)
 }
 
-/// [`run_cpu`] with full observability: stage breakdown (fabric, core
-/// queueing, gather+MLP) plus machine, core-pool and gather-roofline
-/// counters.
-#[deprecated(note = "use SimBuilder with Design::dlrm_cpu")]
-pub fn run_cpu_report(testbed: &Testbed, params: &DlrmParams, cores: usize) -> RunReport {
-    SimBuilder::new(Design::dlrm_cpu(params.clone(), cores)).config(testbed).run()
-}
-
-/// [`run_cpu_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::dlrm_cpu")]
-pub fn run_cpu_report_traced(
-    testbed: &Testbed,
-    params: &DlrmParams,
-    cores: usize,
-    tracer: &mut Tracer,
-) -> RunReport {
-    SimBuilder::new(Design::dlrm_cpu(params.clone(), cores)).config(testbed).tracer(tracer).run()
-}
-
 fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -278,7 +257,8 @@ fn run_cpu_inner(testbed: &Testbed, params: &DlrmParams, cores: usize, ctx: SimC
     let costs = params.costs.clone();
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
         observe_plan(scopes, &plan);
@@ -358,33 +338,13 @@ pub fn run_rambda(testbed: &Testbed, params: &DlrmParams, location: DataLocation
     run_rambda_inner(testbed, params, location, ctx)
 }
 
-/// [`run_rambda`] with full observability: stage breakdown (fabric,
-/// coherence, rings, CPU pre-processing hand-off, APU gather/FC) plus
-/// machine, accelerator and network counters.
-#[deprecated(note = "use SimBuilder with Design::dlrm_rambda")]
-pub fn run_rambda_report(testbed: &Testbed, params: &DlrmParams, location: DataLocation) -> RunReport {
-    SimBuilder::new(Design::dlrm_rambda(params.clone(), location)).config(testbed).run()
-}
-
-/// [`run_rambda_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::dlrm_rambda")]
-pub fn run_rambda_report_traced(
-    testbed: &Testbed,
-    params: &DlrmParams,
-    location: DataLocation,
-    tracer: &mut Tracer,
-) -> RunReport {
-    SimBuilder::new(Design::dlrm_rambda(params.clone(), location)).config(testbed).tracer(tracer).run()
-}
-
 fn run_rambda_inner(
     testbed: &Testbed,
     params: &DlrmParams,
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -411,7 +371,8 @@ fn run_rambda_inner(
     let local_row = (row as f64 * costs.local_gather_overhead) as u64;
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let (plan, wire, _score) = world.next_query(params);
         observe_plan(scopes, &plan);

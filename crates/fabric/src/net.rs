@@ -119,6 +119,18 @@ impl Network {
         }
     }
 
+    /// The conservative a-priori lookahead bound for parallel execution:
+    /// the configured wire latency. Every delivery through this network
+    /// takes at least one wire traversal (serialization, queueing, and
+    /// fault retries only add to it), so a cross-partition event scheduled
+    /// now cannot land sooner than this — the safe-horizon bound the
+    /// conservative executor synchronizes on. The measured per-pair map
+    /// ([`Network::publish_lookahead`], profiling only) empirically
+    /// validates it: every recorded minimum is at least this span.
+    pub fn min_lookahead(&self) -> Span {
+        self.cfg.wire_latency
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
@@ -436,6 +448,32 @@ mod tests {
         let mut m2 = rambda_metrics::MetricSet::new();
         net.publish_lookahead(&mut m2, "net");
         assert!(m2.counter("net.lookahead.1.0.min_ps").is_some());
+    }
+
+    #[test]
+    fn min_lookahead_bounds_every_measured_delivery() {
+        // The a-priori executor bound must hold against the empirical
+        // per-pair minima: no delivery beats one wire traversal.
+        let mut net = Network::new(NetConfig::default());
+        net.enable_lookahead();
+        assert_eq!(net.min_lookahead(), NetConfig::default().wire_latency);
+        for i in 0..8u64 {
+            let at = SimTime::from_us(i);
+            net.send(at, NodeId(0), NodeId(1), i * 512);
+            net.send(at, NodeId(1), NodeId(2), 0);
+            net.transmit(at, NodeId(2), NodeId(0), 64);
+        }
+        let mut m = rambda_metrics::MetricSet::new();
+        net.publish_lookahead(&mut m, "net");
+        let floor = net.min_lookahead().as_ps();
+        let mut pairs = 0;
+        for (name, min_ps) in m.counters() {
+            if name.ends_with(".min_ps") {
+                pairs += 1;
+                assert!(min_ps >= floor, "{name} = {min_ps} beats the wire latency {floor}");
+            }
+        }
+        assert_eq!(pairs, 3);
     }
 
     #[test]

@@ -6,12 +6,11 @@
 //! use the modelled footprint. Keys follow uniform or Zipf-0.9 popularity;
 //! workloads are 100 % GET or 50/50 GET/PUT.
 
-use rambda::{cpu::CpuServer, run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
+use rambda::{cpu::CpuServer, run_closed_loop_exec, Design, DriverConfig, RunStats, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, Apu, ApuCtx, DataLocation};
 use rambda_des::{Server, SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::{MemKind, MemorySystem};
-use rambda_metrics::RunReport;
 use rambda_rnic::{rdma_write, two_sided_send, MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
 use rambda_smartnic::SmartNic;
 use rambda_trace::{ReqObs, Tracer};
@@ -205,7 +204,7 @@ fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
 }
 
 /// [`Design`] constructors for the KVS experiments, so
-/// [`SimBuilder`] can run them: `SimBuilder::new(Design::kvs_rambda(p,
+/// [`rambda::SimBuilder`] can run them: `SimBuilder::new(Design::kvs_rambda(p,
 /// location)).faults(f).run()`.
 pub trait KvsDesigns {
     /// The two-sided CPU design (`kvs.cpu`).
@@ -238,22 +237,8 @@ pub fn run_cpu(testbed: &Testbed, params: &KvsParams) -> RunStats {
     run_cpu_inner(testbed, params, ctx)
 }
 
-/// [`run_cpu`] with full observability: stage breakdown (fabric, RNIC
-/// pipeline, core service) plus client/server machine and core-pool counters.
-#[deprecated(note = "use SimBuilder with Design::kvs_cpu")]
-pub fn run_cpu_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
-    SimBuilder::new(Design::kvs_cpu(params.clone())).config(testbed).run()
-}
-
-/// [`run_cpu_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::kvs_cpu")]
-pub fn run_cpu_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
-    SimBuilder::new(Design::kvs_cpu(params.clone())).config(testbed).tracer(tracer).run()
-}
-
 fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -272,7 +257,8 @@ fn run_cpu_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunS
     let opts = WriteOpts { post: PostPath::HostMmio, batch: params.batch, flags: PostFlags::NONE };
     let put_value = vec![0xAB; params.value_bytes as usize];
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         let fin = 'req: {
@@ -360,33 +346,13 @@ pub fn run_rambda(testbed: &Testbed, params: &KvsParams, location: DataLocation)
     run_rambda_inner(testbed, params, location, ctx)
 }
 
-/// [`run_rambda`] with full observability: stage breakdown (fabric,
-/// coherence discovery, dispatch, ring read, APU, SQ/doorbell) plus
-/// machine, accelerator and network counters.
-#[deprecated(note = "use SimBuilder with Design::kvs_rambda")]
-pub fn run_rambda_report(testbed: &Testbed, params: &KvsParams, location: DataLocation) -> RunReport {
-    SimBuilder::new(Design::kvs_rambda(params.clone(), location)).config(testbed).run()
-}
-
-/// [`run_rambda_report`] with a flight recorder attached: per-request spans
-/// and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::kvs_rambda")]
-pub fn run_rambda_report_traced(
-    testbed: &Testbed,
-    params: &KvsParams,
-    location: DataLocation,
-    tracer: &mut Tracer,
-) -> RunReport {
-    SimBuilder::new(Design::kvs_rambda(params.clone(), location)).config(testbed).tracer(tracer).run()
-}
-
 fn run_rambda_inner(
     testbed: &Testbed,
     params: &KvsParams,
     location: DataLocation,
     ctx: SimCtx<'_>,
 ) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut net = Network::new(testbed.net.clone());
     net.install_faults(faults);
     if profile {
@@ -416,7 +382,8 @@ fn run_rambda_inner(
     let mut sq = Server::new(1);
     let sq_hold = Span::from_ns(165).mul_f64(1.0 / params.batch as f64) + Span::from_ns(5);
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         let fin = 'req: {
@@ -513,22 +480,8 @@ pub fn run_smartnic(testbed: &Testbed, params: &KvsParams) -> RunStats {
     run_smartnic_inner(testbed, params, ctx)
 }
 
-/// [`run_smartnic`] with full observability: stage breakdown (doorbell,
-/// fabric, ARM dispatch, memory walk) plus Smart NIC and machine counters.
-#[deprecated(note = "use SimBuilder with Design::kvs_smartnic")]
-pub fn run_smartnic_report(testbed: &Testbed, params: &KvsParams) -> RunReport {
-    SimBuilder::new(Design::kvs_smartnic(params.clone())).config(testbed).run()
-}
-
-/// [`run_smartnic_report`] with a flight recorder attached: per-request
-/// spans and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::kvs_smartnic")]
-pub fn run_smartnic_report_traced(testbed: &Testbed, params: &KvsParams, tracer: &mut Tracer) -> RunReport {
-    SimBuilder::new(Design::kvs_smartnic(params.clone())).config(testbed).tracer(tracer).run()
-}
-
 fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     // The Smart NIC path models raw Ethernet sends (its RPC transport hides
     // recovery in firmware), so only degrade windows of the fault plan
     // reach it — drop/corrupt verdicts apply to RC-QP `transmit`s.
@@ -554,7 +507,8 @@ fn run_smartnic_inner(testbed: &Testbed, params: &KvsParams, ctx: SimCtx<'_>) ->
     let put_value = vec![0xAB; params.value_bytes as usize];
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut tr = tracer.observe(rec, at);
         let op = mix.next_op(&mut rng);
         // Client posts; request terminates at the Smart NIC (no host PCIe).

@@ -257,6 +257,12 @@ pub struct RunReport {
     /// sketches, SLO digest), attached via [`RunReport::attach_scopes`]
     /// when the run enabled scoping.
     pub scopes: Option<ScopesSummary>,
+    /// Execution-mode label (`"serial"` or `"conservative(N)"`), set by the
+    /// builder. Deliberately *not* serialized by [`RunReport::to_json`]: the
+    /// conservative executor's contract is byte-identical report JSON, so
+    /// the mode lives on the struct (and in the profile-only `event_core`
+    /// exec counters), never in the artifact being diffed.
+    pub execution: String,
 }
 
 impl RunReport {
@@ -285,6 +291,7 @@ impl RunReport {
             timeline: rec.timeline_summary().cloned(),
             event_core: None,
             scopes: None,
+            execution: "serial".to_string(),
         };
         report.publish_utilization();
         report
@@ -589,6 +596,9 @@ impl RunReport {
     ///   (`drain_hits + near_hits + far_hits == enqueued`), and only
     ///   tickets that overflowed to the far tier can be redistributed;
     /// - the per-kind breakdown partitions pushes, pops, and dwell exactly;
+    /// - conservative-executor accounting holds: `barriers == windows`,
+    ///   `horizon_stalls <= windows * partitions`, and a serial run
+    ///   (`partitions == 0`) reports no windows or stalls;
     /// - the counters published under the `event_core` prefix mirror the
     ///   structured section value for value.
     ///
@@ -626,9 +636,30 @@ impl RunReport {
                 ec.enqueued, ec.dispatched, ec.dwell_ps
             ));
         }
+        // Conservative-executor accounting: one barrier closes each window,
+        // and a stall is a (partition, window) pair — a serial run
+        // (partitions == 0) must report no windows at all.
+        if ec.barriers != ec.windows {
+            return Err(format!(
+                "event core crossed {} barriers for {} lookahead windows",
+                ec.barriers, ec.windows
+            ));
+        }
+        if ec.horizon_stalls > ec.windows.saturating_mul(ec.partitions) {
+            return Err(format!(
+                "event core stalled {} times across {} windows × {} partitions",
+                ec.horizon_stalls, ec.windows, ec.partitions
+            ));
+        }
+        if ec.partitions == 0 && (ec.windows != 0 || ec.horizon_stalls != 0) {
+            return Err(format!(
+                "serial run (0 partitions) reports {} windows / {} stalls",
+                ec.windows, ec.horizon_stalls
+            ));
+        }
         // The published counters must mirror the structured section.
         let counter = |name: &str| self.resources.counter(name).unwrap_or(0);
-        let mirror: [(&str, u64); 10] = [
+        let mirror: [(&str, u64); 14] = [
             ("event_core.enqueued", ec.enqueued),
             ("event_core.dispatched", ec.dispatched),
             ("event_core.cancelled", ec.cancelled),
@@ -639,6 +670,10 @@ impl RunReport {
             ("event_core.tier.far_hits", ec.far_hits),
             ("event_core.tier.reanchors", ec.reanchors),
             ("event_core.tier.redistributed", ec.redistributed),
+            ("event_core.exec.partitions", ec.partitions),
+            ("event_core.exec.windows", ec.windows),
+            ("event_core.exec.barriers", ec.barriers),
+            ("event_core.exec.horizon_stalls", ec.horizon_stalls),
         ];
         for (name, expect) in mirror {
             if counter(name) != expect {
@@ -1015,6 +1050,10 @@ mod tests {
             far_hits: 1,
             reanchors: 1,
             redistributed: 1,
+            partitions: 2,
+            windows: 3,
+            barriers: 3,
+            horizon_stalls: 4,
             kinds: vec![EventKindSummary { name: "event".to_string(), pushes: 10, pops: 9, held_ps: 500 }],
         };
         report.attach_event_core(ec);
@@ -1038,6 +1077,22 @@ mod tests {
         report.event_core.as_mut().unwrap().near_hits = 6;
         let err = report.validate().unwrap_err();
         assert!(err.contains("telescope"), "{err}");
+        report.event_core.as_mut().unwrap().near_hits = 7;
+
+        // Conservative-executor identities: barriers track windows one to
+        // one, stalls are bounded by windows × partitions, and a serial run
+        // (0 partitions) reports no windows.
+        report.event_core.as_mut().unwrap().barriers = 2;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("barriers"), "{err}");
+        report.event_core.as_mut().unwrap().barriers = 3;
+        report.event_core.as_mut().unwrap().horizon_stalls = 7;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("stalled"), "{err}");
+        report.event_core.as_mut().unwrap().horizon_stalls = 0;
+        report.event_core.as_mut().unwrap().partitions = 0;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("serial run"), "{err}");
     }
 
     /// Builds a fully-scoped report the way `SimBuilder::run` does: trace

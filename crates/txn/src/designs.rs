@@ -6,12 +6,11 @@
 //! Transactions are issued serially by the client (window 1), as in the
 //! paper, so the latency reduction also reflects throughput.
 
-use rambda::{run_closed_loop, Design, DriverConfig, RunStats, SimBuilder, SimCtx, Testbed};
+use rambda::{run_closed_loop, run_closed_loop_exec, Design, DriverConfig, RunStats, SimCtx, Testbed};
 use rambda_accel::{AccelEngine, DataLocation};
 use rambda_des::{SimRng, SimTime, Span};
 use rambda_fabric::{Network, NodeId};
 use rambda_mem::MemKind;
-use rambda_metrics::RunReport;
 use rambda_rnic::{MrInfo, PostFlags, PostPath, RdmaError, WriteOpts};
 use rambda_trace::{ReqObs, Tracer};
 use rambda_workloads::{KeyDist, TxnSpec};
@@ -21,6 +20,15 @@ use crate::chain::{Chain, TxnWrite};
 const CLIENT: NodeId = NodeId(0);
 const PORT0: NodeId = NodeId(1);
 const PORT1: NodeId = NodeId(2);
+
+/// Per-partition RNG stream salts. Each simulated machine draws from its own
+/// deterministically salted `SimRng` stream (`SimRng::stream(seed, salt)`),
+/// so partitioning the world across executor workers cannot entangle one
+/// machine's randomness with another's dispatch order.
+const CLIENT_WORKLOAD_SALT: u64 = 0xC0;
+const CLIENT_ROUTE_SALT: u64 = 0xC1;
+const PORT0_ACCEL_SALT: u64 = 0xA0;
+const PORT1_ACCEL_SALT: u64 = 0xA1;
 
 /// Transaction experiment parameters.
 #[derive(Debug, Clone)]
@@ -76,7 +84,6 @@ struct TxnWorld {
     port0: rambda::Machine,
     port1: rambda::Machine,
     chain: Chain,
-    rng: SimRng,
     dist: KeyDist,
     /// Mean ARM routing delay between the ports (2-3 µs in Sec. VI-C).
     route_mean: Span,
@@ -91,7 +98,6 @@ impl TxnWorld {
             port0: rambda::Machine::new(PORT0, testbed, false),
             port1: rambda::Machine::new(PORT1, testbed, false),
             chain: Chain::new(2),
-            rng: SimRng::seed(params.seed),
             dist: KeyDist::uniform(params.keys),
             route_mean: Span::from_ns(3_000),
         };
@@ -104,15 +110,22 @@ impl TxnWorld {
 
     /// Routes a message from one server port to the other through the
     /// client's Smart-NIC ARM cores (Fig. 11): wire + ARM forward + wire.
-    fn route(&mut self, at: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+    /// `rng` is the client machine's routing-jitter stream.
+    fn route(&mut self, at: SimTime, from: NodeId, to: NodeId, bytes: u64, rng: &mut SimRng) -> SimTime {
         let at_arm = self.net.send(at, from, CLIENT, bytes);
         let forwarded =
-            at_arm + self.route_mean + Span::from_ns_f64(self.route_mean.as_ns_f64() * self.rng.exp(0.08));
+            at_arm + self.route_mean + Span::from_ns_f64(self.route_mean.as_ns_f64() * rng.exp(0.08));
         self.net.send(forwarded, CLIENT, to, bytes)
     }
 
-    fn sample_txn(&mut self, spec: &TxnSpec, value_bytes: u32) -> (Vec<u64>, Vec<TxnWrite>) {
-        let keys = spec.sample_keys(&self.dist, &mut self.rng);
+    /// Samples one transaction's key set from the client's workload stream.
+    fn sample_txn(
+        &mut self,
+        spec: &TxnSpec,
+        value_bytes: u32,
+        rng: &mut SimRng,
+    ) -> (Vec<u64>, Vec<TxnWrite>) {
+        let keys = spec.sample_keys(&self.dist, rng);
         let (read_keys, write_keys) = keys.split_at(spec.reads);
         let writes =
             write_keys.iter().map(|&key| TxnWrite { key, value: vec![0xCD; value_bytes as usize] }).collect();
@@ -139,7 +152,7 @@ fn drain_faults(net: &mut Network, tracer: &mut Tracer) {
 }
 
 /// [`Design`] constructors for the transaction experiments, so
-/// [`SimBuilder`] can run them.
+/// [`rambda::SimBuilder`] can run them.
 pub trait TxnDesigns {
     /// The HyperLoop baseline (`txn.hyperloop`).
     fn txn_hyperloop(params: TxnParams) -> Design;
@@ -170,23 +183,11 @@ pub fn run_hyperloop(testbed: &Testbed, params: &TxnParams) -> RunStats {
     run_hyperloop_inner(testbed, params, ctx)
 }
 
-/// [`run_hyperloop`] with full observability: stage breakdown (read RTTs,
-/// sequential chain writes, CQE poll) plus machine and network counters.
-#[deprecated(note = "use SimBuilder with Design::txn_hyperloop")]
-pub fn run_hyperloop_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
-    SimBuilder::new(Design::txn_hyperloop(params.clone())).config(testbed).run()
-}
-
-/// [`run_hyperloop_report`] with a flight recorder attached: per-request
-/// spans and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::txn_hyperloop")]
-pub fn run_hyperloop_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
-    SimBuilder::new(Design::txn_hyperloop(params.clone())).config(testbed).tracer(tracer).run()
-}
-
 fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut w = TxnWorld::new(testbed, params);
+    let mut workload_rng = SimRng::stream(params.seed, CLIENT_WORKLOAD_SALT);
+    let mut route_rng = SimRng::stream(params.seed, CLIENT_ROUTE_SALT);
     w.net.install_faults(faults);
     if profile {
         w.net.enable_lookahead();
@@ -198,9 +199,10 @@ fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
     let opts = WriteOpts { post: PostPath::HostMmio, batch: 1, flags: PostFlags::SIGNALED };
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = w.net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut trace = tracer.observe(rec, at);
-        let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
+        let (reads, writes) = w.sample_txn(&spec, params.value_bytes, &mut workload_rng);
         let home = scope_of(&reads, &writes);
         for &key in &reads {
             scopes.observe_key(key);
@@ -251,10 +253,10 @@ fn run_hyperloop_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
                 };
                 // RNIC-triggered forward to the next replica through the ARM.
                 let fwd = w.port0.rnic.rx_process(d0.delivered_at);
-                let at_p1 = w.route(fwd, PORT0, PORT1, entry);
+                let at_p1 = w.route(fwd, PORT0, PORT1, entry, &mut route_rng);
                 let (d1, _) = w.port1.rnic.deliver_write(at_p1, nvm1, entry, &mut w.port1.mem);
                 // Tail ACK back-propagates: port1 -> port0 -> client.
-                let ack_at_p0 = w.route(d1, PORT1, PORT0, 0);
+                let ack_at_p0 = w.route(d1, PORT1, PORT0, 0, &mut route_rng);
                 let acked = w.net.send(ack_at_p0, PORT0, CLIENT, 0);
                 t = w.client.rnic.complete(acked, &mut w.client.mem);
             }
@@ -301,24 +303,13 @@ pub fn run_rambda_tx(testbed: &Testbed, params: &TxnParams) -> RunStats {
     run_rambda_tx_inner(testbed, params, ctx)
 }
 
-/// [`run_rambda_tx`] with full observability: stage breakdown (fabric,
-/// coherence discovery, dispatch, the overlapped chain round, commit) plus
-/// machine, accelerator and network counters.
-#[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
-pub fn run_rambda_tx_report(testbed: &Testbed, params: &TxnParams) -> RunReport {
-    SimBuilder::new(Design::txn_rambda_tx(params.clone())).config(testbed).run()
-}
-
-/// [`run_rambda_tx_report`] with a flight recorder attached: per-request
-/// spans and periodic resource samples land in `tracer`.
-#[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
-pub fn run_rambda_tx_report_traced(testbed: &Testbed, params: &TxnParams, tracer: &mut Tracer) -> RunReport {
-    SimBuilder::new(Design::txn_rambda_tx(params.clone())).config(testbed).tracer(tracer).run()
-}
-
 fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -> RunStats {
-    let SimCtx { rec, resources, tracer, faults, profile, scopes } = ctx;
+    let SimCtx { rec, resources, tracer, faults, profile, scopes, exec } = ctx;
     let mut w = TxnWorld::new(testbed, params);
+    let mut workload_rng = SimRng::stream(params.seed, CLIENT_WORKLOAD_SALT);
+    let mut route_rng = SimRng::stream(params.seed, CLIENT_ROUTE_SALT);
+    let mut accel0_rng = SimRng::stream(params.seed, PORT0_ACCEL_SALT);
+    let mut accel1_rng = SimRng::stream(params.seed, PORT1_ACCEL_SALT);
     w.net.install_faults(faults);
     if profile {
         w.net.enable_lookahead();
@@ -334,9 +325,10 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
     let accel_opts = WriteOpts { post: PostPath::AccelMmio, batch: 1, flags: PostFlags::NONE };
     let scope_names = params.scope_names();
 
-    let stats = run_closed_loop(&params.driver(), |_c, at| {
+    let lookahead = w.net.min_lookahead();
+    let stats = run_closed_loop_exec(&params.driver(), exec, lookahead, |_c, at| {
         let mut trace = tracer.observe(rec, at);
-        let (reads, writes) = w.sample_txn(&spec, params.value_bytes);
+        let (reads, writes) = w.sample_txn(&spec, params.value_bytes, &mut workload_rng);
         let home = scope_of(&reads, &writes);
         for &key in &reads {
             scopes.observe_key(key);
@@ -367,13 +359,13 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
             // Head accelerator: on the cpoll signal it forwards the (already
             // durable) entry down the chain immediately; parsing, concurrency
             // control and the read set overlap with the chain round trip.
-            let t = accel0.discover(d0.delivered_at, 1, &mut w.rng);
+            let t = accel0.discover(d0.delivered_at, 1, &mut accel0_rng);
             trace.leg("coherence", t);
             let start = accel0.claim_slot(t);
             trace.leg("dispatch", start);
             let wqe = accel0.sq_write_wqe(start);
             let fwd_posted = w.port0.rnic.post(wqe, PostPath::AccelMmio, 1);
-            let at_p1 = w.route(fwd_posted, PORT0, PORT1, entry);
+            let at_p1 = w.route(fwd_posted, PORT0, PORT1, entry, &mut route_rng);
 
             let mut local = accel0.ring_read(start, entry.min(256), &mut w.port0.mem);
             local = accel0.compute(local, 2 + spec.ops() as u64); // CC + parse
@@ -386,7 +378,7 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
             // NVM ring, so the ACK goes out on discovery; the local apply
             // happens off the critical path.
             let (d1, _) = w.port1.rnic.deliver_write(at_p1, ring1, entry, &mut w.port1.mem);
-            let t1 = accel1.discover(d1, 1, &mut w.rng);
+            let t1 = accel1.discover(d1, 1, &mut accel1_rng);
             let start1 = accel1.claim_slot(t1);
             let wqe1 = accel1.sq_write_wqe(start1);
             let ack_posted = w.port1.rnic.post(wqe1, PostPath::AccelMmio, 1);
@@ -396,7 +388,7 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
 
             // Tail ACK back through the chain; the head commits once both the
             // ACK and its own processing are done, then responds to the client.
-            let ack_at_p0 = w.route(ack_posted, PORT1, PORT0, 0);
+            let ack_at_p0 = w.route(ack_posted, PORT1, PORT0, 0, &mut route_rng);
             // The chain round trip and the head's local work run in parallel;
             // the critical path resumes at their join point.
             trace.leg("chain_round", ack_at_p0.max(local));
@@ -457,12 +449,13 @@ fn run_rambda_tx_inner(testbed: &Testbed, params: &TxnParams, ctx: SimCtx<'_>) -
 /// excludes pure reads.
 pub fn run_pure_reads(testbed: &Testbed, params: &TxnParams) -> RunStats {
     let mut w = TxnWorld::new(testbed, params);
+    let mut workload_rng = SimRng::stream(params.seed, CLIENT_WORKLOAD_SALT);
     let nvm0 = w.port0.rnic.register_region(MrInfo::adaptive(MemKind::Nvm));
     let value = params.value_bytes as u64;
     let opts = WriteOpts::host_unsignaled();
 
     run_closed_loop(&params.driver(), |_c, at| {
-        let key = w.dist.sample(&mut w.rng);
+        let key = w.dist.sample(&mut workload_rng);
         let data_at = rambda_rnic::rdma_read(
             at,
             &mut w.client.rnic,
@@ -554,9 +547,10 @@ mod tests {
         let _ = run_rambda_tx(&tb(), &p);
         // Direct functional check.
         let mut world = TxnWorld::new(&tb(), &p);
+        let mut workload_rng = SimRng::stream(p.seed, CLIENT_WORKLOAD_SALT);
         let spec = p.spec;
         for _ in 0..200 {
-            let (r, w2) = world.sample_txn(&spec, p.value_bytes);
+            let (r, w2) = world.sample_txn(&spec, p.value_bytes, &mut workload_rng);
             world.chain.execute(&r, w2);
         }
         world.chain.check_consistency().unwrap();

@@ -23,8 +23,4 @@ pub mod store;
 
 pub use chain::{Chain, ConcurrencyControl, TxnOutcome, TxnWrite};
 pub use designs::{run_hyperloop, run_pure_reads, run_rambda_tx, TxnDesigns, TxnParams};
-#[allow(deprecated)]
-pub use designs::{
-    run_hyperloop_report, run_hyperloop_report_traced, run_rambda_tx_report, run_rambda_tx_report_traced,
-};
 pub use store::{PersistentStore, WalRecord};

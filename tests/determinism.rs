@@ -4,13 +4,12 @@
 use rambda::micro::{run_cpu, run_rambda, MicroParams};
 use rambda::{Design, SimBuilder, Testbed};
 use rambda_accel::DataLocation;
-use rambda_dlrm::{DlrmDesigns, DlrmParams};
 use rambda_kvs::designs as kvs;
 use rambda_kvs::{KvsDesigns, KvsParams};
 use rambda_metrics::RunReport;
 use rambda_trace::Tracer;
-use rambda_txn::{run_rambda_tx, TxnDesigns, TxnParams};
-use rambda_workloads::{DlrmProfile, TxnSpec};
+use rambda_txn::{run_rambda_tx, TxnParams};
+use rambda_workloads::TxnSpec;
 
 fn same(a: &rambda::RunStats, b: &rambda::RunStats) -> bool {
     a.completed == b.completed
@@ -57,33 +56,16 @@ fn every_runner_report_is_byte_identical_across_runs() {
     // design, including the runners the golden files do not snapshot, so a
     // nondeterministic container sneaking into any simulator state (the
     // analyzer's rule R1 territory) fails here at runtime too.
-    type Runner = fn() -> RunReport;
+    // The canonical quick-mode registry covers every named runner, so this
+    // loop automatically picks up new designs as they are installed.
+    let reg = rambda_bench::quick_registry();
+    assert!(reg.is_complete(), "quick registry must cover every runner");
     fn build(design: Design) -> RunReport {
         SimBuilder::new(design).config(&Testbed::default()).run()
     }
-    let runners: Vec<(&str, Runner)> = vec![
-        ("micro.cpu", || build(Design::micro_cpu(MicroParams::quick(), 8, 16))),
-        ("micro.rambda", || {
-            build(Design::micro_rambda(MicroParams::quick(), DataLocation::HostDram, true, 1))
-        }),
-        ("kvs.cpu", || build(Design::kvs_cpu(KvsParams::quick()))),
-        ("kvs.rambda", || build(Design::kvs_rambda(KvsParams::quick(), DataLocation::HostDram))),
-        ("kvs.smartnic", || build(Design::kvs_smartnic(KvsParams::quick()))),
-        ("txn.hyperloop", || build(Design::txn_hyperloop(TxnParams::quick(TxnSpec::read_write(64))))),
-        ("txn.rambda_tx", || build(Design::txn_rambda_tx(TxnParams::quick(TxnSpec::read_write(64))))),
-        ("dlrm.cpu", || {
-            build(Design::dlrm_cpu(DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()), 8))
-        }),
-        ("dlrm.rambda", || {
-            build(Design::dlrm_rambda(
-                DlrmParams::quick(DlrmProfile::by_name("Books").unwrap()),
-                DataLocation::HostDram,
-            ))
-        }),
-    ];
-    for (name, run) in runners {
-        let first = run().to_json_string();
-        let second = run().to_json_string();
+    for name in reg.names() {
+        let first = build(reg.design(name).unwrap()).to_json_string();
+        let second = build(reg.design(name).unwrap()).to_json_string();
         assert_eq!(first, second, "{name}: report JSON differs between identical runs");
     }
 }

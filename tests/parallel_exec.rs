@@ -1,0 +1,142 @@
+//! Differential suite for the conservative parallel executor
+//! (`SimBuilder::execution`, DESIGN.md §16).
+//!
+//! The executor's contract is absolute: for every design, under every
+//! observation mode, a run under `Execution::Conservative { workers }`
+//! renders a `RunReport` byte-identical to the serial run of the same
+//! seed. Not statistically close — the same bytes. These tests enforce
+//! that for all nine named runners, clean and under injected faults and
+//! under the scoped-metrics registry, at several worker counts.
+
+use rambda::designs::RUNNER_NAMES;
+use rambda::{Execution, SimBuilder, Testbed};
+use rambda_bench::quick_registry;
+use rambda_fabric::FaultConfig;
+use rambda_metrics::ScopeConfig;
+
+/// Builds the named runner's report under `execution`, with optional
+/// fault injection and scoped metrics.
+fn run(name: &str, execution: Execution, faults: bool, scopes: bool) -> rambda_metrics::RunReport {
+    let reg = quick_registry();
+    let design = reg.design(name).unwrap_or_else(|| panic!("runner {name} missing from registry"));
+    let mut builder = SimBuilder::new(design).config(&Testbed::default()).execution(execution);
+    if faults {
+        builder = builder.faults(FaultConfig::lossy(0xFA17, 1e-3));
+    }
+    if scopes {
+        builder = builder.scopes(ScopeConfig::default());
+    }
+    builder.run()
+}
+
+#[test]
+fn every_runner_is_byte_identical_under_conservative_execution() {
+    for name in RUNNER_NAMES {
+        let serial = run(name, Execution::Serial, false, false);
+        let par = run(name, Execution::Conservative { workers: 2 }, false, false);
+        serial.validate().unwrap_or_else(|e| panic!("{name}: serial report invalid: {e}"));
+        par.validate().unwrap_or_else(|e| panic!("{name}: parallel report invalid: {e}"));
+        assert_eq!(
+            serial.to_json_string(),
+            par.to_json_string(),
+            "{name}: conservative execution changed the report"
+        );
+        // The mode is recorded on the struct for tooling, but deliberately
+        // kept out of the serialized report so the byte comparison above
+        // (and the committed goldens) hold across modes.
+        assert_eq!(serial.execution, "serial");
+        assert_eq!(par.execution, "conservative(2)");
+        assert!(!serial.to_json_string().contains("\"execution\""));
+    }
+}
+
+#[test]
+fn every_runner_is_byte_identical_under_faults() {
+    // Fault injection exercises timeout/retransmit scheduling — extra event
+    // traffic that must merge in exactly the serial order too.
+    for name in RUNNER_NAMES {
+        let serial = run(name, Execution::Serial, true, false);
+        let par = run(name, Execution::Conservative { workers: 2 }, true, false);
+        assert_eq!(
+            serial.to_json_string(),
+            par.to_json_string(),
+            "{name}: conservative execution diverged under injected faults"
+        );
+    }
+}
+
+#[test]
+fn every_runner_is_byte_identical_under_scoped_metrics() {
+    // Scoped metrics attribute each request to per-entity scopes as it
+    // completes, so attribution order is observable — another surface the
+    // deterministic merge must keep identical.
+    for name in RUNNER_NAMES {
+        let serial = run(name, Execution::Serial, false, true);
+        let par = run(name, Execution::Conservative { workers: 2 }, false, true);
+        assert_eq!(
+            serial.to_json_string(),
+            par.to_json_string(),
+            "{name}: conservative execution diverged under scoped metrics"
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_the_report() {
+    // Partition count changes the schedule's shape (queues, windows,
+    // barriers) but never the merge order. Hit the two designs with real
+    // multi-client fabrics at several counts, including workers > clients.
+    for name in ["kvs.rambda", "dlrm.rambda"] {
+        let serial = run(name, Execution::Serial, false, false).to_json_string();
+        for workers in [2, 3, 10, 64] {
+            let par = run(name, Execution::Conservative { workers }, false, false);
+            assert_eq!(serial, par.to_json_string(), "{name}: report diverged at workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn profile_counters_expose_the_parallel_schedule() {
+    // Profile mode is where the two runs legitimately differ: the exec
+    // counters record partitions/windows/barriers for the conservative
+    // run and all-zero for serial. kvs.rambda has 10 clients and a real
+    // fabric lookahead, so the parallel path must actually engage.
+    let reg = quick_registry();
+    let tb = Testbed::default();
+    let par = SimBuilder::new(reg.design("kvs.rambda").unwrap())
+        .config(&tb)
+        .execution(Execution::Conservative { workers: 2 })
+        .profile()
+        .run();
+    par.validate().expect("profiled parallel report");
+    let ec = par.event_core.as_ref().expect("profile attaches event-core telemetry");
+    assert_eq!(ec.partitions, 2, "kvs.rambda must shard into 2 partitions");
+    assert!(ec.windows > 0, "conservative run must open lookahead windows");
+    assert_eq!(ec.barriers, ec.windows);
+
+    let serial = SimBuilder::new(reg.design("kvs.rambda").unwrap()).config(&tb).profile().run();
+    let ec = serial.event_core.as_ref().expect("profiled serial report");
+    assert_eq!((ec.partitions, ec.windows, ec.barriers, ec.horizon_stalls), (0, 0, 0, 0));
+}
+
+#[test]
+fn single_machine_and_single_client_designs_fall_back_to_serial() {
+    // micro.* opt out via zero lookahead (one machine, no fabric); txn.*
+    // runs one closed-loop client. Both must take the serial path and
+    // report zero exec counters even when parallelism is requested.
+    for name in ["micro.rambda", "txn.rambda_tx"] {
+        let reg = quick_registry();
+        let par = SimBuilder::new(reg.design(name).unwrap())
+            .config(&Testbed::default())
+            .execution(Execution::Conservative { workers: 4 })
+            .profile()
+            .run();
+        let ec = par.event_core.as_ref().expect("profiled report");
+        assert_eq!(
+            (ec.partitions, ec.windows, ec.barriers, ec.horizon_stalls),
+            (0, 0, 0, 0),
+            "{name}: expected serial fallback"
+        );
+        assert_eq!(par.execution, "conservative(4)", "the requested mode is still recorded");
+    }
+}

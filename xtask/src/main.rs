@@ -28,8 +28,8 @@ Commands:
         R3  unsafe confined to crates/ring, each use documented with // SAFETY:
         R4  every pub item in rambda-des, rambda-metrics and rambda-trace documented
         R5  no println!/eprintln! outside src/bin drivers and the bench crate
-        R6  deprecated runner shims note \"use SimBuilder ...\", and nothing
-            in-tree outside a shim's own file still calls one
+        R6  no deprecated runner shim may exist (SimBuilder is the sole run
+            entry point), and nothing in-tree still calls one
         R7  partition safety: no static mut / thread_local! / shared cells
             (Rc, RefCell, ...) reachable from a simulated machine
         R8  RNG provenance: every RNG flows from the workload seed via a

@@ -19,11 +19,10 @@
 //! * **R5** — no `println!` / `eprintln!` (nor `print!` / `eprint!`)
 //!   outside driver binaries: a simulation reports through `RunReport` and
 //!   the flight recorder, never by writing to the terminal mid-run.
-//! * **R6** — every `#[deprecated]` runner shim carries a
-//!   `note = "use SimBuilder ..."` pointing callers at the replacement,
-//!   and no in-tree code outside the shim's own file still calls a
-//!   deprecated runner: the old `run_*_report` entry points exist only for
-//!   downstream compatibility, never for new call sites.
+//! * **R6** — no `#[deprecated]` runner shim may exist, and no in-tree
+//!   code still calls one: the legacy `run_*_report` entry points are
+//!   deleted outright, `SimBuilder` is the sole run entry point, and a
+//!   fresh deprecation cycle would silently reopen the double-API surface.
 //! * **R7** — partition safety: no `static mut`, no `thread_local!`, and
 //!   no shared-ownership / interior-mutability cell (`Rc`, `RefCell`,
 //!   `Cell`, ...) on a type reachable from a simulated machine through the
@@ -431,14 +430,16 @@ fn rule_r5(f: &ParsedFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// R6: deprecated runner shims point at `SimBuilder`, and nothing in-tree
-/// outside a shim's own file still calls one.
+/// R6: no deprecated runner shim may exist — `SimBuilder` is the sole run
+/// entry point — and nothing in-tree still calls a name that is shimmed.
 ///
-/// Two passes over the parse layer. The first collects every
-/// `#[deprecated] pub fn` item and checks its attribute text for
-/// `use SimBuilder`. The second flags any identifier use of a collected
+/// Two passes over the parse layer. The first flags every
+/// `#[deprecated] pub fn` item outright: the legacy `run_*_report` era is
+/// over, and a new deprecation cycle would reopen the double-API surface
+/// `SimBuilder` retired. The second flags any identifier use of a flagged
 /// name outside its defining file(s), skipping test modules and `use`
-/// statements.
+/// statements, so stragglers surface even if the definition is
+/// allowlisted during a migration.
 fn rule_r6(files: &[ParsedFile], out: &mut Vec<Violation>) {
     // name -> files defining a deprecated fn of that name.
     let mut deprecated: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
@@ -448,19 +449,15 @@ fn rule_r6(files: &[ParsedFile], out: &mut Vec<Violation>) {
             if item.kind != ItemKind::Fn || item.vis != Vis::Pub || !item.deprecated || item.in_test {
                 continue;
             }
-            // The note must route callers to the replacement; the parse
-            // layer retains the attributes' raw source text.
-            if !item.attr_text.contains("use SimBuilder") {
-                out.push(Violation {
-                    rule: "R6",
-                    path: f.rel.clone(),
-                    line: f.tokens[item.span.0].line,
-                    token: item.name.clone(),
-                    hint: "deprecated runner shims must carry note = \"use SimBuilder ...\" so every \
-                           caller is routed to the replacement"
-                        .to_string(),
-                });
-            }
+            out.push(Violation {
+                rule: "R6",
+                path: f.rel.clone(),
+                line: f.tokens[item.span.0].line,
+                token: item.name.clone(),
+                hint: "deprecated runner shims are retired; delete the shim — SimBuilder::new(Design::...)\
+                       .run() is the only run entry point"
+                    .to_string(),
+            });
             deprecated.entry(&item.name).or_default().push(&f.rel);
         }
     }
@@ -1111,28 +1108,33 @@ mod tests {
     }
 
     #[test]
-    fn r6_requires_a_simbuilder_note_on_deprecated_shims() {
-        let good = parsed(
+    fn r6_flags_every_deprecated_shim_definition() {
+        // Even a well-routed note no longer saves a shim: the deprecation
+        // cycle is over and the definition itself is the violation.
+        let routed = parsed(
             "crates/kvs/src/designs.rs",
             "#[deprecated(note = \"use SimBuilder with Design::kvs_rambda\")]\npub fn run_old() {}",
         );
         let mut out = Vec::new();
-        rule_r6(&[good], &mut out);
-        assert!(out.is_empty(), "a routed note must pass: {out:?}");
-
-        let bad = parsed(
-            "crates/kvs/src/designs.rs",
-            "#[deprecated(note = \"old entry point\")]\npub fn run_old() {}",
-        );
-        let mut out = Vec::new();
-        rule_r6(&[bad], &mut out);
-        assert_eq!(out.len(), 1);
+        rule_r6(&[routed], &mut out);
+        assert_eq!(out.len(), 1, "a shim definition must trip R6: {out:?}");
         assert_eq!(out[0].rule, "R6");
         assert_eq!(out[0].token, "run_old");
+        assert!(out[0].hint.contains("delete the shim"), "{}", out[0].hint);
+
+        // Non-shim deprecations outside the pattern stay out of scope: a
+        // private fn, or one inside a test module.
+        let exempt = parsed(
+            "crates/kvs/src/designs.rs",
+            "#[deprecated]\nfn private_old() {}\n#[cfg(test)]\nmod t { #[deprecated]\npub fn test_old() {} }",
+        );
+        let mut out = Vec::new();
+        rule_r6(&[exempt], &mut out);
+        assert!(out.is_empty(), "private and test-module fns are exempt: {out:?}");
     }
 
     #[test]
-    fn r6_flags_external_callers_but_not_reexports_tests_or_the_shim_itself() {
+    fn r6_flags_external_callers_but_not_reexports_or_tests() {
         let def = parsed(
             "crates/kvs/src/designs.rs",
             "#[deprecated(note = \"use SimBuilder\")]\npub fn run_old() {}\nfn helper() { run_old(); }",
@@ -1144,9 +1146,13 @@ mod tests {
         let caller = parsed("crates/bench/src/harness.rs", "fn sweep() { let r = run_old(); }");
         let mut out = Vec::new();
         rule_r6(&[def, reexport, caller], &mut out);
-        assert_eq!(out.len(), 1, "only the live external caller may trip: {out:?}");
-        assert_eq!(out[0].path, "crates/bench/src/harness.rs");
-        assert_eq!(out[0].token, "run_old");
+        // The definition itself plus the one live external caller; the
+        // re-export, the test-module call, and the same-file helper stay
+        // exempt.
+        assert_eq!(out.len(), 2, "definition + live external caller: {out:?}");
+        assert_eq!(out[0].path, "crates/kvs/src/designs.rs");
+        assert_eq!(out[1].path, "crates/bench/src/harness.rs");
+        assert_eq!(out[1].token, "run_old");
     }
 
     fn run_cross<F>(files: Vec<ParsedFile>, f: F) -> Vec<Violation>

@@ -1,6 +1,7 @@
-//! Negative fixture for `cargo xtask analyze`: a crate breaking R6 — a
-//! deprecated runner shim whose note forgets to route callers to
-//! `SimBuilder`. Never compiled — scanned by xtask/tests.
+//! Negative fixture for `cargo xtask analyze`: a crate breaking R6 —
+//! deprecated runner shims that must not exist at all now that
+//! `SimBuilder` is the sole run entry point. Never compiled — scanned by
+//! xtask/tests.
 
 #![forbid(unsafe_code)]
 
@@ -10,8 +11,9 @@ pub fn run_txn_report() -> u64 {
     0
 }
 
-/// A properly routed shim. The note passes R6; the live call site over in
-/// `caller.rs` still trips the second half of the rule.
+/// Even a properly routed note no longer saves a shim: the definition
+/// itself trips R6, and the live call site over in `caller.rs` trips the
+/// second half of the rule.
 #[deprecated(note = "use SimBuilder with Design::txn_rambda_tx")]
 pub fn run_txn_report_traced() -> u64 {
     1
